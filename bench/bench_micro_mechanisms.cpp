@@ -1,0 +1,87 @@
+// Micro-benchmarks (google-benchmark) for the DP primitive layer: noise
+// sampler throughput and Exponential-Mechanism selection cost, which bound
+// the per-release overhead of Phase 2 and the per-cut overhead of Phase 1.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dp/distributions.hpp"
+#include "dp/exponential.hpp"
+#include "dp/gaussian.hpp"
+#include "dp/laplace.hpp"
+
+namespace {
+
+using namespace gdp;
+
+void BM_SampleLaplace(benchmark::State& state) {
+  common::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::SampleLaplace(rng, 3.0));
+  }
+}
+BENCHMARK(BM_SampleLaplace);
+
+void BM_SampleGaussian(benchmark::State& state) {
+  common::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::SampleGaussian(rng, 3.0));
+  }
+}
+BENCHMARK(BM_SampleGaussian);
+
+void BM_SampleTwoSidedGeometric(benchmark::State& state) {
+  common::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::SampleTwoSidedGeometric(rng, 3.0));
+  }
+}
+BENCHMARK(BM_SampleTwoSidedGeometric);
+
+void BM_SampleDiscreteGaussian(benchmark::State& state) {
+  common::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::SampleDiscreteGaussian(rng, 50.0));
+  }
+}
+BENCHMARK(BM_SampleDiscreteGaussian);
+
+void BM_AnalyticGaussianCalibration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::AnalyticGaussianSigma(
+        dp::Epsilon(0.7), dp::Delta(1e-6), dp::L2Sensitivity(1000.0)));
+  }
+}
+BENCHMARK(BM_AnalyticGaussianCalibration);
+
+void BM_ExponentialMechanismSelect(benchmark::State& state) {
+  const dp::ExponentialMechanism em(dp::Epsilon(0.1), dp::L1Sensitivity(1.0));
+  common::Rng rng(5);
+  std::vector<double> utilities(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < utilities.size(); ++i) {
+    utilities[i] = -static_cast<double>(i % 17);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(em.Select(utilities, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExponentialMechanismSelect)->Arg(16)->Arg(63)->Arg(1024);
+
+void BM_GaussianMechanismVector(benchmark::State& state) {
+  const dp::GaussianMechanism m(dp::Epsilon(0.999), dp::Delta(1e-5),
+                                dp::L2Sensitivity(100.0));
+  common::Rng rng(6);
+  const std::vector<double> truth(static_cast<std::size_t>(state.range(0)), 42.0);
+  for (auto _ : state) {
+    auto noisy = m.AddNoise(truth, rng);
+    benchmark::DoNotOptimize(noisy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GaussianMechanismVector)->Arg(64)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

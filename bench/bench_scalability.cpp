@@ -1,0 +1,112 @@
+// Scalability A4 (google-benchmark): wall time of each pipeline stage as the
+// graph grows, confirming the paper's "effective, scalable" claim.
+// Generation, Phase-1 specialization, sensitivity computation, and Phase-2
+// release are timed separately across graph sizes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/group_dp_engine.hpp"
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+#include "hier/specialization.hpp"
+
+namespace {
+
+using namespace gdp;
+
+graph::BipartiteGraph MakeGraph(std::int64_t edges) {
+  common::Rng rng(static_cast<std::uint64_t>(edges));
+  graph::DblpLikeParams p;
+  p.num_edges = static_cast<graph::EdgeCount>(edges);
+  p.num_left = static_cast<graph::NodeIndex>(edges / 5 + 16);
+  p.num_right = static_cast<graph::NodeIndex>(edges / 3 + 16);
+  return GenerateDblpLike(p, rng);
+}
+
+void BM_GenerateGraph(benchmark::State& state) {
+  for (auto _ : state) {
+    auto g = MakeGraph(state.range(0));
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateGraph)->Arg(10'000)->Arg(100'000)->Arg(640'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpecializeHierarchy(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  hier::SpecializationConfig cfg;
+  cfg.depth = 9;
+  cfg.arity = 4;
+  cfg.epsilon_per_level = 0.0125;
+  cfg.validate_hierarchy = false;
+  const hier::Specializer spec(cfg);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    common::Rng rng(++seed);
+    auto built = spec.BuildHierarchy(g, rng);
+    benchmark::DoNotOptimize(built.num_em_draws);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpecializeHierarchy)->Arg(10'000)->Arg(100'000)->Arg(640'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LevelSensitivities(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  hier::SpecializationConfig cfg;
+  cfg.depth = 9;
+  cfg.validate_hierarchy = false;
+  const hier::Specializer spec(cfg);
+  common::Rng rng(3);
+  const auto built = spec.BuildHierarchy(g, rng);
+  for (auto _ : state) {
+    auto sens = built.hierarchy.LevelSensitivities(g);
+    benchmark::DoNotOptimize(sens.back());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LevelSensitivities)->Arg(10'000)->Arg(100'000)->Arg(640'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReleaseAllLevels(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  hier::SpecializationConfig cfg;
+  cfg.depth = 9;
+  cfg.validate_hierarchy = false;
+  const hier::Specializer spec(cfg);
+  common::Rng rng(5);
+  const auto built = spec.BuildHierarchy(g, rng);
+  core::ReleaseConfig rel;
+  rel.epsilon_g = 0.999;
+  rel.include_group_counts = true;
+  const core::GroupDpEngine engine(rel);
+  for (auto _ : state) {
+    auto release = engine.ReleaseAll(g, built.hierarchy, rng);
+    benchmark::DoNotOptimize(release.num_levels());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReleaseAllLevels)->Arg(10'000)->Arg(100'000)->Arg(640'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndDisclosure(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  core::DisclosureConfig cfg;
+  cfg.depth = 9;
+  cfg.include_group_counts = false;
+  cfg.validate_hierarchy = false;
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    common::Rng rng(++seed);
+    auto result = core::RunDisclosure(g, cfg, rng);
+    benchmark::DoNotOptimize(result.release.num_levels());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EndToEndDisclosure)->Arg(10'000)->Arg(100'000)->Arg(640'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

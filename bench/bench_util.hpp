@@ -1,0 +1,53 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+
+namespace gdp::bench {
+
+// Benchmarks default to 1/10 of the paper's DBLP scale so the whole suite
+// runs in minutes on a laptop.  Environment overrides:
+//   GDP_FULL_SCALE=1   run at the paper's full DBLP scale
+//   GDP_SCALE=0.02     run at an explicit fraction
+inline double ScaleFraction(double default_fraction = 0.1) {
+  if (const char* full = std::getenv("GDP_FULL_SCALE");
+      full != nullptr && std::string(full) == "1") {
+    return 1.0;
+  }
+  if (const char* scale = std::getenv("GDP_SCALE"); scale != nullptr) {
+    const double f = std::atof(scale);
+    if (f > 0.0 && f <= 1.0) {
+      return f;
+    }
+    std::cerr << "ignoring invalid GDP_SCALE='" << scale << "'\n";
+  }
+  return default_fraction;
+}
+
+inline gdp::graph::BipartiteGraph MakeDblpLikeGraph(double fraction,
+                                                    std::uint64_t seed) {
+  gdp::common::Rng rng(seed);
+  const auto params = gdp::graph::DblpScaledParams(fraction);
+  gdp::common::Stopwatch sw;
+  auto graph = gdp::graph::GenerateDblpLike(params, rng);
+  std::cout << "# generated " << graph.Summary() << " in "
+            << gdp::common::FormatDouble(sw.ElapsedSeconds(), 2) << "s (scale "
+            << fraction << " of DBLP)\n";
+  return graph;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n" << paper_ref << "\n"
+            << "==============================================================\n";
+}
+
+}  // namespace gdp::bench

@@ -1,0 +1,54 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+//   1. Build a bipartite association graph (here: synthetic, DBLP-like).
+//   2. Run the two-phase group-DP disclosure pipeline.
+//   3. Hand each privilege tier its level view and compare accuracy.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/access_policy.hpp"
+#include "core/pipeline.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace gdp;
+
+  // 1. A small heavy-tailed association graph: 5k "authors" x 8k "papers".
+  common::Rng rng(/*seed=*/42);
+  graph::DblpLikeParams params;
+  params.num_left = 5000;
+  params.num_right = 8000;
+  params.num_edges = 30000;
+  const graph::BipartiteGraph graph = GenerateDblpLike(params, rng);
+  std::cout << graph.Summary() << "\n\n";
+
+  // 2. Two-phase disclosure: EM specialization (depth 9, 4-way splits) then
+  //    Gaussian noise per level, all under eps_g = 0.999, delta = 1e-5.
+  core::DisclosureConfig config;
+  config.epsilon_g = 0.999;
+  config.depth = 9;
+  config.arity = 4;
+  const core::DisclosureResult result = core::RunDisclosure(graph, config, rng);
+
+  std::cout << result.ledger.AuditReport() << '\n';
+
+  // 3. Eight privilege tiers, lowest first (the paper's I9,7 .. I9,0 views).
+  const core::AccessPolicy policy = core::AccessPolicy::Uniform(8);
+  common::TextTable table(
+      {"tier", "protected_level", "noisy_count", "true_count", "RER"});
+  for (int tier = 0; tier < policy.num_tiers(); ++tier) {
+    const core::LevelRelease& view = policy.ViewFor(result.release, tier);
+    table.AddRow({std::to_string(tier),
+                  "L" + std::to_string(policy.LevelForPrivilege(tier)),
+                  common::FormatDouble(view.noisy_total, 0),
+                  common::FormatDouble(view.true_total, 0),
+                  common::FormatPercent(view.TotalRer(), 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nHigher tiers receive finer protection levels and hence more "
+               "accurate counts.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "baseline/individual_dp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/math.hpp"
+#include "core/metrics.hpp"
+
+namespace gdp::baseline {
+
+double CountRelease::Rer() const {
+  return gdp::core::RelativeErrorRate(noisy_total, true_total);
+}
+
+namespace {
+
+CountRelease ReleaseWithSensitivity(const BipartiteGraph& graph,
+                                    gdp::core::NoiseKind noise, double epsilon,
+                                    double delta, double sensitivity,
+                                    gdp::common::Rng& rng) {
+  CountRelease out;
+  out.true_total = static_cast<double>(graph.num_edges());
+  out.sensitivity = sensitivity;
+  const auto mechanism =
+      gdp::core::MakeMechanism(noise, epsilon, delta, sensitivity);
+  out.noise_stddev = mechanism->NoiseStddev();
+  out.noisy_total = mechanism->AddNoise(out.true_total, rng);
+  return out;
+}
+
+}  // namespace
+
+CountRelease ReleaseCountEdgeDp(const BipartiteGraph& graph,
+                                gdp::core::NoiseKind noise, double epsilon,
+                                double delta, gdp::common::Rng& rng) {
+  return ReleaseWithSensitivity(graph, noise, epsilon, delta, 1.0, rng);
+}
+
+CountRelease ReleaseCountNodeDp(const BipartiteGraph& graph,
+                                gdp::core::NoiseKind noise, double epsilon,
+                                double delta, gdp::common::Rng& rng) {
+  const double max_degree = static_cast<double>(
+      std::max(graph.MaxDegree(gdp::graph::Side::kLeft),
+               graph.MaxDegree(gdp::graph::Side::kRight)));
+  if (max_degree == 0.0) {
+    throw std::invalid_argument("ReleaseCountNodeDp: edgeless graph");
+  }
+  return ReleaseWithSensitivity(graph, noise, epsilon, delta, max_degree, rng);
+}
+
+double GroupDistinguishability(double group_weight, double noise_stddev) {
+  if (!(group_weight >= 0.0)) {
+    throw std::invalid_argument(
+        "GroupDistinguishability: group_weight must be >= 0");
+  }
+  if (noise_stddev <= 0.0) {
+    // No noise: any positive contribution is perfectly distinguishable.
+    return group_weight > 0.0 ? 1.0 : 0.0;
+  }
+  return 2.0 * gdp::common::NormalCdf(group_weight / (2.0 * noise_stddev)) - 1.0;
+}
+
+}  // namespace gdp::baseline

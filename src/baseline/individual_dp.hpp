@@ -1,0 +1,55 @@
+// Individual differential privacy baselines (the paper's Definition 2).
+//
+// These implement what "traditional privacy-preserving data disclosure"
+// releases for the same count query, under the two standard individual
+// adjacency relations for graphs:
+//  * edge adjacency  — datasets differ in one association (Δ = 1);
+//  * node adjacency  — datasets differ in one node and its incident
+//    associations (Δ = max degree).
+//
+// They answer the paper's motivating question: an individually-DP release
+// can still expose a *group's* aggregate almost exactly, because its noise
+// is tiny relative to a group's contribution.  bench_baseline_comparison
+// quantifies that with the distinguishability metric below.
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/group_dp_engine.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace gdp::baseline {
+
+using gdp::graph::BipartiteGraph;
+
+struct CountRelease {
+  double true_total{0.0};
+  double noisy_total{0.0};
+  double sensitivity{0.0};
+  double noise_stddev{0.0};
+  [[nodiscard]] double Rer() const;
+};
+
+// ε-DP (or (ε,δ)-DP, per `noise`) release of the association count under
+// EDGE-level individual adjacency: Δ = 1.
+[[nodiscard]] CountRelease ReleaseCountEdgeDp(const BipartiteGraph& graph,
+                                              gdp::core::NoiseKind noise,
+                                              double epsilon, double delta,
+                                              gdp::common::Rng& rng);
+
+// Release under NODE-level individual adjacency: Δ = max degree over both
+// sides.  Throws std::invalid_argument on an edgeless graph (Δ = 0).
+[[nodiscard]] CountRelease ReleaseCountNodeDp(const BipartiteGraph& graph,
+                                              gdp::core::NoiseKind noise,
+                                              double epsilon, double delta,
+                                              gdp::common::Rng& rng);
+
+// How well an adversary observing one noisy count can decide whether a group
+// with total contribution `group_weight` is present: the total-variation
+// distance between N(T, σ²) and N(T − w, σ²), i.e.
+//   TV = 2·Φ(w / 2σ) − 1  ∈ [0, 1).
+// 0 = group perfectly hidden, →1 = presence effectively disclosed.  This is
+// the disclosure-risk metric in bench_baseline_comparison.
+[[nodiscard]] double GroupDistinguishability(double group_weight,
+                                             double noise_stddev);
+
+}  // namespace gdp::baseline

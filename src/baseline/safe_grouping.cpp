@@ -1,0 +1,187 @@
+#include "baseline/safe_grouping.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gdp::baseline {
+
+namespace {
+
+// Bound on how many open groups one node probes; keeps the greedy pass near
+// linear on heavy-tailed graphs.
+constexpr std::size_t kMaxProbes = 64;
+
+struct WorkGroup {
+  std::vector<NodeIndex> members;
+  std::unordered_set<NodeIndex> claimed_neighbors;
+};
+
+bool Disjoint(const std::unordered_set<NodeIndex>& claimed,
+              std::span<const NodeIndex> neighbors) {
+  for (const NodeIndex u : neighbors) {
+    if (claimed.contains(u)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t CountOverlap(const std::unordered_set<NodeIndex>& claimed,
+                           std::span<const NodeIndex> neighbors) {
+  std::uint64_t overlap = 0;
+  for (const NodeIndex u : neighbors) {
+    if (claimed.contains(u)) {
+      ++overlap;
+    }
+  }
+  return overlap;
+}
+
+}  // namespace
+
+SafeGrouping BuildSafeGrouping(const BipartiteGraph& graph, Side side,
+                               const SafeGroupingConfig& config,
+                               gdp::common::Rng& rng) {
+  if (config.k < 1) {
+    throw std::invalid_argument("BuildSafeGrouping: k must be >= 1");
+  }
+  const NodeIndex n = graph.num_nodes(side);
+  if (n == 0) {
+    throw std::invalid_argument("BuildSafeGrouping: empty side");
+  }
+  const auto want = static_cast<std::size_t>(config.k);
+
+  std::vector<NodeIndex> order(n);
+  std::iota(order.begin(), order.end(), NodeIndex{0});
+  rng.Shuffle(order);
+
+  std::vector<WorkGroup> groups;
+  std::vector<std::size_t> open;  // indices of groups still below size k
+  std::uint64_t violations = 0;
+
+  for (const NodeIndex v : order) {
+    const auto neighbors = graph.Neighbors(side, v);
+    std::size_t placed = std::size_t(-1);
+    std::size_t probes = 0;
+    for (auto it = open.begin(); it != open.end() && probes < kMaxProbes;
+         ++it, ++probes) {
+      if (Disjoint(groups[*it].claimed_neighbors, neighbors)) {
+        placed = *it;
+        break;
+      }
+    }
+    if (placed == std::size_t(-1)) {
+      groups.push_back(WorkGroup{});
+      placed = groups.size() - 1;
+      open.push_back(placed);
+    }
+    WorkGroup& g = groups[placed];
+    g.members.push_back(v);
+    g.claimed_neighbors.insert(neighbors.begin(), neighbors.end());
+    if (g.members.size() >= want) {
+      open.erase(std::remove(open.begin(), open.end(), placed), open.end());
+    }
+  }
+
+  // Merge undersized groups into the least-conflicting sized group (or into
+  // each other), counting the conflicts we introduce.
+  std::vector<std::size_t> sized;
+  std::vector<std::size_t> undersized;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    (groups[i].members.size() >= want ? sized : undersized).push_back(i);
+  }
+  if (sized.empty() && undersized.size() > 1) {
+    // Degenerate (k larger than any safe group): collapse everything into one.
+    sized.push_back(undersized.front());
+    undersized.erase(undersized.begin());
+  }
+  for (const std::size_t u : undersized) {
+    if (sized.empty()) {
+      break;  // single undersized group total: keep it as-is
+    }
+    // Probe a bounded sample of sized groups for the least overlap.
+    std::size_t best = sized.front();
+    std::uint64_t best_overlap = std::uint64_t(-1);
+    std::size_t probes = 0;
+    for (const std::size_t s : sized) {
+      if (probes++ >= kMaxProbes) {
+        break;
+      }
+      std::uint64_t overlap = 0;
+      for (const NodeIndex v : groups[u].members) {
+        overlap += CountOverlap(groups[s].claimed_neighbors,
+                                graph.Neighbors(side, v));
+      }
+      if (overlap < best_overlap) {
+        best_overlap = overlap;
+        best = s;
+      }
+      if (overlap == 0) {
+        break;
+      }
+    }
+    violations += best_overlap;
+    WorkGroup& target = groups[best];
+    for (const NodeIndex v : groups[u].members) {
+      target.members.push_back(v);
+      const auto neighbors = graph.Neighbors(side, v);
+      target.claimed_neighbors.insert(neighbors.begin(), neighbors.end());
+    }
+    groups[u].members.clear();
+  }
+
+  SafeGrouping result;
+  result.side = side;
+  result.safety_violations = violations;
+  result.group_of.assign(n, 0);
+  for (const WorkGroup& g : groups) {
+    if (g.members.empty()) {
+      continue;
+    }
+    const auto id = result.num_groups++;
+    for (const NodeIndex v : g.members) {
+      result.group_of[v] = id;
+    }
+  }
+  result.group_counts.assign(result.num_groups, 0);
+  for (NodeIndex v = 0; v < n; ++v) {
+    result.group_counts[result.group_of[v]] += graph.Degree(side, v);
+  }
+  return result;
+}
+
+gdp::hier::Partition ToPartition(const SafeGrouping& grouping,
+                                 const BipartiteGraph& graph) {
+  using gdp::hier::GroupId;
+  using gdp::hier::GroupInfo;
+  using gdp::hier::kNoParent;
+  const NodeIndex grouped_n = graph.num_nodes(grouping.side);
+  const Side other = gdp::graph::Opposite(grouping.side);
+  const NodeIndex other_n = graph.num_nodes(other);
+  if (grouping.group_of.size() != grouped_n) {
+    throw std::invalid_argument("ToPartition: grouping does not match graph");
+  }
+
+  std::vector<GroupId> grouped_labels(grouping.group_of.begin(),
+                                      grouping.group_of.end());
+  std::vector<GroupId> other_labels(other_n, grouping.num_groups);
+  std::vector<GroupInfo> infos(grouping.num_groups + 1);
+  for (GroupId g = 0; g < grouping.num_groups; ++g) {
+    infos[g] = GroupInfo{grouping.side, 0, kNoParent};
+  }
+  for (const GroupId g : grouped_labels) {
+    ++infos[g].size;
+  }
+  infos[grouping.num_groups] = GroupInfo{other, other_n, kNoParent};
+
+  if (grouping.side == Side::kLeft) {
+    return gdp::hier::Partition(std::move(grouped_labels),
+                                std::move(other_labels), std::move(infos));
+  }
+  return gdp::hier::Partition(std::move(other_labels), std::move(grouped_labels),
+                              std::move(infos));
+}
+
+}  // namespace gdp::baseline

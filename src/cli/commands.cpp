@@ -1,0 +1,172 @@
+#include "cli/commands.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/drilldown.hpp"
+#include "core/pipeline.hpp"
+#include "core/release_io.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "hier/io.hpp"
+
+namespace gdp::cli {
+
+namespace {
+
+std::string Require(const Args& args, const std::string& name) {
+  const auto value = args.Get(name);
+  if (!value) {
+    throw std::invalid_argument("missing required flag '--" + name + "'");
+  }
+  return *value;
+}
+
+}  // namespace
+
+int RunGenerate(const Args& args, std::ostream& out) {
+  const std::string path = Require(args, "out");
+  gdp::common::Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 42)));
+  gdp::graph::DblpLikeParams params;
+  if (args.Get("scale")) {
+    params = gdp::graph::DblpScaledParams(args.GetDouble("scale", 0.01));
+  } else {
+    params.num_left =
+        static_cast<gdp::graph::NodeIndex>(args.GetInt("left", 10000));
+    params.num_right =
+        static_cast<gdp::graph::NodeIndex>(args.GetInt("right", 15000));
+    params.num_edges =
+        static_cast<gdp::graph::EdgeCount>(args.GetInt("edges", 50000));
+  }
+  const auto graph = GenerateDblpLike(params, rng);
+  gdp::graph::WriteEdgeListFile(graph, path);
+  out << "wrote " << graph.Summary() << " to " << path << '\n';
+  return 0;
+}
+
+int RunDisclose(const Args& args, std::ostream& out) {
+  const std::string graph_path = Require(args, "graph");
+  const std::string release_path = Require(args, "release");
+  const auto graph = gdp::graph::ReadEdgeListFile(graph_path);
+
+  gdp::core::DisclosureConfig config;
+  config.epsilon_g = args.GetDouble("eps", 0.999);
+  config.delta = args.GetDouble("delta", 1e-5);
+  config.depth = static_cast<int>(args.GetInt("depth", 9));
+  config.arity = static_cast<int>(args.GetInt("arity", 4));
+  config.enforce_consistency = args.HasSwitch("consistent");
+
+  gdp::common::Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 42)));
+  const auto result = gdp::core::RunDisclosure(graph, config, rng);
+
+  const bool strip = args.HasSwitch("strip-truth");
+  gdp::core::WriteReleaseFile(
+      strip ? result.release.StripTruth() : result.release, release_path);
+  out << "disclosed " << graph.Summary() << '\n';
+  out << result.ledger.AuditReport();
+  out << "release written to " << release_path << '\n';
+  if (const auto hier_path = args.Get("hierarchy")) {
+    gdp::hier::WriteHierarchyFile(result.hierarchy, *hier_path);
+    out << "hierarchy written to " << *hier_path << '\n';
+  }
+  return 0;
+}
+
+int RunInspect(const Args& args, std::ostream& out) {
+  const auto release = gdp::core::ReadReleaseFile(Require(args, "release"));
+  gdp::common::TextTable table(
+      {"level", "sensitivity", "noise_sigma", "noisy_total", "groups"});
+  for (const auto& lr : release.levels()) {
+    table.AddRow({"L" + std::to_string(lr.level),
+                  gdp::common::FormatDouble(lr.sensitivity, 0),
+                  gdp::common::FormatDouble(lr.noise_stddev, 1),
+                  gdp::common::FormatDouble(lr.noisy_total, 0),
+                  std::to_string(lr.noisy_group_counts.size())});
+  }
+  table.Print(out);
+  return 0;
+}
+
+int RunDrilldown(const Args& args, std::ostream& out) {
+  // Validate cheap flags before touching the filesystem.
+  const std::string side_name = Require(args, "side");
+  gdp::graph::Side side;
+  if (side_name == "left") {
+    side = gdp::graph::Side::kLeft;
+  } else if (side_name == "right") {
+    side = gdp::graph::Side::kRight;
+  } else {
+    throw std::invalid_argument("--side must be 'left' or 'right'");
+  }
+  const auto release = gdp::core::ReadReleaseFile(Require(args, "release"));
+  const auto hierarchy =
+      gdp::hier::ReadHierarchyFile(Require(args, "hierarchy"));
+  const auto node =
+      static_cast<gdp::graph::NodeIndex>(args.GetInt("node", 0));
+  const int max_level =
+      static_cast<int>(args.GetInt("max-level", hierarchy.depth()));
+  const int min_level = static_cast<int>(args.GetInt("min-level", 0));
+
+  const gdp::hier::HierarchyIndex index(hierarchy);
+  const auto chain =
+      gdp::core::DrillDown(release, index, side, node, max_level, min_level);
+  gdp::common::TextTable table({"level", "group", "group_size", "noisy_count"});
+  for (const auto& entry : chain) {
+    table.AddRow({"L" + std::to_string(entry.level), std::to_string(entry.group),
+                  std::to_string(entry.group_size),
+                  gdp::common::FormatDouble(entry.noisy_count, 1)});
+  }
+  table.Print(out);
+  return 0;
+}
+
+std::string UsageText() {
+  return "usage: gdp_tool <command> [flags]\n"
+         "commands:\n"
+         "  generate  --out g.tsv [--scale F | --left N --right M --edges E]"
+         " [--seed S]\n"
+         "  disclose  --graph g.tsv --release r.tsv [--hierarchy h.tsv]\n"
+         "            [--eps E] [--delta D] [--depth K] [--arity A] [--seed S]\n"
+         "            [--consistent] [--strip-truth]\n"
+         "  inspect   --release r.tsv\n"
+         "  drilldown --release r.tsv --hierarchy h.tsv --side left|right"
+         " --node V\n"
+         "            [--max-level L] [--min-level l]\n";
+}
+
+int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
+  if (tokens.empty()) {
+    out << UsageText();
+    return 2;
+  }
+  const std::string& command = tokens.front();
+  const std::vector<std::string> rest(tokens.begin() + 1, tokens.end());
+  if (command == "generate") {
+    return RunGenerate(
+        Args::Parse(rest, {"out", "scale", "left", "right", "edges", "seed"}),
+        out);
+  }
+  if (command == "disclose") {
+    return RunDisclose(
+        Args::Parse(rest,
+                    {"graph", "release", "hierarchy", "eps", "delta", "depth",
+                     "arity", "seed"},
+                    {"consistent", "strip-truth"}),
+        out);
+  }
+  if (command == "inspect") {
+    return RunInspect(Args::Parse(rest, {"release"}), out);
+  }
+  if (command == "drilldown") {
+    return RunDrilldown(
+        Args::Parse(rest, {"release", "hierarchy", "side", "node", "max-level",
+                           "min-level"}),
+        out);
+  }
+  out << UsageText();
+  return 2;
+}
+
+}  // namespace gdp::cli

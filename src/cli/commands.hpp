@@ -1,0 +1,38 @@
+// gdp_tool command implementations.
+//
+// Each command is a pure-ish function of (parsed args, output stream) so the
+// full pipeline is testable in-process; the binary's main() only dispatches.
+//
+// Commands:
+//   generate  --out g.tsv [--scale 0.01 | --left N --right M --edges E] [--seed S]
+//   disclose  --graph g.tsv --release r.tsv [--hierarchy h.tsv]
+//             [--eps 0.999] [--delta 1e-5] [--depth 9] [--arity 4]
+//             [--seed S] [--consistent] [--strip-truth]
+//   inspect   --release r.tsv
+//   drilldown --release r.tsv --hierarchy h.tsv --side left|right --node V
+//             [--max-level L] [--min-level l]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+
+namespace gdp::cli {
+
+// Each returns a process exit code (0 = success) and writes human-readable
+// output to `out`.  Errors raise exceptions; main() turns them into exit 1.
+int RunGenerate(const Args& args, std::ostream& out);
+int RunDisclose(const Args& args, std::ostream& out);
+int RunInspect(const Args& args, std::ostream& out);
+int RunDrilldown(const Args& args, std::ostream& out);
+
+// Dispatch a full command line (tokens exclude the program name).
+// Unknown/missing command prints usage to `out` and returns 2.
+int Dispatch(const std::vector<std::string>& tokens, std::ostream& out);
+
+// The usage text.
+[[nodiscard]] std::string UsageText();
+
+}  // namespace gdp::cli

@@ -1,0 +1,22 @@
+// gdp_tool: command-line front end for the group-DP disclosure pipeline.
+// See UsageText() / `gdp_tool` with no arguments for the command reference.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) {
+    tokens.emplace_back(argv[i]);
+  }
+  try {
+    return gdp::cli::Dispatch(tokens, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "gdp_tool: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,30 @@
+// Library exception types.  Per C++ Core Guidelines E.14, we throw
+// purpose-designed types derived from std::exception hierarchy roots.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gdp::common {
+
+// Raised when an input file or stream cannot be read / parsed.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Raised when a privacy budget would be exceeded by a requested operation.
+class BudgetExhaustedError : public std::runtime_error {
+ public:
+  explicit BudgetExhaustedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// Raised when an operation is invoked on an object in the wrong state
+// (e.g. querying a hierarchy level that was never built).
+class StateError : public std::logic_error {
+ public:
+  explicit StateError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace gdp::common

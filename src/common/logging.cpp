@@ -1,0 +1,39 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+
+namespace gdp::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_emit_mutex;
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel GetLogLevel() noexcept { return g_level.load(); }
+
+const char* LogLevelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::clog << "[" << LogLevelName(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace gdp::common

@@ -1,0 +1,50 @@
+// Minimal leveled logger.  Deliberately tiny: benches and examples use it to
+// narrate progress; the library itself logs only at kDebug.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace gdp::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are discarded.  Defaults to kInfo.
+void SetLogLevel(LogLevel level) noexcept;
+[[nodiscard]] LogLevel GetLogLevel() noexcept;
+
+[[nodiscard]] const char* LogLevelName(LogLevel level) noexcept;
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message);
+}
+
+// Stream-style log statement:  GDP_LOG(kInfo) << "built " << n << " groups";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= GetLogLevel()) {
+      detail::Emit(level_, stream_.str());
+    }
+  }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= GetLogLevel()) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace gdp::common
+
+#define GDP_LOG(level) ::gdp::common::LogLine(::gdp::common::LogLevel::level)

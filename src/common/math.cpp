@@ -1,0 +1,166 @@
+#include "common/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gdp::common {
+
+double LogSumExp(std::span<const double> xs) noexcept {
+  if (xs.empty()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const double m = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(m)) {
+    return m;  // all -inf, or contains +inf/NaN: propagate
+  }
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += std::exp(x - m);
+  }
+  return m + std::log(sum);
+}
+
+double NormalCdf(double x) noexcept {
+  return 0.5 * std::erfc(-x * 0.7071067811865475244);  // 1/sqrt(2)
+}
+
+namespace {
+
+// Acklam's inverse-normal-CDF rational approximation.
+double AcklamQuantile(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double NormalQuantile(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("NormalQuantile: p must lie in (0, 1)");
+  }
+  double x = AcklamQuantile(p);
+  // One Halley refinement step drives relative error below 1e-13.
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  const double e = NormalCdf(x) - p;
+  const double u = e / (kInvSqrt2Pi * std::exp(-0.5 * x * x));
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double ErfInv(double x) {
+  if (!(x > -1.0) || !(x < 1.0)) {
+    throw std::invalid_argument("ErfInv: x must lie in (-1, 1)");
+  }
+  if (x == 0.0) {
+    return 0.0;
+  }
+  return NormalQuantile(0.5 * (x + 1.0)) * 0.7071067811865475244;
+}
+
+void RunningStats::Add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) {
+    throw std::invalid_argument("Quantile: empty sample");
+  }
+  if (!(q >= 0.0) || !(q <= 1.0)) {
+    throw std::invalid_argument("Quantile: q must lie in [0, 1]");
+  }
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double Mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double RelativeDiff(double a, double b, double eps) noexcept {
+  const double scale = std::max({std::fabs(a), std::fabs(b), eps});
+  return std::fabs(a - b) / scale;
+}
+
+double Clamp(double x, double lo, double hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Clamp: requires lo <= hi");
+  }
+  return std::min(std::max(x, lo), hi);
+}
+
+bool IsFinitePositive(double x) noexcept { return std::isfinite(x) && x > 0.0; }
+
+}  // namespace gdp::common

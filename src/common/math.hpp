@@ -1,0 +1,62 @@
+// Numerically careful math helpers shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gdp::common {
+
+// log(sum_i exp(x_i)) computed stably (max-shift).  Empty input => -inf.
+[[nodiscard]] double LogSumExp(std::span<const double> xs) noexcept;
+
+// Standard normal CDF Phi(x), accurate over the full double range.
+[[nodiscard]] double NormalCdf(double x) noexcept;
+
+// Inverse of the standard normal CDF (Acklam's rational approximation with a
+// Halley refinement step; |relative error| < 1e-13 on (0,1)).
+// Requires p in (0, 1).
+[[nodiscard]] double NormalQuantile(double p);
+
+// erf^{-1}(x) for x in (-1, 1), derived from NormalQuantile.
+[[nodiscard]] double ErfInv(double x);
+
+// Welford running mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+  void Merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+// Quantile of a sample by linear interpolation (type-7, the numpy default).
+// Copies and sorts its input.  Requires non-empty xs and q in [0, 1].
+[[nodiscard]] double Quantile(std::vector<double> xs, double q);
+
+// Mean of a span; 0 for empty input.
+[[nodiscard]] double Mean(std::span<const double> xs) noexcept;
+
+// Relative difference |a - b| / max(|a|, |b|, eps); used by approx checks.
+[[nodiscard]] double RelativeDiff(double a, double b, double eps = 1e-300) noexcept;
+
+// Clamp x into [lo, hi].  Requires lo <= hi.
+[[nodiscard]] double Clamp(double x, double lo, double hi);
+
+// True iff x is a finite, strictly positive double.
+[[nodiscard]] bool IsFinitePositive(double x) noexcept;
+
+}  // namespace gdp::common

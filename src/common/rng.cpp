@@ -1,0 +1,61 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace gdp::common {
+
+double Rng::UniformDouble(double lo, double hi) {
+  if (!(lo < hi) || !std::isfinite(lo) || !std::isfinite(hi)) {
+    throw std::invalid_argument("Rng::UniformDouble: requires finite lo < hi");
+  }
+  return lo + (hi - lo) * UniformUnit();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  if (bound == 0) {
+    throw std::invalid_argument("Rng::UniformInt: bound must be positive");
+  }
+  // Lemire's nearly-divisionless method.
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(engine_()) * static_cast<unsigned __int128>(bound);
+  auto low = static_cast<std::uint64_t>(product);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      product = static_cast<unsigned __int128>(engine_()) *
+                static_cast<unsigned __int128>(bound);
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Rng::UniformInt: requires lo <= hi");
+  }
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1ULL;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(engine_());
+  }
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + UniformInt(span));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (!(p >= 0.0) || !(p <= 1.0)) {
+    throw std::invalid_argument("Rng::Bernoulli: p must be in [0, 1]");
+  }
+  return UniformUnit() < p;
+}
+
+Rng Rng::Fork(std::uint64_t salt) noexcept {
+  std::uint64_t mix = seed_ ^ (0xa0761d6478bd642fULL * (salt + 1));
+  const std::uint64_t child_seed = SplitMix64(mix) ^ engine_();
+  Rng child;
+  child.engine_.Reseed(child_seed);
+  child.seed_ = child_seed;
+  return child;
+}
+
+}  // namespace gdp::common

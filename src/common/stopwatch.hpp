@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used by benches and the scalability harness.
+#pragma once
+
+#include <chrono>
+
+namespace gdp::common {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double ElapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double ElapsedMillis() const noexcept {
+    return ElapsedSeconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gdp::common

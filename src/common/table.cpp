@@ -1,0 +1,75 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace gdp::common {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: header must not be empty");
+  }
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::AddRow: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        for (std::size_t pad = row[c].size(); pad < widths[c] + 2; ++pad) {
+          os << ' ';
+        }
+      }
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void TextTable::PrintTsv(std::ostream& os) const {
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      os << (c + 1 < row.size() ? '\t' : '\n');
+    }
+  };
+  print_row(header_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace gdp::common

@@ -1,0 +1,48 @@
+// Plain-text table printer used by the bench harnesses to emit the rows /
+// series that correspond to the paper's figure and our ablations, plus a TSV
+// writer so results can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gdp::common {
+
+// A rectangular table of strings with a header row.  Column count is fixed by
+// the header; AddRow validates width.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Render with aligned columns, e.g.
+  //   eps     I9,0      I9,1 ...
+  //   0.100   0.0001    0.0004 ...
+  void Print(std::ostream& os) const;
+
+  // Tab-separated dump (one line per row, header first).
+  void PrintTsv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format a double with the given number of significant-looking decimals.
+[[nodiscard]] std::string FormatDouble(double value, int decimals = 4);
+
+// Format a double as a percentage string, e.g. 0.0213 -> "2.13%".
+[[nodiscard]] std::string FormatPercent(double fraction, int decimals = 2);
+
+}  // namespace gdp::common

@@ -1,0 +1,48 @@
+#include "core/access_policy.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace gdp::core {
+
+AccessPolicy::AccessPolicy(std::vector<int> level_for_privilege)
+    : level_for_privilege_(std::move(level_for_privilege)) {
+  if (level_for_privilege_.empty()) {
+    throw std::invalid_argument("AccessPolicy: no tiers");
+  }
+  for (std::size_t p = 0; p < level_for_privilege_.size(); ++p) {
+    if (level_for_privilege_[p] < 0) {
+      throw std::invalid_argument("AccessPolicy: negative level");
+    }
+    if (p > 0 && level_for_privilege_[p] > level_for_privilege_[p - 1]) {
+      throw std::invalid_argument(
+          "AccessPolicy: levels must be non-increasing with privilege");
+    }
+  }
+}
+
+AccessPolicy AccessPolicy::Uniform(int num_tiers) {
+  if (num_tiers < 1) {
+    throw std::invalid_argument("AccessPolicy::Uniform: num_tiers must be >= 1");
+  }
+  std::vector<int> levels(static_cast<std::size_t>(num_tiers));
+  // Tier 0 (lowest privilege) -> level num_tiers-1, ..., top tier -> level 0.
+  for (int p = 0; p < num_tiers; ++p) {
+    levels[static_cast<std::size_t>(p)] = num_tiers - 1 - p;
+  }
+  return AccessPolicy(std::move(levels));
+}
+
+int AccessPolicy::LevelForPrivilege(int privilege) const {
+  if (privilege < 0 || privilege >= num_tiers()) {
+    throw std::out_of_range("AccessPolicy::LevelForPrivilege: bad tier");
+  }
+  return level_for_privilege_[static_cast<std::size_t>(privilege)];
+}
+
+const LevelRelease& AccessPolicy::ViewFor(const MultiLevelRelease& release,
+                                          int privilege) const {
+  return release.level(LevelForPrivilege(privilege));
+}
+
+}  // namespace gdp::core

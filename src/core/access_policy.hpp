@@ -1,0 +1,43 @@
+// Multi-level access control over a release.
+//
+// The paper's scenario: "users of the published data may have different
+// levels of access privileges entitled to them."  A user entitled to
+// information level I_{depth,i} receives the release protected at group
+// level i: the lowest-privilege tier gets the coarsest (most perturbed)
+// protection, the highest tier the finest (near-exact) one.
+#pragma once
+
+#include <vector>
+
+#include "core/release.hpp"
+
+namespace gdp::core {
+
+class AccessPolicy {
+ public:
+  // Explicit mapping: level_for_privilege[p] is the hierarchy level whose
+  // release privilege tier p receives; tier 0 is the LOWEST privilege.
+  // Levels must be non-increasing in p (more privilege never means coarser
+  // data) and non-negative.
+  explicit AccessPolicy(std::vector<int> level_for_privilege);
+
+  // The paper's arrangement: `num_tiers` tiers where the lowest tier maps to
+  // level num_tiers-1 and the highest to level 0.  (Figure 1 uses 8 tiers
+  // over a depth-9 hierarchy: levels 7 down to 0.)
+  [[nodiscard]] static AccessPolicy Uniform(int num_tiers);
+
+  [[nodiscard]] int num_tiers() const noexcept {
+    return static_cast<int>(level_for_privilege_.size());
+  }
+  [[nodiscard]] int LevelForPrivilege(int privilege) const;
+
+  // The level view a tier receives.  Throws std::out_of_range if the policy
+  // references a level the release does not contain.
+  [[nodiscard]] const LevelRelease& ViewFor(const MultiLevelRelease& release,
+                                            int privilege) const;
+
+ private:
+  std::vector<int> level_for_privilege_;
+};
+
+}  // namespace gdp::core

@@ -1,0 +1,150 @@
+#include "core/accuracy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+
+namespace gdp::core {
+
+namespace {
+
+double NoiseStddev(NoiseKind noise, double epsilon, double delta,
+                   double sensitivity) {
+  return MakeMechanism(noise, epsilon, delta, sensitivity)->NoiseStddev();
+}
+
+// E|X| for the mechanism's noise distribution.
+double ExpectedAbsNoise(NoiseKind noise, double epsilon, double delta,
+                        double sensitivity) {
+  switch (noise) {
+    case NoiseKind::kGaussian:
+    case NoiseKind::kAnalyticGaussian:
+    case NoiseKind::kDiscreteGaussian:
+      return NoiseStddev(noise, epsilon, delta, sensitivity) *
+             0.7978845608028654;  // sqrt(2/pi)
+    case NoiseKind::kLaplace:
+      return sensitivity / epsilon;  // E|Laplace(b)| = b
+    case NoiseKind::kGeometric: {
+      // E|X| = 2a/(1-a^2) with a = exp(-eps/Delta); close to Laplace's b for
+      // small eps/Delta.
+      const double a = std::exp(-epsilon / sensitivity);
+      return 2.0 * a / (1.0 - a * a);
+    }
+  }
+  throw std::invalid_argument("ExpectedAbsNoise: unknown noise kind");
+}
+
+}  // namespace
+
+double ExpectedRer(NoiseKind noise, double epsilon, double delta,
+                   double sensitivity, double true_total) {
+  if (!(true_total > 0.0)) {
+    throw std::invalid_argument("ExpectedRer: true_total must be > 0");
+  }
+  if (sensitivity == 0.0) {
+    return 0.0;  // released exactly
+  }
+  return ExpectedAbsNoise(noise, epsilon, delta, sensitivity) / true_total;
+}
+
+double ErrorBound(NoiseKind noise, double epsilon, double delta,
+                  double sensitivity, double beta) {
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    throw std::invalid_argument("ErrorBound: beta must be in (0, 1)");
+  }
+  if (sensitivity == 0.0) {
+    return 0.0;
+  }
+  switch (noise) {
+    case NoiseKind::kGaussian:
+    case NoiseKind::kAnalyticGaussian:
+    case NoiseKind::kDiscreteGaussian: {
+      const double sigma = NoiseStddev(noise, epsilon, delta, sensitivity);
+      // P(|N(0,sigma)| > t) = beta  =>  t = sigma * Phi^{-1}(1 - beta/2).
+      return sigma * gdp::common::NormalQuantile(1.0 - beta / 2.0);
+    }
+    case NoiseKind::kLaplace:
+    case NoiseKind::kGeometric: {
+      // Laplace tail: P(|X| > t) = exp(-t/b); the geometric mechanism is
+      // stochastically dominated by the Laplace of the same scale + 1.
+      const double b = sensitivity / epsilon;
+      const double t = b * std::log(1.0 / beta);
+      return noise == NoiseKind::kGeometric ? t + 1.0 : t;
+    }
+  }
+  throw std::invalid_argument("ErrorBound: unknown noise kind");
+}
+
+double EpsilonForTargetRer(NoiseKind noise, double delta, double sensitivity,
+                           double true_total, double target_rer) {
+  if (!(target_rer > 0.0)) {
+    throw std::invalid_argument("EpsilonForTargetRer: target_rer must be > 0");
+  }
+  if (sensitivity == 0.0) {
+    return 1e-9;  // exact release at any budget
+  }
+  // ExpectedRer is strictly decreasing in eps; bracket then bisect.
+  double lo = 1e-9;
+  double hi = 1e-9;
+  while (ExpectedRer(noise, hi, delta, sensitivity, true_total) > target_rer) {
+    hi *= 2.0;
+    if (hi > 1e6) {
+      throw std::runtime_error(
+          "EpsilonForTargetRer: target unreachable below eps = 1e6");
+    }
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ExpectedRer(noise, mid, delta, sensitivity, true_total) > target_rer) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+std::vector<LevelBudget> PlanLevelBudgets(
+    NoiseKind noise, double delta, const std::vector<double>& sensitivities,
+    const std::vector<double>& rer_tolerances, double true_total,
+    double total_epsilon) {
+  if (sensitivities.size() != rer_tolerances.size() || sensitivities.empty()) {
+    throw std::invalid_argument(
+        "PlanLevelBudgets: sensitivities and tolerances must pair up");
+  }
+  if (!(total_epsilon > 0.0)) {
+    throw std::invalid_argument("PlanLevelBudgets: total_epsilon must be > 0");
+  }
+  for (std::size_t i = 0; i < sensitivities.size(); ++i) {
+    if (!(sensitivities[i] > 0.0) || !(rer_tolerances[i] > 0.0)) {
+      throw std::invalid_argument(
+          "PlanLevelBudgets: sensitivities and tolerances must be positive");
+    }
+  }
+  // First pass: per-level epsilon needed to hit each tolerance exactly.
+  std::vector<double> needed(sensitivities.size());
+  double needed_total = 0.0;
+  for (std::size_t i = 0; i < sensitivities.size(); ++i) {
+    needed[i] = EpsilonForTargetRer(noise, delta, sensitivities[i], true_total,
+                                    rer_tolerances[i]);
+    needed_total += needed[i];
+  }
+  // Scale so the (sequential, conservative) sum matches the budget: all
+  // levels hit their tolerance iff needed_total <= total_epsilon; otherwise
+  // every level degrades by the same factor.
+  const double scale = total_epsilon / needed_total;
+  std::vector<LevelBudget> plan;
+  plan.reserve(sensitivities.size());
+  for (std::size_t i = 0; i < sensitivities.size(); ++i) {
+    LevelBudget lb;
+    lb.level = static_cast<int>(i);
+    lb.epsilon = needed[i] * scale;
+    lb.expected_rer =
+        ExpectedRer(noise, lb.epsilon, delta, sensitivities[i], true_total);
+    plan.push_back(lb);
+  }
+  return plan;
+}
+
+}  // namespace gdp::core

@@ -1,0 +1,60 @@
+// Analytical accuracy estimation and budget planning.
+//
+// Phase 2's noise is additive with a known distribution, so the expected
+// relative error of every level can be computed in closed form *before*
+// touching the data distribution of noise draws:
+//
+//   Gaussian:  E|noise| = sigma * sqrt(2/pi),   sigma = f(eps, delta, Delta)
+//   Laplace:   E|noise| = b,                    b = Delta / eps
+//
+// This module exposes those estimators and inverts them: given a target RER
+// at a level, what eps_g does it take?  Given a total budget and per-level
+// RER weights, how should eps be allocated per level?  The planner implements
+// the paper's implicit "utility-per-privilege" contract as an explicit tool.
+#pragma once
+
+#include <vector>
+
+#include "core/group_dp_engine.hpp"
+
+namespace gdp::core {
+
+// Expected RER of the count release at a level: E|noise| / true_total.
+// Requires true_total > 0 and sensitivity > 0.
+[[nodiscard]] double ExpectedRer(NoiseKind noise, double epsilon, double delta,
+                                 double sensitivity, double true_total);
+
+// A (beta)-accuracy bound: with probability >= 1 - beta the released count
+// deviates from the truth by at most the returned amount.  Requires
+// beta in (0, 1).
+[[nodiscard]] double ErrorBound(NoiseKind noise, double epsilon, double delta,
+                                double sensitivity, double beta);
+
+// Smallest epsilon achieving ExpectedRer <= target_rer at the given level
+// parameters (binary search on the calibration; monotone in eps).  Requires
+// target_rer > 0.  Returns an epsilon in (0, 1e6]; throws std::runtime_error
+// if even eps = 1e6 cannot reach the target (pathological sensitivity).
+[[nodiscard]] double EpsilonForTargetRer(NoiseKind noise, double delta,
+                                         double sensitivity, double true_total,
+                                         double target_rer);
+
+// Budget plan: per-level epsilon assignments plus the achieved expected RER.
+struct LevelBudget {
+  int level{0};
+  double epsilon{0.0};
+  double expected_rer{0.0};
+};
+
+// Allocate a total Phase-2 budget across levels so that expected RERs are
+// proportional to the caller's tolerances: a level with tolerance 2x another
+// may end up twice as inaccurate.  Levels are charged sequentially in the
+// worst case (conservative), i.e. the epsilons sum to total_epsilon.
+//
+// sensitivities[i] and rer_tolerances[i] describe level i; both must be
+// positive and equally sized.  true_total is the count being released.
+[[nodiscard]] std::vector<LevelBudget> PlanLevelBudgets(
+    NoiseKind noise, double delta, const std::vector<double>& sensitivities,
+    const std::vector<double>& rer_tolerances, double true_total,
+    double total_epsilon);
+
+}  // namespace gdp::core

@@ -1,0 +1,140 @@
+#include "core/consistency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gdp::core {
+
+using gdp::hier::GroupHierarchy;
+using gdp::hier::GroupId;
+using gdp::hier::HierarchyIndex;
+
+namespace {
+
+// Variance floor for exactly-released levels: they become (near-)hard
+// constraints in the GLS without dividing by zero.
+constexpr double kExactVariance = 1e-18;
+
+void CheckShapes(const GroupHierarchy& hierarchy,
+                 const MultiLevelRelease& release) {
+  if (release.num_levels() != hierarchy.num_levels()) {
+    throw std::invalid_argument(
+        "EnforceHierarchicalConsistency: level count mismatch");
+  }
+  for (int lvl = 0; lvl < release.num_levels(); ++lvl) {
+    if (release.level(lvl).noisy_group_counts.size() !=
+        hierarchy.level(lvl).num_groups()) {
+      throw std::invalid_argument(
+          "EnforceHierarchicalConsistency: release lacks group counts at "
+          "level " +
+          std::to_string(lvl));
+    }
+  }
+}
+
+}  // namespace
+
+MultiLevelRelease EnforceHierarchicalConsistency(
+    const GroupHierarchy& hierarchy, const MultiLevelRelease& release) {
+  CheckShapes(hierarchy, release);
+  const HierarchyIndex index(hierarchy);
+  const int depth = hierarchy.depth();
+
+  // Upward pass: per level, per group, the combined subtree estimate z and
+  // its variance V.
+  std::vector<std::vector<double>> z(static_cast<std::size_t>(depth) + 1);
+  std::vector<std::vector<double>> var(static_cast<std::size_t>(depth) + 1);
+  for (int lvl = 0; lvl <= depth; ++lvl) {
+    const auto& lr = release.level(lvl);
+    const double v = lr.group_noise_stddev > 0.0
+                         ? lr.group_noise_stddev * lr.group_noise_stddev
+                         : kExactVariance;
+    const auto n = hierarchy.level(lvl).num_groups();
+    z[static_cast<std::size_t>(lvl)].assign(n, 0.0);
+    var[static_cast<std::size_t>(lvl)].assign(n, v);
+    for (GroupId g = 0; g < n; ++g) {
+      z[static_cast<std::size_t>(lvl)][g] = lr.noisy_group_counts[g];
+    }
+    if (lvl == 0) {
+      continue;
+    }
+    // Combine own observation with the children's aggregated estimate.
+    for (GroupId g = 0; g < n; ++g) {
+      const auto& kids = index.Children(lvl, g);
+      if (kids.empty()) {
+        continue;  // defensive: valid hierarchies always have children
+      }
+      double child_sum = 0.0;
+      double child_var = 0.0;
+      for (const GroupId c : kids) {
+        child_sum += z[static_cast<std::size_t>(lvl) - 1][c];
+        child_var += var[static_cast<std::size_t>(lvl) - 1][c];
+      }
+      const double own = z[static_cast<std::size_t>(lvl)][g];
+      const double own_var = var[static_cast<std::size_t>(lvl)][g];
+      const double w_own = 1.0 / own_var;
+      const double w_kids = 1.0 / child_var;
+      z[static_cast<std::size_t>(lvl)][g] =
+          (w_own * own + w_kids * child_sum) / (w_own + w_kids);
+      var[static_cast<std::size_t>(lvl)][g] = 1.0 / (w_own + w_kids);
+    }
+  }
+
+  // Downward pass: distribute each parent's residual to its children in
+  // proportion to their upward variances.
+  std::vector<std::vector<double>> final_counts = z;
+  for (int lvl = depth; lvl >= 1; --lvl) {
+    const auto n = hierarchy.level(lvl).num_groups();
+    for (GroupId g = 0; g < n; ++g) {
+      const auto& kids = index.Children(lvl, g);
+      if (kids.empty()) {
+        continue;
+      }
+      double child_sum = 0.0;
+      double child_var = 0.0;
+      for (const GroupId c : kids) {
+        child_sum += z[static_cast<std::size_t>(lvl) - 1][c];
+        child_var += var[static_cast<std::size_t>(lvl) - 1][c];
+      }
+      const double residual =
+          final_counts[static_cast<std::size_t>(lvl)][g] - child_sum;
+      for (const GroupId c : kids) {
+        final_counts[static_cast<std::size_t>(lvl) - 1][c] =
+            z[static_cast<std::size_t>(lvl) - 1][c] +
+            residual * (var[static_cast<std::size_t>(lvl) - 1][c] / child_var);
+      }
+    }
+  }
+
+  // Assemble the adjusted release (scalar totals intentionally untouched,
+  // see header).
+  std::vector<LevelRelease> out_levels = release.levels();
+  for (int lvl = 0; lvl <= depth; ++lvl) {
+    out_levels[static_cast<std::size_t>(lvl)].noisy_group_counts =
+        final_counts[static_cast<std::size_t>(lvl)];
+  }
+  return MultiLevelRelease(std::move(out_levels));
+}
+
+bool IsHierarchicallyConsistent(const GroupHierarchy& hierarchy,
+                                const MultiLevelRelease& release,
+                                double tolerance) {
+  CheckShapes(hierarchy, release);
+  const HierarchyIndex index(hierarchy);
+  for (int lvl = 1; lvl <= hierarchy.depth(); ++lvl) {
+    const auto& parent_counts = release.level(lvl).noisy_group_counts;
+    const auto& child_counts = release.level(lvl - 1).noisy_group_counts;
+    for (GroupId g = 0; g < hierarchy.level(lvl).num_groups(); ++g) {
+      double sum = 0.0;
+      for (const GroupId c : index.Children(lvl, g)) {
+        sum += child_counts[c];
+      }
+      if (std::fabs(sum - parent_counts[g]) > tolerance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace gdp::core

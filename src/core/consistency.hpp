@@ -1,0 +1,45 @@
+// Hierarchical consistency post-processing (generalised Hay et al., VLDB'10).
+//
+// The multi-level release perturbs each level independently, so a parent
+// group's noisy count generally disagrees with the sum of its children's —
+// an inconsistency that both looks wrong to consumers and wastes
+// information.  Because post-processing cannot weaken DP, we may replace the
+// released counts with the generalised-least-squares estimate under the tree
+// constraints  count(parent) = Σ count(children), which provably reduces
+// variance at every node.
+//
+// Algorithm (exact GLS on trees, two passes):
+//  * upward:   ẑ_g = inverse-variance-weighted average of g's own noisy
+//              count and the sum of its children's upward estimates;
+//  * downward: the root keeps ẑ; each child takes its upward estimate plus
+//              its share (proportional to upward variance) of the parent's
+//              residual, so sums match exactly.
+//
+// Levels released exactly (zero noise) act as hard constraints.
+#pragma once
+
+#include "core/release.hpp"
+#include "hier/navigation.hpp"
+
+namespace gdp::core {
+
+// Returns a copy of `release` whose noisy_group_counts are tree-consistent
+// GLS estimates.  The per-level noisy_total is left untouched: the scalar
+// total was released by its own mechanism calibrated to Δℓ (not the
+// sqrt(2)·Δℓ vector bound), so it is a strictly lower-variance observation
+// of |E| than any sum of group counts, and replacing it would *increase*
+// error.  (Consumers wanting a total consistent with the group counts can
+// sum them; the artifact keeps both observations.)
+//
+// Requires: the release carries group counts at every level and matches the
+// hierarchy's group structure.  Throws std::invalid_argument otherwise.
+[[nodiscard]] MultiLevelRelease EnforceHierarchicalConsistency(
+    const gdp::hier::GroupHierarchy& hierarchy, const MultiLevelRelease& release);
+
+// True iff every parent's count equals the sum of its children's, within
+// `tolerance` (absolute).  Diagnostic used by tests and benches.
+[[nodiscard]] bool IsHierarchicallyConsistent(
+    const gdp::hier::GroupHierarchy& hierarchy, const MultiLevelRelease& release,
+    double tolerance = 1e-6);
+
+}  // namespace gdp::core

@@ -1,0 +1,169 @@
+#include "core/group_dp_engine.hpp"
+
+#include <stdexcept>
+
+#include "core/group_sensitivity.hpp"
+#include "dp/discrete_gaussian.hpp"
+#include "dp/gaussian.hpp"
+#include "dp/geometric.hpp"
+#include "dp/laplace.hpp"
+
+namespace gdp::core {
+
+const char* NoiseKindName(NoiseKind kind) noexcept {
+  switch (kind) {
+    case NoiseKind::kGaussian:
+      return "gaussian";
+    case NoiseKind::kAnalyticGaussian:
+      return "analytic_gaussian";
+    case NoiseKind::kLaplace:
+      return "laplace";
+    case NoiseKind::kDiscreteGaussian:
+      return "discrete_gaussian";
+    case NoiseKind::kGeometric:
+      return "geometric";
+  }
+  return "?";
+}
+
+std::unique_ptr<gdp::dp::NumericMechanism> MakeMechanism(NoiseKind kind,
+                                                         double epsilon,
+                                                         double delta,
+                                                         double sensitivity) {
+  using namespace gdp::dp;
+  const Epsilon eps(epsilon);
+  switch (kind) {
+    case NoiseKind::kGaussian: {
+      // Classic calibration inside its validity range, analytic outside.
+      const GaussianCalibration calib = epsilon < 1.0001
+                                            ? GaussianCalibration::kClassic
+                                            : GaussianCalibration::kAnalytic;
+      return std::make_unique<GaussianMechanism>(eps, Delta(delta),
+                                                 L2Sensitivity(sensitivity), calib);
+    }
+    case NoiseKind::kAnalyticGaussian:
+      return std::make_unique<GaussianMechanism>(eps, Delta(delta),
+                                                 L2Sensitivity(sensitivity),
+                                                 GaussianCalibration::kAnalytic);
+    case NoiseKind::kLaplace:
+      return std::make_unique<LaplaceMechanism>(eps, L1Sensitivity(sensitivity));
+    case NoiseKind::kDiscreteGaussian:
+      return std::make_unique<DiscreteGaussianMechanism>(
+          eps, Delta(delta), L2Sensitivity(sensitivity));
+    case NoiseKind::kGeometric:
+      return std::make_unique<GeometricMechanism>(eps,
+                                                  L1Sensitivity(sensitivity));
+  }
+  throw std::invalid_argument("MakeMechanism: unknown noise kind");
+}
+
+GroupDpEngine::GroupDpEngine(ReleaseConfig config) : config_(config) {
+  // Validate eagerly so a bad config fails at construction, not mid-release.
+  (void)gdp::dp::Epsilon(config_.epsilon_g);
+  (void)gdp::dp::Delta(config_.delta);
+  if (config_.sensitivity_override && !(*config_.sensitivity_override > 0.0)) {
+    throw std::invalid_argument(
+        "GroupDpEngine: sensitivity_override must be > 0");
+  }
+}
+
+double GroupDpEngine::NoiseStddevFor(double sensitivity) const {
+  return MakeMechanism(config_.noise, config_.epsilon_g, config_.delta,
+                       sensitivity)
+      ->NoiseStddev();
+}
+
+LevelRelease GroupDpEngine::ReleaseLevel(const BipartiteGraph& graph,
+                                         const Partition& level, int level_index,
+                                         gdp::common::Rng& rng) const {
+  return ReleaseLevelWithEpsilon(graph, level, level_index, config_.epsilon_g,
+                                 rng);
+}
+
+LevelRelease GroupDpEngine::ReleaseLevelWithEpsilon(const BipartiteGraph& graph,
+                                                    const Partition& level,
+                                                    int level_index,
+                                                    double epsilon,
+                                                    gdp::common::Rng& rng) const {
+  LevelRelease out;
+  out.level = level_index;
+  out.true_total = static_cast<double>(graph.num_edges());
+
+  const double computed_sensitivity =
+      static_cast<double>(CountSensitivity(graph, level));
+  out.sensitivity = config_.sensitivity_override.value_or(computed_sensitivity);
+
+  if (out.sensitivity == 0.0) {
+    // Edgeless graph: nothing to protect, release exactly.
+    out.noisy_total = out.true_total;
+    if (config_.include_group_counts) {
+      out.true_group_counts.assign(level.num_groups(), 0.0);
+      out.noisy_group_counts.assign(level.num_groups(), 0.0);
+    }
+    return out;
+  }
+
+  const auto scalar_mechanism = MakeMechanism(config_.noise, epsilon,
+                                              config_.delta, out.sensitivity);
+  out.noise_stddev = scalar_mechanism->NoiseStddev();
+  out.noisy_total = scalar_mechanism->AddNoise(out.true_total, rng);
+
+  if (config_.include_group_counts) {
+    const std::vector<gdp::graph::EdgeCount> sums = level.GroupDegreeSums(graph);
+    out.true_group_counts.reserve(sums.size());
+    for (const auto s : sums) {
+      out.true_group_counts.push_back(static_cast<double>(s));
+    }
+    // Per-group vector: one group's change moves its own entry by up to Δℓ
+    // and opposite-side entries by up to Δℓ in total, so calibrate with the
+    // sqrt(2)·Δℓ L2 bound (see group_sensitivity.hpp).
+    const auto vector_mechanism =
+        MakeMechanism(config_.noise, epsilon, config_.delta,
+                      VectorSensitivity(graph, level).value());
+    out.group_noise_stddev = vector_mechanism->NoiseStddev();
+    out.noisy_group_counts =
+        vector_mechanism->AddNoise(out.true_group_counts, rng);
+  }
+
+  if (config_.clamp_nonnegative) {
+    out.noisy_total = std::max(0.0, out.noisy_total);
+    for (double& c : out.noisy_group_counts) {
+      c = std::max(0.0, c);
+    }
+  }
+  return out;
+}
+
+MultiLevelRelease GroupDpEngine::ReleaseAll(const BipartiteGraph& graph,
+                                            const GroupHierarchy& hierarchy,
+                                            gdp::common::Rng& rng) const {
+  std::vector<LevelRelease> levels;
+  levels.reserve(static_cast<std::size_t>(hierarchy.num_levels()));
+  for (int i = 0; i < hierarchy.num_levels(); ++i) {
+    levels.push_back(ReleaseLevel(graph, hierarchy.level(i), i, rng));
+  }
+  return MultiLevelRelease(std::move(levels));
+}
+
+MultiLevelRelease GroupDpEngine::ReleaseAllWithBudgets(
+    const BipartiteGraph& graph, const GroupHierarchy& hierarchy,
+    std::span<const double> per_level_epsilon, gdp::common::Rng& rng) const {
+  if (per_level_epsilon.size() !=
+      static_cast<std::size_t>(hierarchy.num_levels())) {
+    throw std::invalid_argument(
+        "ReleaseAllWithBudgets: one epsilon required per level");
+  }
+  for (const double eps : per_level_epsilon) {
+    (void)gdp::dp::Epsilon(eps);  // validates
+  }
+  std::vector<LevelRelease> levels;
+  levels.reserve(static_cast<std::size_t>(hierarchy.num_levels()));
+  for (int i = 0; i < hierarchy.num_levels(); ++i) {
+    levels.push_back(ReleaseLevelWithEpsilon(
+        graph, hierarchy.level(i), i,
+        per_level_epsilon[static_cast<std::size_t>(i)], rng));
+  }
+  return MultiLevelRelease(std::move(levels));
+}
+
+}  // namespace gdp::core

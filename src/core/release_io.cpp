@@ -1,0 +1,109 @@
+#include "core/release_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gdp::core {
+
+using gdp::common::IoError;
+
+void WriteRelease(const MultiLevelRelease& release, std::ostream& out) {
+  out << "gdp-release v1\n";
+  out << "levels " << release.num_levels() << '\n';
+  out << std::setprecision(17);
+  for (const LevelRelease& lr : release.levels()) {
+    out << "level " << lr.level << ' ' << lr.sensitivity << ' '
+        << lr.noise_stddev << ' ' << lr.group_noise_stddev << ' '
+        << lr.true_total << ' ' << lr.noisy_total << ' '
+        << lr.noisy_group_counts.size() << '\n';
+    if (!lr.noisy_group_counts.empty()) {
+      out << "group_counts " << lr.level;
+      for (std::size_t i = 0; i < lr.noisy_group_counts.size(); ++i) {
+        out << ' ' << lr.true_group_counts[i] << ' ' << lr.noisy_group_counts[i];
+      }
+      out << '\n';
+    }
+  }
+}
+
+namespace {
+
+std::string NextContentLine(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') {
+      return line;
+    }
+  }
+  throw IoError("release: unexpected end of input");
+}
+
+}  // namespace
+
+MultiLevelRelease ReadRelease(std::istream& in) {
+  if (NextContentLine(in) != "gdp-release v1") {
+    throw IoError("release: bad magic line (want 'gdp-release v1')");
+  }
+  std::istringstream header(NextContentLine(in));
+  std::string word;
+  int num_levels = 0;
+  if (!(header >> word >> num_levels) || word != "levels" || num_levels <= 0) {
+    throw IoError("release: bad 'levels' line");
+  }
+  std::vector<LevelRelease> levels;
+  levels.reserve(static_cast<std::size_t>(num_levels));
+  for (int i = 0; i < num_levels; ++i) {
+    std::istringstream ls(NextContentLine(in));
+    LevelRelease lr;
+    std::size_t num_groups = 0;
+    if (!(ls >> word >> lr.level >> lr.sensitivity >> lr.noise_stddev >>
+          lr.group_noise_stddev >> lr.true_total >> lr.noisy_total >>
+          num_groups) ||
+        word != "level") {
+      throw IoError("release: bad 'level' line for level " + std::to_string(i));
+    }
+    if (num_groups > 0) {
+      std::istringstream gs(NextContentLine(in));
+      int level_echo = -1;
+      if (!(gs >> word >> level_echo) || word != "group_counts" ||
+          level_echo != lr.level) {
+        throw IoError("release: bad 'group_counts' line for level " +
+                      std::to_string(lr.level));
+      }
+      lr.true_group_counts.resize(num_groups);
+      lr.noisy_group_counts.resize(num_groups);
+      for (std::size_t g = 0; g < num_groups; ++g) {
+        if (!(gs >> lr.true_group_counts[g] >> lr.noisy_group_counts[g])) {
+          throw IoError("release: truncated group counts for level " +
+                        std::to_string(lr.level));
+        }
+      }
+    }
+    levels.push_back(std::move(lr));
+  }
+  return MultiLevelRelease(std::move(levels));
+}
+
+void WriteReleaseFile(const MultiLevelRelease& release, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("cannot open release file for writing: " + path);
+  }
+  WriteRelease(release, out);
+  if (!out) {
+    throw IoError("write failure on release file: " + path);
+  }
+}
+
+MultiLevelRelease ReadReleaseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open release file: " + path);
+  }
+  return ReadRelease(in);
+}
+
+}  // namespace gdp::core

@@ -1,0 +1,95 @@
+#include "dp/accountant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gdp::dp {
+
+BudgetCharge ComposeSequential(std::span<const BudgetCharge> charges) {
+  BudgetCharge total;
+  total.label = "sequential";
+  for (const auto& c : charges) {
+    total.epsilon += c.epsilon;
+    total.delta += c.delta;
+  }
+  return total;
+}
+
+BudgetCharge ComposeParallel(std::span<const BudgetCharge> charges) {
+  if (charges.empty()) {
+    throw std::invalid_argument("ComposeParallel: requires at least one charge");
+  }
+  BudgetCharge total;
+  total.label = "parallel";
+  for (const auto& c : charges) {
+    total.epsilon = std::max(total.epsilon, c.epsilon);
+    total.delta = std::max(total.delta, c.delta);
+  }
+  return total;
+}
+
+BudgetCharge ComposeAdvanced(Epsilon eps, double delta, int k, double delta_slack) {
+  if (k <= 0) {
+    throw std::invalid_argument("ComposeAdvanced: k must be positive");
+  }
+  if (!(delta >= 0.0) || !(delta < 1.0)) {
+    throw std::invalid_argument("ComposeAdvanced: delta must be in [0, 1)");
+  }
+  if (!(delta_slack > 0.0) || !(delta_slack < 1.0)) {
+    throw std::invalid_argument("ComposeAdvanced: delta_slack must be in (0, 1)");
+  }
+  const double e = eps.value();
+  const auto kd = static_cast<double>(k);
+  BudgetCharge total;
+  total.label = "advanced";
+  total.epsilon =
+      e * std::sqrt(2.0 * kd * std::log(1.0 / delta_slack)) + kd * e * std::expm1(e);
+  total.delta = kd * delta + delta_slack;
+  return total;
+}
+
+BudgetLedger::BudgetLedger(double epsilon_cap, double delta_cap)
+    : eps_cap_(epsilon_cap), delta_cap_(delta_cap) {
+  if (!(epsilon_cap > 0.0) || !std::isfinite(epsilon_cap)) {
+    throw std::invalid_argument("BudgetLedger: epsilon_cap must be > 0");
+  }
+  if (!(delta_cap >= 0.0) || !(delta_cap < 1.0)) {
+    throw std::invalid_argument("BudgetLedger: delta_cap must be in [0, 1)");
+  }
+}
+
+void BudgetLedger::Charge(double epsilon, double delta, std::string label) {
+  if (!(epsilon >= 0.0) || !std::isfinite(epsilon)) {
+    throw std::invalid_argument("BudgetLedger::Charge: bad epsilon");
+  }
+  if (!(delta >= 0.0) || !(delta < 1.0)) {
+    throw std::invalid_argument("BudgetLedger::Charge: bad delta");
+  }
+  constexpr double kSlack = 1e-12;  // absorb floating-point accumulation error
+  if (eps_spent_ + epsilon > eps_cap_ * (1.0 + kSlack) + kSlack) {
+    throw gdp::common::BudgetExhaustedError(
+        "BudgetLedger: epsilon cap exceeded by charge '" + label + "'");
+  }
+  if (delta_spent_ + delta > delta_cap_ * (1.0 + kSlack) + kSlack) {
+    throw gdp::common::BudgetExhaustedError(
+        "BudgetLedger: delta cap exceeded by charge '" + label + "'");
+  }
+  eps_spent_ += epsilon;
+  delta_spent_ += delta;
+  charges_.push_back(BudgetCharge{epsilon, delta, std::move(label)});
+}
+
+std::string BudgetLedger::AuditReport() const {
+  std::ostringstream os;
+  os << "budget ledger (cap eps=" << eps_cap_ << ", delta=" << delta_cap_ << ")\n";
+  for (const auto& c : charges_) {
+    os << "  charge eps=" << c.epsilon << " delta=" << c.delta << "  [" << c.label
+       << "]\n";
+  }
+  os << "  total  eps=" << eps_spent_ << " delta=" << delta_spent_ << '\n';
+  return os.str();
+}
+
+}  // namespace gdp::dp

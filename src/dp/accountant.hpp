@@ -1,0 +1,84 @@
+// Privacy budget accounting.
+//
+// Composition facts used by the release pipeline:
+//  * Sequential composition: k mechanisms at (εi, δi) on the same data give
+//    (Σεi, Σδi)-DP.
+//  * Parallel composition: mechanisms on *disjoint* partitions give
+//    (max εi, max δi)-DP.  Phase 1's per-level splits and Phase 2's per-group
+//    counts within a level are parallel over disjoint groups.
+//  * Advanced composition (Dwork–Rothblum–Vadhan): k-fold adaptive
+//    composition of (ε, δ) gives (ε', kδ + δ') with
+//    ε' = ε·sqrt(2k·ln(1/δ')) + k·ε·(e^ε − 1).
+//
+// BudgetLedger enforces a hard cap: Charge throws BudgetExhaustedError when
+// the requested spend would exceed the cap (Core Guidelines I.5: state
+// preconditions; we make over-spend unrepresentable at runtime).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dp/privacy_params.hpp"
+
+namespace gdp::dp {
+
+// A single (ε, δ) spend, tagged for audit output.
+struct BudgetCharge {
+  double epsilon{0.0};
+  double delta{0.0};
+  std::string label;
+};
+
+// --- stateless composition arithmetic -------------------------------------
+
+// (Σεi, Σδi) over charges.
+[[nodiscard]] BudgetCharge ComposeSequential(std::span<const BudgetCharge> charges);
+
+// (max εi, max δi) over charges (disjoint inputs).  Requires non-empty.
+[[nodiscard]] BudgetCharge ComposeParallel(std::span<const BudgetCharge> charges);
+
+// Advanced composition bound for k-fold use of one (ε, δ) with slack δ'.
+[[nodiscard]] BudgetCharge ComposeAdvanced(Epsilon eps, double delta, int k,
+                                           double delta_slack);
+
+// --- stateful ledger --------------------------------------------------------
+
+class BudgetLedger {
+ public:
+  // Pure-ε cap: delta_cap == 0 means no δ spend is permitted.
+  BudgetLedger(double epsilon_cap, double delta_cap);
+
+  // Record a spend; throws gdp::common::BudgetExhaustedError if the running
+  // sequential composition would exceed either cap.  (The ledger is
+  // conservative: it always composes sequentially; callers exploiting
+  // parallel composition charge the ledger once per parallel block.)
+  void Charge(double epsilon, double delta, std::string label);
+
+  [[nodiscard]] double epsilon_spent() const noexcept { return eps_spent_; }
+  [[nodiscard]] double delta_spent() const noexcept { return delta_spent_; }
+  [[nodiscard]] double epsilon_remaining() const noexcept {
+    return eps_cap_ - eps_spent_;
+  }
+  [[nodiscard]] double delta_remaining() const noexcept {
+    return delta_cap_ - delta_spent_;
+  }
+  [[nodiscard]] double epsilon_cap() const noexcept { return eps_cap_; }
+  [[nodiscard]] double delta_cap() const noexcept { return delta_cap_; }
+  [[nodiscard]] const std::vector<BudgetCharge>& charges() const noexcept {
+    return charges_;
+  }
+
+  // Multi-line audit trail: one line per charge plus totals.
+  [[nodiscard]] std::string AuditReport() const;
+
+ private:
+  double eps_cap_;
+  double delta_cap_;
+  double eps_spent_{0.0};
+  double delta_spent_{0.0};
+  std::vector<BudgetCharge> charges_;
+};
+
+}  // namespace gdp::dp

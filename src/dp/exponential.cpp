@@ -1,0 +1,59 @@
+#include "dp/exponential.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+#include "dp/distributions.hpp"
+
+namespace gdp::dp {
+
+std::size_t ExponentialMechanism::Select(std::span<const double> utilities,
+                                         gdp::common::Rng& rng) const {
+  if (utilities.empty()) {
+    throw std::invalid_argument("ExponentialMechanism::Select: no candidates");
+  }
+  const double scale = ExponentScale();
+  std::size_t best = 0;
+  double best_key = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < utilities.size(); ++i) {
+    if (!std::isfinite(utilities[i])) {
+      throw std::invalid_argument(
+          "ExponentialMechanism::Select: utilities must be finite");
+    }
+    const double key = scale * utilities[i] + SampleGumbel(rng);
+    if (key > best_key) {
+      best_key = key;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<double> ExponentialMechanism::SelectionProbabilities(
+    std::span<const double> utilities) const {
+  if (utilities.empty()) {
+    throw std::invalid_argument(
+        "ExponentialMechanism::SelectionProbabilities: no candidates");
+  }
+  const double scale = ExponentScale();
+  std::vector<double> logits;
+  logits.reserve(utilities.size());
+  for (const double u : utilities) {
+    if (!std::isfinite(u)) {
+      throw std::invalid_argument(
+          "ExponentialMechanism::SelectionProbabilities: utilities must be "
+          "finite");
+    }
+    logits.push_back(scale * u);
+  }
+  const double lse = gdp::common::LogSumExp(logits);
+  std::vector<double> probs;
+  probs.reserve(logits.size());
+  for (const double l : logits) {
+    probs.push_back(std::exp(l - lse));
+  }
+  return probs;
+}
+
+}  // namespace gdp::dp

@@ -1,0 +1,53 @@
+// Exponential Mechanism (McSherry–Talwar 2007).
+//
+// Selects one of a finite set of candidates with probability proportional to
+// exp(ε·q(c) / (2·Δq)), where q is a utility function with sensitivity Δq
+// under the chosen adjacency relation.  This is Phase 1's engine: the
+// specializer scores candidate split points of a node group and samples one.
+//
+// Implementation: Gumbel-max trick — argmax_c (ε·q(c)/(2Δq) + Gumbel()) is an
+// exact sample from the EM distribution and avoids normalisation overflow.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dp/privacy_params.hpp"
+#include "dp/sensitivity.hpp"
+
+namespace gdp::dp {
+
+class ExponentialMechanism {
+ public:
+  // utility_sensitivity: Δq of the utility under the adjacency relation the
+  // caller is protecting (individual or group).
+  ExponentialMechanism(Epsilon eps, L1Sensitivity utility_sensitivity)
+      : eps_(eps), utility_sensitivity_(utility_sensitivity) {}
+
+  // Sample an index into `utilities`.  Requires non-empty utilities; every
+  // utility must be finite.
+  [[nodiscard]] std::size_t Select(std::span<const double> utilities,
+                                   gdp::common::Rng& rng) const;
+
+  // The exact selection probabilities (for tests / diagnostics).
+  [[nodiscard]] std::vector<double> SelectionProbabilities(
+      std::span<const double> utilities) const;
+
+  [[nodiscard]] Epsilon epsilon() const noexcept { return eps_; }
+  [[nodiscard]] L1Sensitivity utility_sensitivity() const noexcept {
+    return utility_sensitivity_;
+  }
+
+  // The exponent multiplier ε/(2Δq).
+  [[nodiscard]] double ExponentScale() const noexcept {
+    return eps_.value() / (2.0 * utility_sensitivity_.value());
+  }
+
+ private:
+  Epsilon eps_;
+  L1Sensitivity utility_sensitivity_;
+};
+
+}  // namespace gdp::dp

@@ -1,0 +1,46 @@
+// Geometric Mechanism (Ghosh–Roughgarden–Sundararajan 2009): the integer
+// analogue of Laplace.  ε-DP for integer-valued queries with L1 sensitivity
+// Δ1, adding two-sided geometric noise with ratio exp(-ε/Δ1).
+#pragma once
+
+#include <cmath>
+
+#include "dp/distributions.hpp"
+#include "dp/mechanism.hpp"
+#include "dp/privacy_params.hpp"
+#include "dp/sensitivity.hpp"
+
+namespace gdp::dp {
+
+class GeometricMechanism final : public NumericMechanism {
+ public:
+  GeometricMechanism(Epsilon eps, L1Sensitivity sensitivity)
+      : scale_(sensitivity.value() / eps.value()),
+        eps_(eps),
+        sensitivity_(sensitivity) {}
+
+  [[nodiscard]] double AddNoise(double true_value,
+                                gdp::common::Rng& rng) const override {
+    return true_value +
+           static_cast<double>(SampleTwoSidedGeometric(rng, scale_));
+  }
+  using NumericMechanism::AddNoise;
+
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  [[nodiscard]] double NoiseStddev() const noexcept override {
+    // Var = 2a/(1-a)^2 with a = exp(-1/scale).
+    const double a = std::exp(-1.0 / scale_);
+    return std::sqrt(2.0 * a) / (1.0 - a);
+  }
+  [[nodiscard]] const char* Name() const noexcept override { return "geometric"; }
+
+  [[nodiscard]] Epsilon epsilon() const noexcept { return eps_; }
+  [[nodiscard]] L1Sensitivity sensitivity() const noexcept { return sensitivity_; }
+
+ private:
+  double scale_;
+  Epsilon eps_;
+  L1Sensitivity sensitivity_;
+};
+
+}  // namespace gdp::dp

@@ -1,0 +1,44 @@
+// Laplace Mechanism (Dwork–McSherry–Nissim–Smith 2006): ε-DP for a query
+// with L1 sensitivity Δ1 by adding Laplace(Δ1/ε) noise.
+#pragma once
+
+#include "dp/distributions.hpp"
+#include "dp/mechanism.hpp"
+#include "dp/privacy_params.hpp"
+#include "dp/sensitivity.hpp"
+
+namespace gdp::dp {
+
+class LaplaceMechanism final : public NumericMechanism {
+ public:
+  LaplaceMechanism(Epsilon eps, L1Sensitivity sensitivity)
+      : scale_(sensitivity.value() / eps.value()),
+        eps_(eps),
+        sensitivity_(sensitivity) {}
+
+  [[nodiscard]] double AddNoise(double true_value,
+                                gdp::common::Rng& rng) const override {
+    return true_value + SampleLaplace(rng, scale_);
+  }
+  using NumericMechanism::AddNoise;
+
+  // Noise scale b = Δ1/ε.
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  [[nodiscard]] double NoiseStddev() const noexcept override {
+    return scale_ * 1.4142135623730951;  // sqrt(2) * b
+  }
+  [[nodiscard]] const char* Name() const noexcept override { return "laplace"; }
+
+  [[nodiscard]] Epsilon epsilon() const noexcept { return eps_; }
+  [[nodiscard]] L1Sensitivity sensitivity() const noexcept { return sensitivity_; }
+
+  // E|noise| = b; handy closed form for expected relative error analyses.
+  [[nodiscard]] double ExpectedAbsNoise() const noexcept { return scale_; }
+
+ private:
+  double scale_;
+  Epsilon eps_;
+  L1Sensitivity sensitivity_;
+};
+
+}  // namespace gdp::dp

@@ -1,0 +1,47 @@
+// Common interface for additive-noise mechanisms over scalar statistics.
+//
+// Mechanisms are stateless value objects: construction validates and caches
+// the calibration (noise scale); AddNoise draws from the caller's Rng.  This
+// keeps the privacy-relevant arithmetic in constructors, testable without
+// randomness.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gdp::dp {
+
+class NumericMechanism {
+ public:
+  virtual ~NumericMechanism() = default;
+
+  // Perturb a single true answer.
+  [[nodiscard]] virtual double AddNoise(double true_value,
+                                        gdp::common::Rng& rng) const = 0;
+
+  // The standard deviation of the injected noise (exact for Gaussian,
+  // sqrt(2)*b for Laplace, etc.).  Used by utility estimators and benches.
+  [[nodiscard]] virtual double NoiseStddev() const noexcept = 0;
+
+  // Human-readable name ("laplace", "gaussian", ...), for logs and tables.
+  [[nodiscard]] virtual const char* Name() const noexcept = 0;
+
+  // Perturb a vector (each coordinate independently).
+  [[nodiscard]] std::vector<double> AddNoise(const std::vector<double>& values,
+                                             gdp::common::Rng& rng) const {
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (const double v : values) {
+      out.push_back(AddNoise(v, rng));
+    }
+    return out;
+  }
+
+ protected:
+  NumericMechanism() = default;
+  NumericMechanism(const NumericMechanism&) = default;
+  NumericMechanism& operator=(const NumericMechanism&) = default;
+};
+
+}  // namespace gdp::dp

@@ -1,0 +1,87 @@
+// Privacy parameter value types.
+//
+// ε and δ are wrapped in small validated types so that an accidentally
+// swapped argument (epsilon passed where a sensitivity belongs, etc.) is a
+// compile error rather than a silent privacy bug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gdp::dp {
+
+// Privacy budget ε.  Must be finite and strictly positive.
+class Epsilon {
+ public:
+  explicit Epsilon(double value) : value_(value) {
+    if (!(value > 0.0) || !(value < 1e9)) {
+      throw std::invalid_argument("Epsilon: must be in (0, 1e9), got " +
+                                  std::to_string(value));
+    }
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  friend bool operator==(Epsilon a, Epsilon b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend bool operator<(Epsilon a, Epsilon b) noexcept {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  double value_;
+};
+
+// Failure probability δ for approximate DP.  Must lie in (0, 1).
+class Delta {
+ public:
+  explicit Delta(double value) : value_(value) {
+    if (!(value > 0.0) || !(value < 1.0)) {
+      throw std::invalid_argument("Delta: must be in (0, 1), got " +
+                                  std::to_string(value));
+    }
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  friend bool operator==(Delta a, Delta b) noexcept {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  double value_;
+};
+
+// (ε, δ) pair.  Pure-ε mechanisms use PrivacyParams::PureDp(eps), whose
+// delta() accessor throws.
+class PrivacyParams {
+ public:
+  static PrivacyParams PureDp(Epsilon eps) { return PrivacyParams(eps); }
+  static PrivacyParams ApproxDp(Epsilon eps, Delta delta) {
+    return PrivacyParams(eps, delta);
+  }
+
+  [[nodiscard]] Epsilon epsilon() const noexcept { return eps_; }
+  [[nodiscard]] bool has_delta() const noexcept { return has_delta_; }
+  [[nodiscard]] Delta delta() const {
+    if (!has_delta_) {
+      throw std::logic_error("PrivacyParams: pure-DP params carry no delta");
+    }
+    return delta_;
+  }
+  // δ as a plain double; 0 for pure DP.  Used by composition arithmetic.
+  [[nodiscard]] double delta_or_zero() const noexcept {
+    return has_delta_ ? delta_.value() : 0.0;
+  }
+
+ private:
+  explicit PrivacyParams(Epsilon eps)
+      : eps_(eps), delta_(Delta(0.5)), has_delta_(false) {}
+  PrivacyParams(Epsilon eps, Delta delta)
+      : eps_(eps), delta_(delta), has_delta_(true) {}
+
+  Epsilon eps_;
+  Delta delta_;  // meaningful only when has_delta_
+  bool has_delta_;
+};
+
+}  // namespace gdp::dp

@@ -1,0 +1,60 @@
+#include "dp/private_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math.hpp"
+#include "dp/distributions.hpp"
+
+namespace gdp::dp {
+
+double PrivateQuantile(std::vector<double> values, const QuantileParams& params,
+                       Epsilon eps, gdp::common::Rng& rng) {
+  if (!(params.lower_bound < params.upper_bound)) {
+    throw std::invalid_argument(
+        "PrivateQuantile: requires lower_bound < upper_bound");
+  }
+  if (!(params.quantile >= 0.0) || !(params.quantile <= 1.0)) {
+    throw std::invalid_argument("PrivateQuantile: quantile must be in [0, 1]");
+  }
+  for (double& v : values) {
+    v = std::clamp(v, params.lower_bound, params.upper_bound);
+  }
+  std::sort(values.begin(), values.end());
+
+  // Interval endpoints: lo, x_1, ..., x_n, hi.  Interval i (0-based) spans
+  // [endpoint_i, endpoint_{i+1}) and has rank i (values strictly below it).
+  std::vector<double> endpoints;
+  endpoints.reserve(values.size() + 2);
+  endpoints.push_back(params.lower_bound);
+  endpoints.insert(endpoints.end(), values.begin(), values.end());
+  endpoints.push_back(params.upper_bound);
+
+  const double target_rank =
+      params.quantile * static_cast<double>(values.size());
+  const double half_eps = eps.value() / 2.0;
+
+  // Gumbel-max over log weights: log|I| + eps/2 * u(I).
+  std::size_t best = 0;
+  double best_key = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < endpoints.size(); ++i) {
+    const double width = endpoints[i + 1] - endpoints[i];
+    if (width <= 0.0) {
+      continue;  // empty interval (tied data points)
+    }
+    const double utility = -std::fabs(static_cast<double>(i) - target_rank);
+    const double key =
+        std::log(width) + half_eps * utility + SampleGumbel(rng);
+    if (key > best_key) {
+      best_key = key;
+      best = i;
+    }
+  }
+  // Uniform point inside the winning interval.
+  return rng.UniformDouble(endpoints[best],
+                           std::max(endpoints[best + 1],
+                                    endpoints[best] + 1e-12));
+}
+
+}  // namespace gdp::dp

@@ -1,0 +1,36 @@
+// ε-DP quantile estimation via the Exponential Mechanism (Smith 2011).
+//
+// Used by the release pipeline to estimate a *public* sensitivity bound (for
+// example a high quantile of the degree distribution) without paying the
+// disclosure cost of the exact maximum: the engine can then clamp/truncate to
+// that bound and use it as a worst-case Δ, replacing the local sensitivity
+// the paper implicitly uses (see GroupDpEngine's sensitivity caveat).
+//
+// Mechanism: candidates are the midpoints of the intervals induced by the
+// sorted data restricted to [lo, hi]; interval I gets utility
+// -(|rank(I) − q·n|) and is selected with probability proportional to
+// exp(ε·u/2) · |I| (the interval-length factor comes from sampling a point
+// uniformly inside the chosen interval).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dp/privacy_params.hpp"
+
+namespace gdp::dp {
+
+struct QuantileParams {
+  double quantile{0.99};  // q in [0, 1]
+  double lower_bound{0.0};  // public data range [lo, hi]
+  double upper_bound{1.0};
+};
+
+// Estimate the q-quantile of `values` under ε-DP (individual add/remove
+// adjacency; rank utility has sensitivity 1).  Values are clamped into the
+// public range.  Requires lower_bound < upper_bound and quantile in [0, 1].
+[[nodiscard]] double PrivateQuantile(std::vector<double> values,
+                                     const QuantileParams& params, Epsilon eps,
+                                     gdp::common::Rng& rng);
+
+}  // namespace gdp::dp

@@ -1,0 +1,38 @@
+// Randomized Response (Warner 1965): ε-LDP release of a single bit.
+// Included as the local-model comparator for the disclosure-risk baseline.
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dp/privacy_params.hpp"
+
+namespace gdp::dp {
+
+class RandomizedResponse {
+ public:
+  explicit RandomizedResponse(Epsilon eps)
+      : eps_(eps),
+        truth_prob_(std::exp(eps.value()) / (std::exp(eps.value()) + 1.0)) {}
+
+  // Report the true bit with probability e^ε/(e^ε+1), else flip it.
+  [[nodiscard]] bool Perturb(bool true_bit, gdp::common::Rng& rng) const {
+    return rng.Bernoulli(truth_prob_) ? true_bit : !true_bit;
+  }
+
+  // Unbiased estimate of the population frequency of 1-bits given the
+  // observed frequency of reported 1-bits.
+  [[nodiscard]] double DebiasFrequency(double observed_frequency) const noexcept {
+    const double p = truth_prob_;
+    return (observed_frequency - (1.0 - p)) / (2.0 * p - 1.0);
+  }
+
+  [[nodiscard]] double truth_probability() const noexcept { return truth_prob_; }
+  [[nodiscard]] Epsilon epsilon() const noexcept { return eps_; }
+
+ private:
+  Epsilon eps_;
+  double truth_prob_;
+};
+
+}  // namespace gdp::dp

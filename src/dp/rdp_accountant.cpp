@@ -1,0 +1,89 @@
+#include "dp/rdp_accountant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gdp::dp {
+
+namespace {
+
+std::vector<double> DefaultOrders() {
+  std::vector<double> orders;
+  for (double a = 1.125; a < 3.0; a += 0.125) {
+    orders.push_back(a);
+  }
+  for (double a = 3.0; a <= 64.0; a += 1.0) {
+    orders.push_back(a);
+  }
+  for (double a = 72.0; a <= 512.0; a += 8.0) {
+    orders.push_back(a);
+  }
+  return orders;
+}
+
+}  // namespace
+
+RdpAccountant::RdpAccountant() : RdpAccountant(DefaultOrders()) {}
+
+RdpAccountant::RdpAccountant(std::vector<double> orders)
+    : orders_(std::move(orders)) {
+  if (orders_.empty()) {
+    throw std::invalid_argument("RdpAccountant: need at least one order");
+  }
+  for (const double a : orders_) {
+    if (!(a > 1.0) || !std::isfinite(a)) {
+      throw std::invalid_argument("RdpAccountant: orders must be finite > 1");
+    }
+  }
+  rdp_.assign(orders_.size(), 0.0);
+}
+
+void RdpAccountant::AddGaussian(double noise_multiplier) {
+  AddGaussians(noise_multiplier, 1);
+}
+
+void RdpAccountant::AddGaussians(double noise_multiplier, int k) {
+  if (!(noise_multiplier > 0.0) || !std::isfinite(noise_multiplier)) {
+    throw std::invalid_argument("RdpAccountant: noise multiplier must be > 0");
+  }
+  if (k <= 0) {
+    throw std::invalid_argument("RdpAccountant: k must be positive");
+  }
+  const double per_alpha = static_cast<double>(k) /
+                           (2.0 * noise_multiplier * noise_multiplier);
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += orders_[i] * per_alpha;
+  }
+}
+
+void RdpAccountant::AddPureDp(Epsilon eps) {
+  const double e = eps.value();
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    // Bun–Steinke: an ε-DP mechanism is (α, min(ε, α ε²/2))-RDP (loose but
+    // safe for all α).
+    rdp_[i] += std::min(e, orders_[i] * e * e / 2.0);
+  }
+}
+
+double RdpAccountant::EpsilonFor(Delta delta) const {
+  const double d = delta.value();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < orders_.size(); ++i) {
+    const double a = orders_[i];
+    // Improved RDP->DP conversion (CKS'20, Balle–Barthe–Gaboardi–Hsu–Sato).
+    const double candidate = rdp_[i] + std::log1p(-1.0 / a) -
+                             std::log(d * a) / (a - 1.0);
+    best = std::min(best, candidate);
+  }
+  return std::max(0.0, best);
+}
+
+double RdpGaussianComposition(double noise_multiplier, int k, Delta delta) {
+  RdpAccountant accountant;
+  accountant.AddGaussians(noise_multiplier, k);
+  return accountant.EpsilonFor(delta);
+}
+
+}  // namespace gdp::dp

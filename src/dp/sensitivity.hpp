@@ -1,0 +1,49 @@
+// Sensitivity value types.
+//
+// A query's sensitivity bounds how much its answer can change between
+// adjacent datasets.  The *adjacency relation itself* is what the paper
+// generalises: individual adjacency (differ in one record) versus group
+// adjacency (differ in one whole group).  The mechanism code is agnostic —
+// it just receives the right Δ for the chosen adjacency; gdp::core computes
+// group-level Δ from the hierarchy.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gdp::dp {
+
+namespace detail {
+inline double ValidateSensitivity(double value, const char* name) {
+  if (!(value > 0.0) || !(value < 1e308)) {
+    throw std::invalid_argument(std::string(name) +
+                                ": must be finite and > 0, got " +
+                                std::to_string(value));
+  }
+  return value;
+}
+}  // namespace detail
+
+// L1 (Manhattan) sensitivity — calibrates Laplace / geometric noise.
+class L1Sensitivity {
+ public:
+  explicit L1Sensitivity(double value)
+      : value_(detail::ValidateSensitivity(value, "L1Sensitivity")) {}
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_;
+};
+
+// L2 (Euclidean) sensitivity — calibrates Gaussian noise.
+class L2Sensitivity {
+ public:
+  explicit L2Sensitivity(double value)
+      : value_(detail::ValidateSensitivity(value, "L2Sensitivity")) {}
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_;
+};
+
+}  // namespace gdp::dp

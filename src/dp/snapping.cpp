@@ -1,0 +1,42 @@
+#include "dp/snapping.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gdp::dp {
+
+SnappingMechanism::SnappingMechanism(Epsilon eps, L1Sensitivity sensitivity,
+                                     double bound)
+    : scale_(sensitivity.value() / eps.value()),
+      bound_(bound),
+      lambda_(std::exp2(std::ceil(std::log2(sensitivity.value() / eps.value())))),
+      eps_(eps) {
+  if (!(bound > 0.0) || !std::isfinite(bound)) {
+    throw std::invalid_argument("SnappingMechanism: bound must be finite > 0");
+  }
+}
+
+double SnappingMechanism::AddNoise(double true_value,
+                                   gdp::common::Rng& rng) const {
+  // Step 1: clamp the true answer.
+  const double clamped = std::min(std::max(true_value, -bound_), bound_);
+  // Step 2: Laplace via S * sign * ln(U) with U uniform in (0, 1]; the
+  // crucial point versus inverse-CDF sampling is that ln(U) is computed in
+  // round-to-nearest over the full-precision uniform, avoiding the
+  // distinguishable-grid attack.
+  const double u = rng.UniformPositiveUnit();
+  const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+  const double noisy = clamped + scale_ * sign * std::log(u);
+  // Step 3: snap to the Λ grid (round half toward even via nearbyint).
+  const double snapped = lambda_ * std::nearbyint(noisy / lambda_);
+  // Step 4: clamp the output.
+  return std::min(std::max(snapped, -bound_), bound_);
+}
+
+double SnappingMechanism::EffectiveEpsilon() const noexcept {
+  constexpr double kMachineEta = 0x1.0p-53;
+  return eps_.value() * (1.0 + 12.0 * bound_ * kMachineEta) +
+         0x1.0p-49 * bound_;
+}
+
+}  // namespace gdp::dp

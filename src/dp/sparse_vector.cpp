@@ -1,0 +1,40 @@
+#include "dp/sparse_vector.hpp"
+
+#include <stdexcept>
+
+#include "common/error.hpp"
+#include "dp/distributions.hpp"
+
+namespace gdp::dp {
+
+SparseVector::SparseVector(Epsilon eps, L1Sensitivity sensitivity,
+                           double threshold, std::size_t max_positives,
+                           gdp::common::Rng& rng)
+    : threshold_(threshold), max_positives_(max_positives), rng_(&rng) {
+  if (max_positives == 0) {
+    throw std::invalid_argument("SparseVector: max_positives must be >= 1");
+  }
+  // Standard split: eps/2 for the threshold, eps/2 across the c positives.
+  const double eps_threshold = eps.value() / 2.0;
+  const double eps_queries = eps.value() / 2.0;
+  noisy_threshold_ =
+      threshold + SampleLaplace(rng, sensitivity.value() / eps_threshold);
+  query_noise_scale_ = 2.0 * static_cast<double>(max_positives) *
+                       sensitivity.value() / eps_queries;
+}
+
+bool SparseVector::Process(double query_value) {
+  if (positives_used_ >= max_positives_) {
+    throw gdp::common::BudgetExhaustedError(
+        "SparseVector: all above-threshold answers spent");
+  }
+  const double noisy_query =
+      query_value + SampleLaplace(*rng_, query_noise_scale_);
+  if (noisy_query >= noisy_threshold_) {
+    ++positives_used_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace gdp::dp

@@ -1,0 +1,47 @@
+// Sparse Vector Technique (AboveThreshold, Dwork–Roth Algorithm 1).
+//
+// Answers a stream of threshold queries ("is this level's utility above
+// target?") while charging budget only for the at-most-c queries that come
+// out above.  The release tooling uses it to privately find the finest level
+// whose expected error crosses a usability threshold.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "dp/privacy_params.hpp"
+#include "dp/sensitivity.hpp"
+
+namespace gdp::dp {
+
+class SparseVector {
+ public:
+  // eps: total budget for this instantiation; sensitivity: Δ of each query;
+  // max_positives: how many above-threshold answers may be returned before
+  // the instance refuses further queries.
+  SparseVector(Epsilon eps, L1Sensitivity sensitivity, double threshold,
+               std::size_t max_positives, gdp::common::Rng& rng);
+
+  // Process the next query value.  Returns true for "above threshold".
+  // Throws gdp::common::BudgetExhaustedError once max_positives positive
+  // answers have been spent.
+  [[nodiscard]] bool Process(double query_value);
+
+  [[nodiscard]] std::size_t positives_used() const noexcept {
+    return positives_used_;
+  }
+  [[nodiscard]] std::size_t max_positives() const noexcept {
+    return max_positives_;
+  }
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+ private:
+  double threshold_;
+  double noisy_threshold_;
+  double query_noise_scale_;
+  std::size_t max_positives_;
+  std::size_t positives_used_{0};
+  gdp::common::Rng* rng_;
+};
+
+}  // namespace gdp::dp

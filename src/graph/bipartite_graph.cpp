@@ -1,0 +1,140 @@
+#include "graph/bipartite_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace gdp::graph {
+
+const char* SideName(Side s) noexcept {
+  return s == Side::kLeft ? "left" : "right";
+}
+
+namespace {
+
+// Counting-sort an edge list into CSR arrays keyed by one endpoint.
+void BuildCsr(const std::vector<Edge>& edges, NodeIndex num_keys, Side key_side,
+              std::vector<EdgeCount>& offsets, std::vector<NodeIndex>& adjacency) {
+  offsets.assign(static_cast<std::size_t>(num_keys) + 1, 0);
+  for (const Edge& e : edges) {
+    const NodeIndex key = key_side == Side::kLeft ? e.left : e.right;
+    ++offsets[static_cast<std::size_t>(key) + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+  adjacency.resize(edges.size());
+  std::vector<EdgeCount> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    const NodeIndex key = key_side == Side::kLeft ? e.left : e.right;
+    const NodeIndex value = key_side == Side::kLeft ? e.right : e.left;
+    adjacency[cursor[key]++] = value;
+  }
+}
+
+}  // namespace
+
+BipartiteGraph::BipartiteGraph(NodeIndex num_left, NodeIndex num_right,
+                               std::vector<Edge> edges)
+    : num_left_(num_left),
+      num_right_(num_right),
+      num_edges_(edges.size()) {
+  for (const Edge& e : edges) {
+    if (e.left >= num_left || e.right >= num_right) {
+      throw std::out_of_range("BipartiteGraph: edge endpoint out of range");
+    }
+  }
+  BuildCsr(edges, num_left_, Side::kLeft, left_offsets_, left_adjacency_);
+  BuildCsr(edges, num_right_, Side::kRight, right_offsets_, right_adjacency_);
+}
+
+std::span<const NodeIndex> BipartiteGraph::Neighbors(Side side, NodeIndex v) const {
+  if (v >= num_nodes(side)) {
+    throw std::out_of_range("BipartiteGraph::Neighbors: node out of range");
+  }
+  const auto& off = offsets(side);
+  const auto& adj = adjacency(side);
+  const auto begin = static_cast<std::size_t>(off[v]);
+  const auto end = static_cast<std::size_t>(off[static_cast<std::size_t>(v) + 1]);
+  return {adj.data() + begin, end - begin};
+}
+
+EdgeCount BipartiteGraph::Degree(Side side, NodeIndex v) const {
+  if (v >= num_nodes(side)) {
+    throw std::out_of_range("BipartiteGraph::Degree: node out of range");
+  }
+  const auto& off = offsets(side);
+  return off[static_cast<std::size_t>(v) + 1] - off[v];
+}
+
+std::vector<EdgeCount> BipartiteGraph::Degrees(Side side) const {
+  const NodeIndex n = num_nodes(side);
+  const auto& off = offsets(side);
+  std::vector<EdgeCount> out(n);
+  for (NodeIndex v = 0; v < n; ++v) {
+    out[v] = off[static_cast<std::size_t>(v) + 1] - off[v];
+  }
+  return out;
+}
+
+EdgeCount BipartiteGraph::MaxDegree(Side side) const noexcept {
+  const NodeIndex n = num_nodes(side);
+  const auto& off = offsets(side);
+  EdgeCount best = 0;
+  for (NodeIndex v = 0; v < n; ++v) {
+    best = std::max(best, off[static_cast<std::size_t>(v) + 1] - off[v]);
+  }
+  return best;
+}
+
+std::vector<Edge> BipartiteGraph::EdgeList() const {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(num_edges_));
+  for (NodeIndex l = 0; l < num_left_; ++l) {
+    const auto begin = static_cast<std::size_t>(left_offsets_[l]);
+    const auto end = static_cast<std::size_t>(left_offsets_[static_cast<std::size_t>(l) + 1]);
+    for (std::size_t i = begin; i < end; ++i) {
+      out.push_back(Edge{l, left_adjacency_[i]});
+    }
+  }
+  return out;
+}
+
+std::string BipartiteGraph::Summary() const {
+  std::ostringstream os;
+  os << "bipartite graph: " << num_left_ << " left nodes, " << num_right_
+     << " right nodes, " << num_edges_ << " associations";
+  return os.str();
+}
+
+BipartiteGraphBuilder::BipartiteGraphBuilder(NodeIndex num_left, NodeIndex num_right)
+    : num_left_(num_left), num_right_(num_right) {}
+
+BipartiteGraphBuilder& BipartiteGraphBuilder::AddEdge(NodeIndex left,
+                                                      NodeIndex right) {
+  if (left >= num_left_ || right >= num_right_) {
+    throw std::out_of_range("BipartiteGraphBuilder::AddEdge: endpoint out of range");
+  }
+  edges_.push_back(Edge{left, right});
+  return *this;
+}
+
+BipartiteGraphBuilder& BipartiteGraphBuilder::AddEdges(std::span<const Edge> edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const Edge& e : edges) {
+    AddEdge(e.left, e.right);
+  }
+  return *this;
+}
+
+BipartiteGraphBuilder& BipartiteGraphBuilder::DeduplicateEdges() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  return *this;
+}
+
+BipartiteGraph BipartiteGraphBuilder::Build() {
+  return BipartiteGraph(num_left_, num_right_, std::move(edges_));
+}
+
+}  // namespace gdp::graph

@@ -1,0 +1,122 @@
+// Immutable bipartite association graph in CSR form.
+//
+// The paper's data model: left nodes are one entity class (e.g. authors,
+// patients, viewers), right nodes another (papers, drugs, movies), and each
+// edge is one *association* (Bob purchased insulin).  The count query the
+// evaluation perturbs is |E|, the number of associations.
+//
+// The graph is built once via BipartiteGraphBuilder and is immutable after
+// construction (Core Guidelines C.2: invariant — offsets/adjacency arrays are
+// mutually consistent — is established in the constructor and never broken).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gdp::graph {
+
+// Index of a node within its own side (0-based, dense).
+using NodeIndex = std::uint32_t;
+// Edge counts can exceed 2^32 in principle; use 64-bit throughout.
+using EdgeCount = std::uint64_t;
+
+enum class Side : std::uint8_t { kLeft = 0, kRight = 1 };
+
+[[nodiscard]] constexpr Side Opposite(Side s) noexcept {
+  return s == Side::kLeft ? Side::kRight : Side::kLeft;
+}
+
+[[nodiscard]] const char* SideName(Side s) noexcept;
+
+// One association, by node indices on each side.
+struct Edge {
+  NodeIndex left{0};
+  NodeIndex right{0};
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class BipartiteGraph {
+ public:
+  // Construct from an edge list.  Edges may arrive in any order; parallel
+  // (duplicate) edges are kept — an association dataset can legitimately
+  // record the same pair twice (two purchases).  Use
+  // BipartiteGraphBuilder::DeduplicateEdges() to drop them.
+  BipartiteGraph(NodeIndex num_left, NodeIndex num_right, std::vector<Edge> edges);
+
+  [[nodiscard]] NodeIndex num_left() const noexcept { return num_left_; }
+  [[nodiscard]] NodeIndex num_right() const noexcept { return num_right_; }
+  [[nodiscard]] NodeIndex num_nodes(Side side) const noexcept {
+    return side == Side::kLeft ? num_left_ : num_right_;
+  }
+  [[nodiscard]] std::uint64_t total_nodes() const noexcept {
+    return static_cast<std::uint64_t>(num_left_) + num_right_;
+  }
+  [[nodiscard]] EdgeCount num_edges() const noexcept { return num_edges_; }
+
+  // Neighbours (on the opposite side) of node `v` on side `side`.
+  [[nodiscard]] std::span<const NodeIndex> Neighbors(Side side, NodeIndex v) const;
+
+  // Degree of node `v` on side `side`.
+  [[nodiscard]] EdgeCount Degree(Side side, NodeIndex v) const;
+
+  // All degrees on one side, in node-index order.
+  [[nodiscard]] std::vector<EdgeCount> Degrees(Side side) const;
+
+  // Maximum degree on a side (0 for an empty side).
+  [[nodiscard]] EdgeCount MaxDegree(Side side) const noexcept;
+
+  // Materialise the edge list (left-sorted order).  O(|E|).
+  [[nodiscard]] std::vector<Edge> EdgeList() const;
+
+  // Human-readable one-line summary for logs.
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  [[nodiscard]] const std::vector<EdgeCount>& offsets(Side side) const noexcept {
+    return side == Side::kLeft ? left_offsets_ : right_offsets_;
+  }
+  [[nodiscard]] const std::vector<NodeIndex>& adjacency(Side side) const noexcept {
+    return side == Side::kLeft ? left_adjacency_ : right_adjacency_;
+  }
+
+  NodeIndex num_left_;
+  NodeIndex num_right_;
+  EdgeCount num_edges_;
+  std::vector<EdgeCount> left_offsets_;    // size num_left+1
+  std::vector<NodeIndex> left_adjacency_;  // right endpoints, size |E|
+  std::vector<EdgeCount> right_offsets_;   // size num_right+1
+  std::vector<NodeIndex> right_adjacency_; // left endpoints, size |E|
+};
+
+// Incremental builder: collect edges, then Build().
+class BipartiteGraphBuilder {
+ public:
+  BipartiteGraphBuilder(NodeIndex num_left, NodeIndex num_right);
+
+  // Append one association.  Validates endpoints.
+  BipartiteGraphBuilder& AddEdge(NodeIndex left, NodeIndex right);
+
+  // Append many.
+  BipartiteGraphBuilder& AddEdges(std::span<const Edge> edges);
+
+  // Remove duplicate (left,right) pairs, keeping one copy each.
+  BipartiteGraphBuilder& DeduplicateEdges();
+
+  [[nodiscard]] std::size_t num_pending_edges() const noexcept {
+    return edges_.size();
+  }
+
+  // Consumes the builder's edge buffer.
+  [[nodiscard]] BipartiteGraph Build();
+
+ private:
+  NodeIndex num_left_;
+  NodeIndex num_right_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace gdp::graph

@@ -1,0 +1,170 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gdp::graph {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : s_(s) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfSampler: n must be positive");
+  }
+  if (!(s >= 0.0) || !std::isfinite(s)) {
+    throw std::invalid_argument("ZipfSampler: exponent must be finite and >= 0");
+  }
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[k] = acc;
+  }
+  const double total = acc;
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfSampler::Sample(gdp::common::Rng& rng) const {
+  const double u = rng.UniformUnit();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(std::uint64_t k) const {
+  if (k >= cdf_.size()) {
+    throw std::out_of_range("ZipfSampler::Probability: index out of range");
+  }
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+DblpLikeParams DblpFullScaleParams() {
+  DblpLikeParams p;
+  p.num_left = 1'295'100;
+  p.num_right = 2'281'341;
+  p.num_edges = 6'384'117;
+  return p;
+}
+
+DblpLikeParams DblpScaledParams(double fraction) {
+  if (!(fraction > 0.0) || !(fraction <= 1.0)) {
+    throw std::invalid_argument("DblpScaledParams: fraction must be in (0, 1]");
+  }
+  const DblpLikeParams full = DblpFullScaleParams();
+  DblpLikeParams p = full;
+  p.num_left = std::max<NodeIndex>(
+      1, static_cast<NodeIndex>(static_cast<double>(full.num_left) * fraction));
+  p.num_right = std::max<NodeIndex>(
+      1, static_cast<NodeIndex>(static_cast<double>(full.num_right) * fraction));
+  p.num_edges = std::max<EdgeCount>(
+      1, static_cast<EdgeCount>(static_cast<double>(full.num_edges) * fraction));
+  return p;
+}
+
+namespace {
+
+std::uint64_t PackEdge(NodeIndex l, NodeIndex r) noexcept {
+  return (static_cast<std::uint64_t>(l) << 32) | r;
+}
+
+}  // namespace
+
+BipartiteGraph GenerateDblpLike(const DblpLikeParams& params,
+                                gdp::common::Rng& rng) {
+  if (params.num_left == 0 || params.num_right == 0) {
+    throw std::invalid_argument("GenerateDblpLike: node counts must be positive");
+  }
+  const ZipfSampler left_sampler(params.num_left, params.left_zipf_exponent);
+  const ZipfSampler right_sampler(params.num_right, params.right_zipf_exponent);
+
+  // Random per-run permutations so that "popular" ids are scattered across
+  // the index space rather than clustered at 0 — the specializer must not be
+  // able to exploit index order as a proxy for degree.
+  std::vector<NodeIndex> left_perm(params.num_left);
+  std::vector<NodeIndex> right_perm(params.num_right);
+  for (NodeIndex i = 0; i < params.num_left; ++i) left_perm[i] = i;
+  for (NodeIndex i = 0; i < params.num_right; ++i) right_perm[i] = i;
+  rng.Shuffle(left_perm);
+  rng.Shuffle(right_perm);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(params.num_edges));
+  std::unordered_set<std::uint64_t> seen;
+  if (!params.allow_parallel_edges) {
+    seen.reserve(static_cast<std::size_t>(params.num_edges) * 2);
+  }
+  // Bounded retries: on pathological (tiny, dense) configurations we accept
+  // a slightly smaller graph instead of looping forever.
+  const EdgeCount max_attempts = params.num_edges * 20 + 1000;
+  EdgeCount attempts = 0;
+  while (edges.size() < params.num_edges && attempts < max_attempts) {
+    ++attempts;
+    const auto l = left_perm[static_cast<NodeIndex>(left_sampler.Sample(rng))];
+    const auto r = right_perm[static_cast<NodeIndex>(right_sampler.Sample(rng))];
+    if (!params.allow_parallel_edges && !seen.insert(PackEdge(l, r)).second) {
+      continue;
+    }
+    edges.push_back(Edge{l, r});
+  }
+  return BipartiteGraph(params.num_left, params.num_right, std::move(edges));
+}
+
+BipartiteGraph GenerateUniformRandom(NodeIndex num_left, NodeIndex num_right,
+                                     EdgeCount num_edges, gdp::common::Rng& rng) {
+  if (num_left == 0 || num_right == 0) {
+    throw std::invalid_argument(
+        "GenerateUniformRandom: node counts must be positive");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges));
+  for (EdgeCount i = 0; i < num_edges; ++i) {
+    edges.push_back(Edge{static_cast<NodeIndex>(rng.UniformInt(num_left)),
+                         static_cast<NodeIndex>(rng.UniformInt(num_right))});
+  }
+  return BipartiteGraph(num_left, num_right, std::move(edges));
+}
+
+BipartiteGraph GeneratePlantedBlocks(NodeIndex num_left, NodeIndex num_right,
+                                     EdgeCount num_edges, int num_blocks,
+                                     double in_block_prob,
+                                     gdp::common::Rng& rng) {
+  if (num_left == 0 || num_right == 0) {
+    throw std::invalid_argument(
+        "GeneratePlantedBlocks: node counts must be positive");
+  }
+  if (num_blocks <= 0 || static_cast<NodeIndex>(num_blocks) > num_left ||
+      static_cast<NodeIndex>(num_blocks) > num_right) {
+    throw std::invalid_argument(
+        "GeneratePlantedBlocks: num_blocks must be in [1, min side size]");
+  }
+  if (!(in_block_prob >= 0.0) || !(in_block_prob <= 1.0)) {
+    throw std::invalid_argument(
+        "GeneratePlantedBlocks: in_block_prob must be in [0, 1]");
+  }
+  const auto blocks = static_cast<NodeIndex>(num_blocks);
+  const NodeIndex left_block = num_left / blocks;
+  const NodeIndex right_block = num_right / blocks;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges));
+  for (EdgeCount i = 0; i < num_edges; ++i) {
+    if (rng.Bernoulli(in_block_prob)) {
+      const auto b = static_cast<NodeIndex>(rng.UniformInt(blocks));
+      // Last block absorbs the remainder nodes.
+      const NodeIndex l_lo = b * left_block;
+      const NodeIndex l_hi = (b + 1 == blocks) ? num_left : (b + 1) * left_block;
+      const NodeIndex r_lo = b * right_block;
+      const NodeIndex r_hi = (b + 1 == blocks) ? num_right : (b + 1) * right_block;
+      edges.push_back(
+          Edge{l_lo + static_cast<NodeIndex>(rng.UniformInt(l_hi - l_lo)),
+               r_lo + static_cast<NodeIndex>(rng.UniformInt(r_hi - r_lo))});
+    } else {
+      edges.push_back(Edge{static_cast<NodeIndex>(rng.UniformInt(num_left)),
+                           static_cast<NodeIndex>(rng.UniformInt(num_right))});
+    }
+  }
+  return BipartiteGraph(num_left, num_right, std::move(edges));
+}
+
+}  // namespace gdp::graph

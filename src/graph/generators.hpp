@@ -1,0 +1,86 @@
+// Synthetic bipartite-graph generators.
+//
+// The paper evaluates on the DBLP author–paper graph (1,295,100 authors,
+// 2,281,341 papers, 6,384,117 associations).  The raw dump is not available
+// in this environment, so GenerateDblpLike produces a heavy-tailed bipartite
+// graph at the same (configurable) scale: author productivity and paper
+// author-counts both follow truncated Zipf laws, matching the published
+// degree statistics of DBLP closely enough for the experiment, which only
+// consumes incident-edge counts of hierarchical node groups (see DESIGN.md,
+// "Substitutions").
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace gdp::graph {
+
+// Zipf sampler over {0, .., n-1} with P(k) proportional to (k+1)^-s.
+// Precomputes the CDF (O(n) memory) and samples by binary search.
+class ZipfSampler {
+ public:
+  // Requires n > 0 and s >= 0 (s == 0 is the uniform distribution).
+  ZipfSampler(std::uint64_t n, double s);
+
+  [[nodiscard]] std::uint64_t Sample(gdp::common::Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+
+  // Exact probability of index k (for tests).
+  [[nodiscard]] double Probability(std::uint64_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+  double s_;
+};
+
+struct DblpLikeParams {
+  NodeIndex num_left{129'510};        // authors   (default: DBLP / 10)
+  NodeIndex num_right{228'134};       // papers    (default: DBLP / 10)
+  EdgeCount num_edges{638'412};       // associations (default: DBLP / 10)
+  // Zipf RANK exponents s (P(rank k) ~ k^-s).  Values must stay below 1 so
+  // no single node dominates the edge mass: s = 0.45 gives a degree
+  // distribution with tail exponent 1 + 1/s ~ 3.2 and a max author degree of
+  // ~0.02% of all associations at full DBLP scale, matching the published
+  // DBLP profile (top authors hold a few thousand of 6.4M associations).
+  double left_zipf_exponent{0.45};    // author productivity tail
+  double right_zipf_exponent{0.25};   // paper team-size tail
+  bool allow_parallel_edges{false};   // dedupe by default
+};
+
+// Full-scale parameters matching the paper's DBLP snapshot.
+[[nodiscard]] DblpLikeParams DblpFullScaleParams();
+
+// Parameters scaled by `fraction` (node and edge counts multiplied; tails
+// unchanged).  Requires fraction in (0, 1].
+[[nodiscard]] DblpLikeParams DblpScaledParams(double fraction);
+
+// Generate the DBLP-like graph.  With allow_parallel_edges=false the
+// generator retries collisions a bounded number of times and may return
+// slightly fewer edges than requested on dense configurations; the actual
+// count is whatever ends up in the graph.
+[[nodiscard]] BipartiteGraph GenerateDblpLike(const DblpLikeParams& params,
+                                              gdp::common::Rng& rng);
+
+// Uniform-random bipartite graph: each edge picks both endpoints uniformly.
+[[nodiscard]] BipartiteGraph GenerateUniformRandom(NodeIndex num_left,
+                                                   NodeIndex num_right,
+                                                   EdgeCount num_edges,
+                                                   gdp::common::Rng& rng);
+
+// Planted block model: nodes on each side are divided into `num_blocks`
+// contiguous equal blocks; an edge stays inside its block pair with
+// probability in_block_prob, otherwise both endpoints are uniform.  Gives a
+// ground-truth community structure for testing the specializer's ability to
+// find balanced, low-cut splits.
+[[nodiscard]] BipartiteGraph GeneratePlantedBlocks(NodeIndex num_left,
+                                                   NodeIndex num_right,
+                                                   EdgeCount num_edges,
+                                                   int num_blocks,
+                                                   double in_block_prob,
+                                                   gdp::common::Rng& rng);
+
+}  // namespace gdp::graph

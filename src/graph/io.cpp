@@ -1,0 +1,106 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace gdp::graph {
+
+using gdp::common::IoError;
+
+namespace {
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') {
+      return true;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;  // all whitespace
+}
+
+std::uint64_t ParseField(std::istringstream& ss, const char* what, int line_no) {
+  std::uint64_t value = 0;
+  if (!(ss >> value)) {
+    throw IoError("edge list line " + std::to_string(line_no) + ": expected " +
+                  what);
+  }
+  return value;
+}
+
+}  // namespace
+
+BipartiteGraph ReadEdgeList(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  // Header.
+  NodeIndex num_left = 0;
+  NodeIndex num_right = 0;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) {
+      continue;
+    }
+    std::istringstream ss(line);
+    num_left = static_cast<NodeIndex>(ParseField(ss, "num_left", line_no));
+    num_right = static_cast<NodeIndex>(ParseField(ss, "num_right", line_no));
+    have_header = true;
+    break;
+  }
+  if (!have_header) {
+    throw IoError("edge list: missing header line '<num_left> <num_right>'");
+  }
+  std::vector<Edge> edges;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) {
+      continue;
+    }
+    std::istringstream ss(line);
+    const auto l = ParseField(ss, "left index", line_no);
+    const auto r = ParseField(ss, "right index", line_no);
+    if (l >= num_left || r >= num_right) {
+      throw IoError("edge list line " + std::to_string(line_no) +
+                    ": endpoint out of range");
+    }
+    edges.push_back(Edge{static_cast<NodeIndex>(l), static_cast<NodeIndex>(r)});
+  }
+  return BipartiteGraph(num_left, num_right, std::move(edges));
+}
+
+BipartiteGraph ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open edge list file: " + path);
+  }
+  return ReadEdgeList(in);
+}
+
+void WriteEdgeList(const BipartiteGraph& graph, std::ostream& out) {
+  out << "# gdp bipartite edge list\n";
+  out << graph.num_left() << '\t' << graph.num_right() << '\n';
+  for (NodeIndex l = 0; l < graph.num_left(); ++l) {
+    for (const NodeIndex r : graph.Neighbors(Side::kLeft, l)) {
+      out << l << '\t' << r << '\n';
+    }
+  }
+}
+
+void WriteEdgeListFile(const BipartiteGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("cannot open edge list file for writing: " + path);
+  }
+  WriteEdgeList(graph, out);
+  if (!out) {
+    throw IoError("write failure on edge list file: " + path);
+  }
+}
+
+}  // namespace gdp::graph

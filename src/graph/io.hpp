@@ -1,0 +1,32 @@
+// Edge-list text IO.
+//
+// Format (TSV):
+//   # optional comment lines
+//   <num_left> <num_right>           -- header line
+//   <left_index> <right_index>       -- one association per line
+//
+// This is the interchange format for all examples: a real DBLP extraction
+// pipeline would emit the same file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace gdp::graph {
+
+// Parse a graph from a stream.  Throws gdp::common::IoError on malformed
+// input (bad header, non-numeric fields, out-of-range endpoints).
+[[nodiscard]] BipartiteGraph ReadEdgeList(std::istream& in);
+
+// Read from a file path.  Throws gdp::common::IoError if the file cannot be
+// opened.
+[[nodiscard]] BipartiteGraph ReadEdgeListFile(const std::string& path);
+
+// Serialise a graph (header + one edge per line, left-sorted).
+void WriteEdgeList(const BipartiteGraph& graph, std::ostream& out);
+
+void WriteEdgeListFile(const BipartiteGraph& graph, const std::string& path);
+
+}  // namespace gdp::graph

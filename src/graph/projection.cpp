@@ -1,0 +1,50 @@
+#include "graph/projection.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace gdp::graph {
+
+ProjectionResult TruncateDegrees(const BipartiteGraph& graph, Side side,
+                                 EdgeCount cap, gdp::common::Rng& rng) {
+  if (cap == 0) {
+    throw std::invalid_argument("TruncateDegrees: cap must be >= 1");
+  }
+  std::vector<Edge> kept;
+  kept.reserve(static_cast<std::size_t>(graph.num_edges()));
+  EdgeCount dropped = 0;
+  for (NodeIndex v = 0; v < graph.num_nodes(side); ++v) {
+    const auto neighbors = graph.Neighbors(side, v);
+    if (neighbors.size() <= cap) {
+      for (const NodeIndex u : neighbors) {
+        kept.push_back(side == Side::kLeft ? Edge{v, u} : Edge{u, v});
+      }
+      continue;
+    }
+    // Sample `cap` survivors uniformly: shuffle an index vector and keep the
+    // prefix.
+    std::vector<std::uint32_t> order(neighbors.size());
+    std::iota(order.begin(), order.end(), 0u);
+    rng.Shuffle(order);
+    for (EdgeCount i = 0; i < cap; ++i) {
+      const NodeIndex u = neighbors[order[static_cast<std::size_t>(i)]];
+      kept.push_back(side == Side::kLeft ? Edge{v, u} : Edge{u, v});
+    }
+    dropped += neighbors.size() - cap;
+  }
+  return ProjectionResult{
+      BipartiteGraph(graph.num_left(), graph.num_right(), std::move(kept)),
+      dropped};
+}
+
+ProjectionResult TruncateDegreesBothSides(const BipartiteGraph& graph,
+                                          EdgeCount cap,
+                                          gdp::common::Rng& rng) {
+  ProjectionResult first = TruncateDegrees(graph, Side::kLeft, cap, rng);
+  ProjectionResult second = TruncateDegrees(first.graph, Side::kRight, cap, rng);
+  // Truncating the right side only removes edges, so the left cap still holds.
+  return ProjectionResult{std::move(second.graph),
+                          first.edges_dropped + second.edges_dropped};
+}
+
+}  // namespace gdp::graph

@@ -1,0 +1,35 @@
+// Degree-bounded graph projections.
+//
+// Truncating node degrees to a public cap D is the standard device for
+// bounding node/group sensitivity from above: after projection, a single
+// node contributes at most D associations, and a group of at most m nodes at
+// most m·D — a *worst-case* bound independent of the realized data, which
+// replaces the local (data-dependent) sensitivity the paper's pipeline uses
+// (see GroupDpEngine's caveat and bench_ablation_truncation).
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace gdp::graph {
+
+struct ProjectionResult {
+  BipartiteGraph graph;
+  // Number of associations dropped by the projection (the utility cost).
+  EdgeCount edges_dropped{0};
+};
+
+// Keep at most `cap` edges per node on `side`.  Which edges survive is
+// decided by a random permutation of each overweight node's adjacency (an
+// arbitrary data-independent-given-the-cap rule; randomised to avoid biasing
+// toward low-index neighbours).  Requires cap >= 1.
+[[nodiscard]] ProjectionResult TruncateDegrees(const BipartiteGraph& graph,
+                                               Side side, EdgeCount cap,
+                                               gdp::common::Rng& rng);
+
+// Truncate both sides to the same cap (left first, then right on the
+// intermediate graph, so both caps hold simultaneously in the result).
+[[nodiscard]] ProjectionResult TruncateDegreesBothSides(
+    const BipartiteGraph& graph, EdgeCount cap, gdp::common::Rng& rng);
+
+}  // namespace gdp::graph

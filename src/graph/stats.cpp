@@ -1,0 +1,92 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gdp::graph {
+
+std::vector<EdgeCount> DegreeHistogram(const BipartiteGraph& graph, Side side) {
+  const std::vector<EdgeCount> degrees = graph.Degrees(side);
+  const EdgeCount max_degree =
+      degrees.empty() ? 0 : *std::max_element(degrees.begin(), degrees.end());
+  std::vector<EdgeCount> hist(static_cast<std::size_t>(max_degree) + 1, 0);
+  for (const EdgeCount d : degrees) {
+    ++hist[static_cast<std::size_t>(d)];
+  }
+  return hist;
+}
+
+double DegreeGini(const BipartiteGraph& graph, Side side) {
+  std::vector<EdgeCount> degrees = graph.Degrees(side);
+  if (degrees.empty()) {
+    return 0.0;
+  }
+  std::sort(degrees.begin(), degrees.end());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    const auto d = static_cast<double>(degrees[i]);
+    weighted += d * static_cast<double>(i + 1);
+    total += d;
+  }
+  if (total == 0.0) {
+    return 0.0;
+  }
+  const auto n = static_cast<double>(degrees.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+EdgeCount IncidentEdgeCount(const BipartiteGraph& graph, Side side,
+                            std::span<const NodeIndex> nodes) {
+  EdgeCount total = 0;
+  for (const NodeIndex v : nodes) {
+    total += graph.Degree(side, v);
+  }
+  return total;
+}
+
+EdgeCount InducedEdgeCount(const BipartiteGraph& graph,
+                           std::span<const NodeIndex> left_nodes,
+                           std::span<const NodeIndex> right_nodes) {
+  // Iterate the side whose incident-edge total is smaller; membership test on
+  // the other side via a hash set.
+  const EdgeCount left_weight = IncidentEdgeCount(graph, Side::kLeft, left_nodes);
+  const EdgeCount right_weight =
+      IncidentEdgeCount(graph, Side::kRight, right_nodes);
+  const bool iterate_left = left_weight <= right_weight;
+  const auto& iterate_nodes = iterate_left ? left_nodes : right_nodes;
+  const auto& member_nodes = iterate_left ? right_nodes : left_nodes;
+  const Side iterate_side = iterate_left ? Side::kLeft : Side::kRight;
+
+  std::unordered_set<NodeIndex> members(member_nodes.begin(), member_nodes.end());
+  EdgeCount count = 0;
+  for (const NodeIndex v : iterate_nodes) {
+    for (const NodeIndex u : graph.Neighbors(iterate_side, v)) {
+      if (members.contains(u)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<EdgeCount> IncidentEdgeCountsByLabel(
+    const BipartiteGraph& graph, Side side, std::span<const std::uint32_t> labels,
+    std::uint32_t num_labels) {
+  if (labels.size() != graph.num_nodes(side)) {
+    throw std::invalid_argument(
+        "IncidentEdgeCountsByLabel: one label required per node");
+  }
+  std::vector<EdgeCount> counts(num_labels, 0);
+  for (NodeIndex v = 0; v < graph.num_nodes(side); ++v) {
+    const std::uint32_t label = labels[v];
+    if (label >= num_labels) {
+      throw std::out_of_range("IncidentEdgeCountsByLabel: label out of range");
+    }
+    counts[label] += graph.Degree(side, v);
+  }
+  return counts;
+}
+
+}  // namespace gdp::graph

@@ -1,0 +1,42 @@
+// Degree and partition statistics over bipartite graphs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace gdp::graph {
+
+// Degree histogram: result[d] = number of nodes on `side` with degree d.
+[[nodiscard]] std::vector<EdgeCount> DegreeHistogram(const BipartiteGraph& graph,
+                                                     Side side);
+
+// Gini coefficient of the degree distribution on a side: 0 = perfectly even,
+// -> 1 = concentrated on few nodes.  Used to check the generator produces a
+// DBLP-like heavy tail.  Returns 0 for an empty/edgeless side.
+[[nodiscard]] double DegreeGini(const BipartiteGraph& graph, Side side);
+
+// Sum of degrees of an explicit node subset on `side` — i.e. the number of
+// associations incident to that node group.  This is the group's
+// "contribution" to the association count and hence the quantity that drives
+// group-level sensitivity.  Indices must be in range; duplicates count twice.
+[[nodiscard]] EdgeCount IncidentEdgeCount(const BipartiteGraph& graph, Side side,
+                                          std::span<const NodeIndex> nodes);
+
+// Number of edges whose left endpoint lies in `left_nodes` AND right endpoint
+// lies in `right_nodes` (the induced-subgraph association count used by the
+// per-group-pair disclosure).  O(sum of degrees of the smaller side set).
+[[nodiscard]] EdgeCount InducedEdgeCount(const BipartiteGraph& graph,
+                                         std::span<const NodeIndex> left_nodes,
+                                         std::span<const NodeIndex> right_nodes);
+
+// Per-label incident edge counts: given a label for every node on `side`
+// (labels in [0, num_labels)), return for each label the total degree of its
+// nodes.  O(|V_side|).
+[[nodiscard]] std::vector<EdgeCount> IncidentEdgeCountsByLabel(
+    const BipartiteGraph& graph, Side side, std::span<const std::uint32_t> labels,
+    std::uint32_t num_labels);
+
+}  // namespace gdp::graph

@@ -1,0 +1,62 @@
+#include "hier/hierarchy.hpp"
+
+#include <stdexcept>
+
+namespace gdp::hier {
+
+GroupHierarchy::GroupHierarchy(std::vector<Partition> levels, bool validate)
+    : levels_(std::move(levels)) {
+  if (levels_.size() < 2) {
+    throw std::invalid_argument(
+        "GroupHierarchy: need at least the singleton and top levels");
+  }
+  const NodeIndex nl = levels_.front().num_left_nodes();
+  const NodeIndex nr = levels_.front().num_right_nodes();
+  for (const Partition& p : levels_) {
+    if (p.num_left_nodes() != nl || p.num_right_nodes() != nr) {
+      throw std::invalid_argument("GroupHierarchy: level dimension mismatch");
+    }
+  }
+  if (levels_.front().num_groups() !=
+      static_cast<GroupId>(static_cast<std::uint64_t>(nl) + nr)) {
+    throw std::invalid_argument(
+        "GroupHierarchy: level 0 must be the singleton partition");
+  }
+  if (validate) {
+    for (std::size_t i = 1; i < levels_.size(); ++i) {
+      if (!levels_[i].IsRefinedBy(levels_[i - 1])) {
+        throw std::invalid_argument("GroupHierarchy: level " + std::to_string(i) +
+                                    " is not refined by level " +
+                                    std::to_string(i - 1));
+      }
+    }
+  }
+}
+
+const Partition& GroupHierarchy::level(int i) const {
+  if (i < 0 || i >= num_levels()) {
+    throw std::out_of_range("GroupHierarchy::level: index out of range");
+  }
+  return levels_[static_cast<std::size_t>(i)];
+}
+
+std::vector<EdgeCount> GroupHierarchy::LevelSensitivities(
+    const BipartiteGraph& graph) const {
+  std::vector<EdgeCount> out;
+  out.reserve(levels_.size());
+  for (const Partition& p : levels_) {
+    out.push_back(p.MaxGroupDegreeSum(graph));
+  }
+  return out;
+}
+
+std::vector<GroupId> GroupHierarchy::LevelGroupCounts() const {
+  std::vector<GroupId> out;
+  out.reserve(levels_.size());
+  for (const Partition& p : levels_) {
+    out.push_back(p.num_groups());
+  }
+  return out;
+}
+
+}  // namespace gdp::hier

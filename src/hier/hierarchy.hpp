@@ -1,0 +1,49 @@
+// GroupHierarchy: the multi-level grouping produced by Phase 1.
+//
+// Levels are indexed as in the paper: level `depth()` is the coarsest (one
+// group per side of the bipartite graph — "the entire dataset"), level 1 is
+// the finest *grouped* level, and level 0 is the individual level where each
+// group is a single node.  Each level strictly refines the level above it.
+#pragma once
+
+#include <vector>
+
+#include "hier/partition.hpp"
+
+namespace gdp::hier {
+
+class GroupHierarchy {
+ public:
+  // levels[i] is the partition at level i; levels.front() must be the
+  // singleton partition and levels.back() the coarsest.  Each levels[i]
+  // must be refined by levels[i-1] (validated unless validate=false, which
+  // exists only for huge-graph benchmarks where the O(V·depth) check costs
+  // more than construction).
+  explicit GroupHierarchy(std::vector<Partition> levels, bool validate = true);
+
+  // Number of levels above the individual level.
+  [[nodiscard]] int depth() const noexcept {
+    return static_cast<int>(levels_.size()) - 1;
+  }
+  [[nodiscard]] int num_levels() const noexcept {
+    return static_cast<int>(levels_.size());
+  }
+
+  // Partition at a level; level 0 = singletons, level depth() = coarsest.
+  [[nodiscard]] const Partition& level(int i) const;
+
+  // Group-level sensitivity of the association-count query at each level:
+  // result[i] = max over groups at level i of the group's incident-edge
+  // count.  result[0] is the max node degree; result[depth] >= |E|/1 when a
+  // single side-group covers all edges.
+  [[nodiscard]] std::vector<EdgeCount> LevelSensitivities(
+      const BipartiteGraph& graph) const;
+
+  // Total number of groups at each level (diagnostics / tests).
+  [[nodiscard]] std::vector<GroupId> LevelGroupCounts() const;
+
+ private:
+  std::vector<Partition> levels_;
+};
+
+}  // namespace gdp::hier

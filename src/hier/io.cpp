@@ -1,0 +1,172 @@
+#include "hier/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gdp::hier {
+
+using gdp::common::IoError;
+
+void WriteHierarchy(const GroupHierarchy& hierarchy, std::ostream& out) {
+  const Partition& bottom = hierarchy.level(0);
+  out << "gdp-hierarchy v1\n";
+  out << "dims " << bottom.num_left_nodes() << ' ' << bottom.num_right_nodes()
+      << '\n';
+  out << "levels " << hierarchy.num_levels() << '\n';
+  for (int lvl = 0; lvl < hierarchy.num_levels(); ++lvl) {
+    const Partition& p = hierarchy.level(lvl);
+    out << "level " << lvl << ' ' << p.num_groups() << '\n';
+    out << "parents";
+    for (GroupId g = 0; g < p.num_groups(); ++g) {
+      const GroupId parent = p.group(g).parent;
+      out << ' '
+          << (parent == kNoParent ? -1 : static_cast<long long>(parent));
+    }
+    out << '\n';
+    out << "left_labels";
+    for (const GroupId g : p.labels(Side::kLeft)) {
+      out << ' ' << g;
+    }
+    out << '\n';
+    out << "right_labels";
+    for (const GroupId g : p.labels(Side::kRight)) {
+      out << ' ' << g;
+    }
+    out << '\n';
+  }
+}
+
+namespace {
+
+std::string NextContentLine(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') {
+      return line;
+    }
+  }
+  throw IoError("hierarchy: unexpected end of input");
+}
+
+std::istringstream ExpectLine(std::istream& in, const std::string& keyword) {
+  std::istringstream ss(NextContentLine(in));
+  std::string word;
+  if (!(ss >> word) || word != keyword) {
+    throw IoError("hierarchy: expected '" + keyword + "' line");
+  }
+  return ss;
+}
+
+}  // namespace
+
+GroupHierarchy ReadHierarchy(std::istream& in) {
+  if (NextContentLine(in) != "gdp-hierarchy v1") {
+    throw IoError("hierarchy: bad magic line");
+  }
+  NodeIndex num_left = 0;
+  NodeIndex num_right = 0;
+  {
+    auto ss = ExpectLine(in, "dims");
+    if (!(ss >> num_left >> num_right)) {
+      throw IoError("hierarchy: bad dims line");
+    }
+  }
+  int num_levels = 0;
+  {
+    auto ss = ExpectLine(in, "levels");
+    if (!(ss >> num_levels) || num_levels < 2) {
+      throw IoError("hierarchy: bad levels line");
+    }
+  }
+  std::vector<Partition> levels;
+  levels.reserve(static_cast<std::size_t>(num_levels));
+  for (int lvl = 0; lvl < num_levels; ++lvl) {
+    int echo = -1;
+    GroupId num_groups = 0;
+    {
+      auto ss = ExpectLine(in, "level");
+      if (!(ss >> echo >> num_groups) || echo != lvl || num_groups == 0) {
+        throw IoError("hierarchy: bad level header at level " +
+                      std::to_string(lvl));
+      }
+    }
+    std::vector<GroupId> parents(num_groups);
+    {
+      auto ss = ExpectLine(in, "parents");
+      for (GroupId g = 0; g < num_groups; ++g) {
+        long long parent = 0;
+        if (!(ss >> parent)) {
+          throw IoError("hierarchy: truncated parents at level " +
+                        std::to_string(lvl));
+        }
+        parents[g] = parent < 0 ? kNoParent : static_cast<GroupId>(parent);
+      }
+    }
+    const auto read_labels = [&](const char* keyword, NodeIndex count) {
+      std::vector<GroupId> labels(count);
+      auto ss = ExpectLine(in, keyword);
+      for (NodeIndex v = 0; v < count; ++v) {
+        if (!(ss >> labels[v])) {
+          throw IoError("hierarchy: truncated " + std::string(keyword) +
+                        " at level " + std::to_string(lvl));
+        }
+        if (labels[v] >= num_groups) {
+          throw IoError("hierarchy: label out of range at level " +
+                        std::to_string(lvl));
+        }
+      }
+      return labels;
+    };
+    std::vector<GroupId> left_labels = read_labels("left_labels", num_left);
+    std::vector<GroupId> right_labels = read_labels("right_labels", num_right);
+
+    // Reconstruct sides/sizes from the labels.
+    std::vector<GroupInfo> infos(num_groups);
+    std::vector<bool> side_known(num_groups, false);
+    const auto scan = [&](const std::vector<GroupId>& labels, Side side) {
+      for (const GroupId g : labels) {
+        if (side_known[g] && infos[g].side != side) {
+          throw IoError("hierarchy: group spans both sides at level " +
+                        std::to_string(lvl));
+        }
+        infos[g].side = side;
+        side_known[g] = true;
+        ++infos[g].size;
+      }
+    };
+    scan(left_labels, Side::kLeft);
+    scan(right_labels, Side::kRight);
+    for (GroupId g = 0; g < num_groups; ++g) {
+      infos[g].parent = parents[g];
+      if (!side_known[g]) {
+        throw IoError("hierarchy: empty group at level " + std::to_string(lvl));
+      }
+    }
+    levels.emplace_back(std::move(left_labels), std::move(right_labels),
+                        std::move(infos));
+  }
+  return GroupHierarchy(std::move(levels));  // re-validates refinement
+}
+
+void WriteHierarchyFile(const GroupHierarchy& hierarchy, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("cannot open hierarchy file for writing: " + path);
+  }
+  WriteHierarchy(hierarchy, out);
+  if (!out) {
+    throw IoError("write failure on hierarchy file: " + path);
+  }
+}
+
+GroupHierarchy ReadHierarchyFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open hierarchy file: " + path);
+  }
+  return ReadHierarchy(in);
+}
+
+}  // namespace gdp::hier

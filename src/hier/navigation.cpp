@@ -1,0 +1,61 @@
+#include "hier/navigation.hpp"
+
+#include <stdexcept>
+
+namespace gdp::hier {
+
+HierarchyIndex::HierarchyIndex(const GroupHierarchy& hierarchy)
+    : hierarchy_(&hierarchy) {
+  const int depth = hierarchy.depth();
+  children_.resize(static_cast<std::size_t>(depth));
+  for (int level = 1; level <= depth; ++level) {
+    const Partition& coarse = hierarchy.level(level);
+    const Partition& fine = hierarchy.level(level - 1);
+    auto& slots = children_[static_cast<std::size_t>(level - 1)];
+    slots.assign(coarse.num_groups(), {});
+    for (GroupId g = 0; g < fine.num_groups(); ++g) {
+      const GroupId parent = fine.group(g).parent;
+      if (parent == kNoParent || parent >= coarse.num_groups()) {
+        throw std::invalid_argument(
+            "HierarchyIndex: fine group lacks a valid parent link");
+      }
+      slots[parent].push_back(g);
+    }
+  }
+}
+
+const std::vector<GroupId>& HierarchyIndex::Children(int level, GroupId g) const {
+  if (level < 1 || level > hierarchy_->depth()) {
+    throw std::out_of_range("HierarchyIndex::Children: level out of range");
+  }
+  const auto& slots = children_[static_cast<std::size_t>(level - 1)];
+  if (g >= slots.size()) {
+    throw std::out_of_range("HierarchyIndex::Children: group out of range");
+  }
+  return slots[g];
+}
+
+std::vector<GroupId> HierarchyIndex::GroupPath(Side side, NodeIndex v) const {
+  std::vector<GroupId> path;
+  path.reserve(static_cast<std::size_t>(hierarchy_->num_levels()));
+  for (int level = 0; level < hierarchy_->num_levels(); ++level) {
+    path.push_back(hierarchy_->level(level).GroupOf(side, v));
+  }
+  return path;
+}
+
+int HierarchyIndex::LowestCommonLevel(Side side_a, NodeIndex a, Side side_b,
+                                      NodeIndex b) const {
+  if (side_a != side_b) {
+    return -1;  // groups are side-pure at every level
+  }
+  for (int level = 0; level < hierarchy_->num_levels(); ++level) {
+    if (hierarchy_->level(level).GroupOf(side_a, a) ==
+        hierarchy_->level(level).GroupOf(side_b, b)) {
+      return level;
+    }
+  }
+  return -1;  // unreachable for valid hierarchies (shared per-side root)
+}
+
+}  // namespace gdp::hier

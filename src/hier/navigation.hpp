@@ -1,0 +1,43 @@
+// Navigation structures over a GroupHierarchy.
+//
+// The hierarchy stores upward (parent) links only; consistency enforcement
+// and tree queries need downward (children) links and per-node group paths.
+// HierarchyIndex materialises them once in O(total groups).
+#pragma once
+
+#include <vector>
+
+#include "hier/hierarchy.hpp"
+
+namespace gdp::hier {
+
+class HierarchyIndex {
+ public:
+  explicit HierarchyIndex(const GroupHierarchy& hierarchy);
+
+  // Children (level-(ℓ-1) group ids) of group `g` at level ℓ.
+  // Requires 1 <= level <= depth.
+  [[nodiscard]] const std::vector<GroupId>& Children(int level, GroupId g) const;
+
+  // The group containing node (side, v) at every level: result[ℓ] is the
+  // level-ℓ group id.  O(depth).
+  [[nodiscard]] std::vector<GroupId> GroupPath(Side side, NodeIndex v) const;
+
+  // Deepest level at which two nodes share a group ("least common ancestor"
+  // level); depth() when they only share the per-side root, or -1 when the
+  // nodes are on different sides (no common group at any level).
+  [[nodiscard]] int LowestCommonLevel(Side side_a, NodeIndex a, Side side_b,
+                                      NodeIndex b) const;
+
+  [[nodiscard]] const GroupHierarchy& hierarchy() const noexcept {
+    return *hierarchy_;
+  }
+
+ private:
+  const GroupHierarchy* hierarchy_;
+  // children_[ℓ-1][g] = children of level-ℓ group g (index shifted: level 1
+  // is slot 0; level 0 has no children).
+  std::vector<std::vector<std::vector<GroupId>>> children_;
+};
+
+}  // namespace gdp::hier

@@ -1,0 +1,255 @@
+#include "hier/specialization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dp/exponential.hpp"
+
+namespace gdp::hier {
+
+const char* SplitQualityName(SplitQuality q) noexcept {
+  switch (q) {
+    case SplitQuality::kEdgeBalance:
+      return "edge_balance";
+    case SplitQuality::kNodeBalance:
+      return "node_balance";
+    case SplitQuality::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> CutCandidates(std::size_t group_size, int max_candidates) {
+  if (max_candidates < 1) {
+    throw std::invalid_argument("CutCandidates: max_candidates must be >= 1");
+  }
+  std::vector<std::size_t> cuts;
+  if (group_size < 2) {
+    return cuts;
+  }
+  const std::size_t all = group_size - 1;  // positions 1..group_size-1
+  const auto want = static_cast<std::size_t>(max_candidates);
+  if (all <= want) {
+    cuts.reserve(all);
+    for (std::size_t c = 1; c < group_size; ++c) {
+      cuts.push_back(c);
+    }
+    return cuts;
+  }
+  cuts.reserve(want);
+  // Evenly spaced interior positions; endpoints 0 and group_size excluded.
+  for (std::size_t i = 1; i <= want; ++i) {
+    const auto c = static_cast<std::size_t>(
+        static_cast<double>(i) * static_cast<double>(group_size) /
+        static_cast<double>(want + 1));
+    cuts.push_back(std::clamp<std::size_t>(c, 1, group_size - 1));
+  }
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+std::vector<double> CutUtilities(std::span<const EdgeCount> ordered_degrees,
+                                 std::span<const std::size_t> cut_positions,
+                                 SplitQuality quality) {
+  const std::size_t n = ordered_degrees.size();
+  std::vector<double> utilities;
+  utilities.reserve(cut_positions.size());
+  // Prefix sums for the edge-balance score.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + static_cast<double>(ordered_degrees[i]);
+  }
+  const double total = prefix[n];
+  for (const std::size_t c : cut_positions) {
+    if (c == 0 || c >= n) {
+      throw std::invalid_argument("CutUtilities: cut position out of range");
+    }
+    switch (quality) {
+      case SplitQuality::kEdgeBalance:
+        utilities.push_back(-std::fabs(prefix[c] - (total - prefix[c])));
+        break;
+      case SplitQuality::kNodeBalance:
+        utilities.push_back(-std::fabs(static_cast<double>(c) -
+                                       static_cast<double>(n - c)));
+        break;
+      case SplitQuality::kRandom:
+        utilities.push_back(0.0);
+        break;
+    }
+  }
+  return utilities;
+}
+
+Specializer::Specializer(SpecializationConfig config) : config_(config) {
+  if (config_.depth < 1) {
+    throw std::invalid_argument("Specializer: depth must be >= 1");
+  }
+  if (config_.arity < 2 || (config_.arity & (config_.arity - 1)) != 0) {
+    throw std::invalid_argument("Specializer: arity must be a power of two >= 2");
+  }
+  if (!(config_.epsilon_per_level > 0.0)) {
+    throw std::invalid_argument("Specializer: epsilon_per_level must be > 0");
+  }
+  if (!(config_.utility_sensitivity > 0.0)) {
+    throw std::invalid_argument("Specializer: utility_sensitivity must be > 0");
+  }
+  if (config_.max_cut_candidates < 1) {
+    throw std::invalid_argument("Specializer: max_cut_candidates must be >= 1");
+  }
+}
+
+namespace {
+
+// Working representation of one group during the build.
+struct WorkGroup {
+  Side side;
+  GroupId parent;  // id in the previous (coarser) level
+  std::vector<NodeIndex> nodes;  // ascending node-index order
+};
+
+}  // namespace
+
+SpecializationResult Specializer::BuildHierarchy(const BipartiteGraph& graph,
+                                                 gdp::common::Rng& rng) const {
+  if (graph.num_left() == 0 || graph.num_right() == 0) {
+    throw std::invalid_argument("Specializer: graph must have nodes on both sides");
+  }
+  const std::vector<EdgeCount> left_degrees = graph.Degrees(Side::kLeft);
+  const std::vector<EdgeCount> right_degrees = graph.Degrees(Side::kRight);
+  const auto degree_of = [&](Side side, NodeIndex v) {
+    return side == Side::kLeft ? left_degrees[v] : right_degrees[v];
+  };
+
+  const int binary_rounds_per_level =
+      static_cast<int>(std::lround(std::log2(config_.arity)));
+  const double eps_per_binary_round =
+      config_.epsilon_per_level / static_cast<double>(binary_rounds_per_level);
+  const gdp::dp::ExponentialMechanism em(
+      gdp::dp::Epsilon(eps_per_binary_round),
+      gdp::dp::L1Sensitivity(config_.utility_sensitivity));
+
+  std::size_t em_draws = 0;
+  // Split one group into two by an EM-selected cut.  Returns false (and
+  // leaves `second` empty) when the group is too small to split.
+  const auto binary_split = [&](WorkGroup& first, WorkGroup& second) -> bool {
+    const std::vector<std::size_t> cuts =
+        CutCandidates(first.nodes.size(), config_.max_cut_candidates);
+    if (cuts.empty()) {
+      return false;
+    }
+    std::vector<EdgeCount> degrees;
+    degrees.reserve(first.nodes.size());
+    for (const NodeIndex v : first.nodes) {
+      degrees.push_back(degree_of(first.side, v));
+    }
+    const std::vector<double> utilities =
+        CutUtilities(degrees, cuts, config_.quality);
+    const std::size_t pick = em.Select(utilities, rng);
+    ++em_draws;
+    const std::size_t cut = cuts[pick];
+    second.side = first.side;
+    second.parent = first.parent;
+    second.nodes.assign(first.nodes.begin() + static_cast<std::ptrdiff_t>(cut),
+                        first.nodes.end());
+    first.nodes.resize(cut);
+    return true;
+  };
+
+  // Top level: one group per side.
+  std::vector<WorkGroup> current;
+  {
+    WorkGroup left{Side::kLeft, kNoParent, {}};
+    left.nodes.resize(graph.num_left());
+    for (NodeIndex v = 0; v < graph.num_left(); ++v) {
+      left.nodes[v] = v;
+    }
+    WorkGroup right{Side::kRight, kNoParent, {}};
+    right.nodes.resize(graph.num_right());
+    for (NodeIndex v = 0; v < graph.num_right(); ++v) {
+      right.nodes[v] = v;
+    }
+    current.push_back(std::move(left));
+    current.push_back(std::move(right));
+  }
+
+  const auto to_partition = [&](const std::vector<WorkGroup>& groups) {
+    std::vector<GroupId> left_labels(graph.num_left(), 0);
+    std::vector<GroupId> right_labels(graph.num_right(), 0);
+    std::vector<GroupInfo> infos;
+    infos.reserve(groups.size());
+    for (GroupId id = 0; id < groups.size(); ++id) {
+      const WorkGroup& g = groups[id];
+      infos.push_back(
+          GroupInfo{g.side, static_cast<NodeIndex>(g.nodes.size()), g.parent});
+      auto& labels = g.side == Side::kLeft ? left_labels : right_labels;
+      for (const NodeIndex v : g.nodes) {
+        labels[v] = id;
+      }
+    }
+    return Partition(std::move(left_labels), std::move(right_labels),
+                     std::move(infos));
+  };
+
+  // levels_desc[0] = coarsest; built downward.
+  std::vector<Partition> levels_desc;
+  levels_desc.push_back(to_partition(current));
+
+  const int transitions = config_.depth - 1;  // level depth -> ... -> level 1
+  for (int t = 0; t < transitions; ++t) {
+    // Each transition: log2(arity) binary rounds over every group.
+    // Record each group's parent = its index in the *previous* level.
+    for (GroupId id = 0; id < current.size(); ++id) {
+      current[id].parent = id;
+    }
+    for (int round = 0; round < binary_rounds_per_level; ++round) {
+      std::vector<WorkGroup> next;
+      next.reserve(current.size() * 2);
+      for (WorkGroup& g : current) {
+        WorkGroup second{g.side, g.parent, {}};
+        if (binary_split(g, second)) {
+          next.push_back(std::move(g));
+          next.push_back(std::move(second));
+        } else {
+          next.push_back(std::move(g));
+        }
+      }
+      current = std::move(next);
+    }
+    levels_desc.push_back(to_partition(current));
+  }
+
+  // Level 0: singletons, parented to the finest grouped level.
+  const Partition& finest = levels_desc.back();
+  {
+    std::vector<GroupId> left_labels(graph.num_left());
+    std::vector<GroupId> right_labels(graph.num_right());
+    std::vector<GroupInfo> infos;
+    infos.reserve(graph.total_nodes());
+    GroupId next_id = 0;
+    for (NodeIndex v = 0; v < graph.num_left(); ++v) {
+      left_labels[v] = next_id++;
+      infos.push_back(GroupInfo{Side::kLeft, 1, finest.GroupOf(Side::kLeft, v)});
+    }
+    for (NodeIndex v = 0; v < graph.num_right(); ++v) {
+      right_labels[v] = next_id++;
+      infos.push_back(GroupInfo{Side::kRight, 1, finest.GroupOf(Side::kRight, v)});
+    }
+    levels_desc.push_back(Partition(std::move(left_labels),
+                                    std::move(right_labels), std::move(infos)));
+  }
+
+  // Reorder ascending: level 0 first.
+  std::vector<Partition> levels_asc;
+  levels_asc.reserve(levels_desc.size());
+  for (auto it = levels_desc.rbegin(); it != levels_desc.rend(); ++it) {
+    levels_asc.push_back(std::move(*it));
+  }
+
+  SpecializationResult result{
+      GroupHierarchy(std::move(levels_asc), config_.validate_hierarchy),
+      static_cast<double>(transitions) * config_.epsilon_per_level, em_draws};
+  return result;
+}
+
+}  // namespace gdp::hier

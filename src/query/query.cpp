@@ -1,0 +1,73 @@
+#include "query/query.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gdp::query {
+
+std::string AssociationCountQuery::Name() const { return "association_count"; }
+
+std::vector<double> AssociationCountQuery::Evaluate(
+    const BipartiteGraph& graph) const {
+  return {static_cast<double>(graph.num_edges())};
+}
+
+double AssociationCountQuery::GroupSensitivity(const BipartiteGraph& graph,
+                                               const Partition& level) const {
+  return static_cast<double>(level.MaxGroupDegreeSum(graph));
+}
+
+std::string GroupCountQuery::Name() const { return "group_counts"; }
+
+std::vector<double> GroupCountQuery::Evaluate(const BipartiteGraph& graph) const {
+  const auto sums = level_->GroupDegreeSums(graph);
+  std::vector<double> out;
+  out.reserve(sums.size());
+  for (const auto s : sums) {
+    out.push_back(static_cast<double>(s));
+  }
+  return out;
+}
+
+double GroupCountQuery::GroupSensitivity(const BipartiteGraph& graph,
+                                         const Partition& level) const {
+  // One group's change moves its own entry by ≤ Δ and opposite-side entries
+  // by ≤ Δ total; sqrt(2)·Δ bounds the L2 (see core/group_sensitivity.hpp).
+  return 1.4142135623730951 *
+         static_cast<double>(level.MaxGroupDegreeSum(graph));
+}
+
+DegreeHistogramQuery::DegreeHistogramQuery(Side side, std::size_t max_degree)
+    : side_(side), max_degree_(max_degree) {
+  if (max_degree == 0) {
+    throw std::invalid_argument("DegreeHistogramQuery: max_degree must be >= 1");
+  }
+}
+
+std::string DegreeHistogramQuery::Name() const {
+  return std::string("degree_histogram_") + gdp::graph::SideName(side_);
+}
+
+std::vector<double> DegreeHistogramQuery::Evaluate(
+    const BipartiteGraph& graph) const {
+  std::vector<double> bins(max_degree_ + 2, 0.0);
+  for (gdp::graph::NodeIndex v = 0; v < graph.num_nodes(side_); ++v) {
+    const auto d = static_cast<std::size_t>(graph.Degree(side_, v));
+    ++bins[std::min(d, max_degree_ + 1)];
+  }
+  return bins;
+}
+
+double DegreeHistogramQuery::GroupSensitivity(const BipartiteGraph& graph,
+                                              const Partition& level) const {
+  const auto weights = level.GroupDegreeSums(graph);
+  double worst = 0.0;
+  for (gdp::hier::GroupId g = 0; g < level.num_groups(); ++g) {
+    const double bound = static_cast<double>(level.group(g).size) +
+                         2.0 * static_cast<double>(weights[g]);
+    worst = std::max(worst, bound);
+  }
+  return worst;
+}
+
+}  // namespace gdp::query

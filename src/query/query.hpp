@@ -1,0 +1,94 @@
+// Generic query framework over bipartite association graphs.
+//
+// A Query maps a graph to a vector of real answers and knows its own
+// group-level sensitivity at a given hierarchy level, so the Workload runner
+// can calibrate any mechanism for any query/level pair.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "hier/partition.hpp"
+
+namespace gdp::query {
+
+using gdp::graph::BipartiteGraph;
+using gdp::graph::Side;
+using gdp::hier::Partition;
+
+class Query {
+ public:
+  virtual ~Query() = default;
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+
+  // True answer(s) on the graph.
+  [[nodiscard]] virtual std::vector<double> Evaluate(
+      const BipartiteGraph& graph) const = 0;
+
+  // An upper bound on the L2 change of the answer vector when one group of
+  // `level` is added to / removed from the dataset (group adjacency,
+  // Definition 3 of the paper).
+  [[nodiscard]] virtual double GroupSensitivity(const BipartiteGraph& graph,
+                                                const Partition& level) const = 0;
+
+ protected:
+  Query() = default;
+  Query(const Query&) = default;
+  Query& operator=(const Query&) = default;
+};
+
+// "What is the number of associations in the dataset?" — the paper's
+// evaluated query.  Scalar answer; sensitivity = max group incident-edge
+// count at the level.
+class AssociationCountQuery final : public Query {
+ public:
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] std::vector<double> Evaluate(
+      const BipartiteGraph& graph) const override;
+  [[nodiscard]] double GroupSensitivity(const BipartiteGraph& graph,
+                                        const Partition& level) const override;
+};
+
+// Per-group incident-association counts at a fixed partition (the multi-level
+// disclosure's per-group statistic).  The partition is supplied at
+// construction and must outlive the query.
+class GroupCountQuery final : public Query {
+ public:
+  explicit GroupCountQuery(const Partition& level) : level_(&level) {}
+
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] std::vector<double> Evaluate(
+      const BipartiteGraph& graph) const override;
+  [[nodiscard]] double GroupSensitivity(const BipartiteGraph& graph,
+                                        const Partition& level) const override;
+
+ private:
+  const Partition* level_;
+};
+
+// Degree histogram of one side, truncated to [0, max_degree] with an
+// overflow bin: answer[d] = #nodes with degree d, answer[max_degree+1] =
+// #nodes with degree > max_degree.
+class DegreeHistogramQuery final : public Query {
+ public:
+  DegreeHistogramQuery(Side side, std::size_t max_degree);
+
+  [[nodiscard]] std::string Name() const override;
+  [[nodiscard]] std::vector<double> Evaluate(
+      const BipartiteGraph& graph) const override;
+  // Removing a level group changes same-side bins by ≤ group size (each
+  // member leaves its bin) and opposite-side bins by ≤ 2 per incident edge
+  // (a neighbour moves between bins); we return the L1 bound
+  // max_G (|G| + 2·weight(G)), a valid L2 upper bound.
+  [[nodiscard]] double GroupSensitivity(const BipartiteGraph& graph,
+                                        const Partition& level) const override;
+
+ private:
+  Side side_;
+  std::size_t max_degree_;
+};
+
+}  // namespace gdp::query

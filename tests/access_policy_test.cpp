@@ -1,0 +1,66 @@
+#include "core/access_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gdp::core {
+namespace {
+
+MultiLevelRelease ThreeLevelRelease() {
+  std::vector<LevelRelease> levels;
+  for (int i = 0; i < 3; ++i) {
+    LevelRelease lr;
+    lr.level = i;
+    lr.true_total = 100.0;
+    lr.noisy_total = 100.0 + i;
+    levels.push_back(lr);
+  }
+  return MultiLevelRelease(std::move(levels));
+}
+
+TEST(AccessPolicyTest, UniformMapsLowestTierToCoarsestLevel) {
+  const AccessPolicy policy = AccessPolicy::Uniform(8);
+  EXPECT_EQ(policy.num_tiers(), 8);
+  EXPECT_EQ(policy.LevelForPrivilege(0), 7);  // lowest privilege
+  EXPECT_EQ(policy.LevelForPrivilege(7), 0);  // highest privilege
+  EXPECT_EQ(policy.LevelForPrivilege(3), 4);
+}
+
+TEST(AccessPolicyTest, UniformRejectsBadTierCount) {
+  EXPECT_THROW((void)AccessPolicy::Uniform(0), std::invalid_argument);
+}
+
+TEST(AccessPolicyTest, ExplicitMappingValidated) {
+  EXPECT_NO_THROW(AccessPolicy({5, 3, 3, 0}));
+  EXPECT_THROW(AccessPolicy({}), std::invalid_argument);
+  EXPECT_THROW(AccessPolicy({1, 2}), std::invalid_argument);  // increasing
+  EXPECT_THROW(AccessPolicy({3, -1}), std::invalid_argument);
+}
+
+TEST(AccessPolicyTest, LevelForPrivilegeBounds) {
+  const AccessPolicy policy = AccessPolicy::Uniform(3);
+  EXPECT_THROW((void)policy.LevelForPrivilege(-1), std::out_of_range);
+  EXPECT_THROW((void)policy.LevelForPrivilege(3), std::out_of_range);
+}
+
+TEST(AccessPolicyTest, ViewForReturnsMappedLevel) {
+  const MultiLevelRelease r = ThreeLevelRelease();
+  const AccessPolicy policy = AccessPolicy::Uniform(3);
+  EXPECT_DOUBLE_EQ(policy.ViewFor(r, 0).noisy_total, 102.0);  // level 2
+  EXPECT_DOUBLE_EQ(policy.ViewFor(r, 2).noisy_total, 100.0);  // level 0
+}
+
+TEST(AccessPolicyTest, ViewForThrowsWhenLevelMissing) {
+  const MultiLevelRelease r = ThreeLevelRelease();
+  const AccessPolicy policy({5});  // references level 5, release has 0..2
+  EXPECT_THROW((void)policy.ViewFor(r, 0), std::out_of_range);
+}
+
+TEST(AccessPolicyTest, HigherPrivilegeNeverCoarser) {
+  const AccessPolicy policy = AccessPolicy::Uniform(6);
+  for (int p = 1; p < policy.num_tiers(); ++p) {
+    EXPECT_LE(policy.LevelForPrivilege(p), policy.LevelForPrivilege(p - 1));
+  }
+}
+
+}  // namespace
+}  // namespace gdp::core

@@ -1,0 +1,148 @@
+#include "core/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gdp::core {
+namespace {
+
+TEST(ExpectedRerTest, GaussianClosedForm) {
+  const double sigma =
+      MakeMechanism(NoiseKind::kGaussian, 0.999, 1e-5, 500.0)->NoiseStddev();
+  EXPECT_NEAR(ExpectedRer(NoiseKind::kGaussian, 0.999, 1e-5, 500.0, 10000.0),
+              sigma * std::sqrt(2.0 / M_PI) / 10000.0, 1e-12);
+}
+
+TEST(ExpectedRerTest, LaplaceClosedForm) {
+  // E|Laplace(b)| = b = Delta/eps.
+  EXPECT_NEAR(ExpectedRer(NoiseKind::kLaplace, 0.5, 1e-5, 100.0, 10000.0),
+              (100.0 / 0.5) / 10000.0, 1e-12);
+}
+
+TEST(ExpectedRerTest, ZeroSensitivityIsExact) {
+  EXPECT_EQ(ExpectedRer(NoiseKind::kGaussian, 0.5, 1e-5, 0.0, 100.0), 0.0);
+}
+
+TEST(ExpectedRerTest, RejectsNonPositiveTotal) {
+  EXPECT_THROW((void)ExpectedRer(NoiseKind::kGaussian, 0.5, 1e-5, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ExpectedRerTest, MatchesEmpiricalMean) {
+  const auto mech = MakeMechanism(NoiseKind::kGaussian, 0.8, 1e-5, 200.0);
+  gdp::common::Rng rng(3);
+  double total_abs = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    total_abs += std::fabs(mech->AddNoise(0.0, rng));
+  }
+  const double empirical_rer = total_abs / kN / 5000.0;
+  EXPECT_NEAR(ExpectedRer(NoiseKind::kGaussian, 0.8, 1e-5, 200.0, 5000.0),
+              empirical_rer, empirical_rer * 0.02);
+}
+
+TEST(ErrorBoundTest, GaussianQuantileBound) {
+  const double sigma =
+      MakeMechanism(NoiseKind::kGaussian, 0.9, 1e-5, 100.0)->NoiseStddev();
+  // 95% bound = sigma * 1.96.
+  EXPECT_NEAR(ErrorBound(NoiseKind::kGaussian, 0.9, 1e-5, 100.0, 0.05),
+              sigma * 1.959963984540054, sigma * 1e-6);
+}
+
+TEST(ErrorBoundTest, LaplaceTailBound) {
+  // P(|X| > b ln(1/beta)) = beta.
+  EXPECT_NEAR(ErrorBound(NoiseKind::kLaplace, 1.0, 1e-5, 10.0, 0.01),
+              10.0 * std::log(100.0), 1e-9);
+}
+
+TEST(ErrorBoundTest, SmallerBetaLargerBound) {
+  EXPECT_GT(ErrorBound(NoiseKind::kGaussian, 0.9, 1e-5, 100.0, 0.001),
+            ErrorBound(NoiseKind::kGaussian, 0.9, 1e-5, 100.0, 0.1));
+}
+
+TEST(ErrorBoundTest, RejectsBadBeta) {
+  EXPECT_THROW((void)ErrorBound(NoiseKind::kGaussian, 0.9, 1e-5, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)ErrorBound(NoiseKind::kGaussian, 0.9, 1e-5, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ErrorBoundTest, EmpiricalCoverage) {
+  const double bound = ErrorBound(NoiseKind::kGaussian, 0.9, 1e-5, 50.0, 0.05);
+  const auto mech = MakeMechanism(NoiseKind::kGaussian, 0.9, 1e-5, 50.0);
+  gdp::common::Rng rng(7);
+  int violations = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (std::fabs(mech->AddNoise(0.0, rng)) > bound) {
+      ++violations;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(violations) / kN, 0.05, 0.005);
+}
+
+TEST(EpsilonForTargetRerTest, InvertsExpectedRer) {
+  const double eps = EpsilonForTargetRer(NoiseKind::kGaussian, 1e-5, 1000.0,
+                                         100000.0, 0.02);
+  EXPECT_NEAR(ExpectedRer(NoiseKind::kGaussian, eps, 1e-5, 1000.0, 100000.0),
+              0.02, 1e-6);
+}
+
+TEST(EpsilonForTargetRerTest, TighterTargetNeedsMoreBudget) {
+  const double loose = EpsilonForTargetRer(NoiseKind::kGaussian, 1e-5, 1000.0,
+                                           100000.0, 0.1);
+  const double tight = EpsilonForTargetRer(NoiseKind::kGaussian, 1e-5, 1000.0,
+                                           100000.0, 0.001);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(EpsilonForTargetRerTest, RejectsBadTarget) {
+  EXPECT_THROW((void)EpsilonForTargetRer(NoiseKind::kGaussian, 1e-5, 1.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(PlanLevelBudgetsTest, ValidatesInputs) {
+  EXPECT_THROW((void)PlanLevelBudgets(NoiseKind::kGaussian, 1e-5, {}, {}, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)PlanLevelBudgets(NoiseKind::kGaussian, 1e-5, {1.0},
+                                      {0.1, 0.2}, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)PlanLevelBudgets(NoiseKind::kGaussian, 1e-5, {1.0}, {0.1},
+                                      1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)PlanLevelBudgets(NoiseKind::kGaussian, 1e-5, {-1.0}, {0.1},
+                                      1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(PlanLevelBudgetsTest, EpsilonsSumToBudget) {
+  const auto plan = PlanLevelBudgets(NoiseKind::kGaussian, 1e-5,
+                                     {100.0, 1000.0, 10000.0},
+                                     {0.01, 0.05, 0.3}, 100000.0, 2.0);
+  double total = 0.0;
+  for (const auto& lb : plan) {
+    total += lb.epsilon;
+  }
+  EXPECT_NEAR(total, 2.0, 1e-9);
+}
+
+TEST(PlanLevelBudgetsTest, AchievedRerProportionalToTolerances) {
+  // Laplace noise scales exactly as 1/eps, so uniform budget scaling
+  // preserves the tolerance ratios exactly.  (Gaussian only approximately:
+  // the calibration switches to the analytic curve above eps = 1.)
+  const auto plan = PlanLevelBudgets(NoiseKind::kLaplace, 1e-5,
+                                     {500.0, 500.0}, {0.01, 0.04}, 50000.0, 1.0);
+  EXPECT_NEAR(plan[1].expected_rer / plan[0].expected_rer, 4.0, 1e-6);
+}
+
+TEST(PlanLevelBudgetsTest, LargeBudgetBeatsTolerances) {
+  const auto plan = PlanLevelBudgets(NoiseKind::kLaplace, 1e-5, {100.0},
+                                     {0.5}, 10000.0, 100.0);
+  EXPECT_LT(plan[0].expected_rer, 0.5);
+}
+
+}  // namespace
+}  // namespace gdp::core

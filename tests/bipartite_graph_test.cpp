@@ -1,0 +1,154 @@
+#include "graph/bipartite_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace gdp::graph {
+namespace {
+
+BipartiteGraph SmallGraph() {
+  // 3 left, 4 right; edges form a small association pattern.
+  return BipartiteGraph(3, 4,
+                        {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {1, 3}, {2, 3}});
+}
+
+TEST(BipartiteGraphTest, BasicCounts) {
+  const BipartiteGraph g = SmallGraph();
+  EXPECT_EQ(g.num_left(), 3u);
+  EXPECT_EQ(g.num_right(), 4u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.total_nodes(), 7u);
+  EXPECT_EQ(g.num_nodes(Side::kLeft), 3u);
+  EXPECT_EQ(g.num_nodes(Side::kRight), 4u);
+}
+
+TEST(BipartiteGraphTest, DegreesBothSides) {
+  const BipartiteGraph g = SmallGraph();
+  EXPECT_EQ(g.Degree(Side::kLeft, 0), 2u);
+  EXPECT_EQ(g.Degree(Side::kLeft, 1), 3u);
+  EXPECT_EQ(g.Degree(Side::kLeft, 2), 1u);
+  EXPECT_EQ(g.Degree(Side::kRight, 0), 1u);
+  EXPECT_EQ(g.Degree(Side::kRight, 1), 2u);
+  EXPECT_EQ(g.Degree(Side::kRight, 2), 1u);
+  EXPECT_EQ(g.Degree(Side::kRight, 3), 2u);
+}
+
+TEST(BipartiteGraphTest, DegreeSumsEqualEdgeCountOnBothSides) {
+  const BipartiteGraph g = SmallGraph();
+  for (const Side side : {Side::kLeft, Side::kRight}) {
+    EdgeCount total = 0;
+    for (const EdgeCount d : g.Degrees(side)) {
+      total += d;
+    }
+    EXPECT_EQ(total, g.num_edges());
+  }
+}
+
+TEST(BipartiteGraphTest, NeighborsAreCorrect) {
+  const BipartiteGraph g = SmallGraph();
+  const auto n1 = g.Neighbors(Side::kLeft, 1);
+  std::vector<NodeIndex> v1(n1.begin(), n1.end());
+  std::sort(v1.begin(), v1.end());
+  EXPECT_EQ(v1, (std::vector<NodeIndex>{1, 2, 3}));
+
+  const auto n3 = g.Neighbors(Side::kRight, 3);
+  std::vector<NodeIndex> v3(n3.begin(), n3.end());
+  std::sort(v3.begin(), v3.end());
+  EXPECT_EQ(v3, (std::vector<NodeIndex>{1, 2}));
+}
+
+TEST(BipartiteGraphTest, MaxDegree) {
+  const BipartiteGraph g = SmallGraph();
+  EXPECT_EQ(g.MaxDegree(Side::kLeft), 3u);
+  EXPECT_EQ(g.MaxDegree(Side::kRight), 2u);
+}
+
+TEST(BipartiteGraphTest, EdgeListRoundTrips) {
+  const BipartiteGraph g = SmallGraph();
+  std::vector<Edge> edges = g.EdgeList();
+  std::sort(edges.begin(), edges.end());
+  const std::vector<Edge> expected{{0, 0}, {0, 1}, {1, 1},
+                                   {1, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(BipartiteGraphTest, ParallelEdgesAreKept) {
+  const BipartiteGraph g(2, 2, {{0, 0}, {0, 0}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.Degree(Side::kLeft, 0), 2u);
+  EXPECT_EQ(g.Degree(Side::kRight, 0), 2u);
+}
+
+TEST(BipartiteGraphTest, EmptyGraphIsValid) {
+  const BipartiteGraph g(5, 3, {});
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.MaxDegree(Side::kLeft), 0u);
+  EXPECT_TRUE(g.Neighbors(Side::kLeft, 0).empty());
+}
+
+TEST(BipartiteGraphTest, ZeroNodesSideIsAllowedIfNoEdges) {
+  const BipartiteGraph g(0, 0, {});
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.total_nodes(), 0u);
+}
+
+TEST(BipartiteGraphTest, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(BipartiteGraph(2, 2, {{2, 0}}), std::out_of_range);
+  EXPECT_THROW(BipartiteGraph(2, 2, {{0, 2}}), std::out_of_range);
+}
+
+TEST(BipartiteGraphTest, AccessorsRejectOutOfRangeNodes) {
+  const BipartiteGraph g = SmallGraph();
+  EXPECT_THROW((void)g.Degree(Side::kLeft, 3), std::out_of_range);
+  EXPECT_THROW((void)g.Neighbors(Side::kRight, 4), std::out_of_range);
+}
+
+TEST(BipartiteGraphTest, SummaryMentionsCounts) {
+  const std::string s = SmallGraph().Summary();
+  EXPECT_NE(s.find("3 left"), std::string::npos);
+  EXPECT_NE(s.find("4 right"), std::string::npos);
+  EXPECT_NE(s.find("6 associations"), std::string::npos);
+}
+
+TEST(SideTest, OppositeAndNames) {
+  EXPECT_EQ(Opposite(Side::kLeft), Side::kRight);
+  EXPECT_EQ(Opposite(Side::kRight), Side::kLeft);
+  EXPECT_STREQ(SideName(Side::kLeft), "left");
+  EXPECT_STREQ(SideName(Side::kRight), "right");
+}
+
+TEST(BuilderTest, AddEdgeValidatesEndpoints) {
+  BipartiteGraphBuilder b(2, 2);
+  EXPECT_THROW(b.AddEdge(2, 0), std::out_of_range);
+  EXPECT_THROW(b.AddEdge(0, 5), std::out_of_range);
+}
+
+TEST(BuilderTest, BuildsEquivalentGraph) {
+  BipartiteGraphBuilder b(3, 4);
+  b.AddEdge(0, 0).AddEdge(1, 2).AddEdge(2, 3);
+  EXPECT_EQ(b.num_pending_edges(), 3u);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.Degree(Side::kLeft, 1), 1u);
+}
+
+TEST(BuilderTest, DeduplicateRemovesParallelEdges) {
+  BipartiteGraphBuilder b(2, 2);
+  b.AddEdge(0, 0).AddEdge(0, 0).AddEdge(0, 1).AddEdge(0, 0);
+  b.DeduplicateEdges();
+  EXPECT_EQ(b.num_pending_edges(), 2u);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(BuilderTest, AddEdgesSpan) {
+  BipartiteGraphBuilder b(3, 3);
+  const std::vector<Edge> edges{{0, 1}, {1, 1}, {2, 2}};
+  b.AddEdges(edges);
+  EXPECT_EQ(b.num_pending_edges(), 3u);
+}
+
+}  // namespace
+}  // namespace gdp::graph

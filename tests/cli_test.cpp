@@ -1,0 +1,158 @@
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include "core/release_io.hpp"
+#include <fstream>
+#include <sstream>
+
+#include "cli/args.hpp"
+
+namespace gdp::cli {
+namespace {
+
+// ---------- Args parser ----------
+
+TEST(ArgsTest, ParsesFlagsAndSwitches) {
+  const Args args = Args::Parse({"--eps", "0.5", "--consistent", "--depth", "7"},
+                                {"eps", "depth"}, {"consistent"});
+  EXPECT_EQ(args.GetOr("eps", ""), "0.5");
+  EXPECT_DOUBLE_EQ(args.GetDouble("eps", 0.0), 0.5);
+  EXPECT_EQ(args.GetInt("depth", 0), 7);
+  EXPECT_TRUE(args.HasSwitch("consistent"));
+  EXPECT_FALSE(args.HasSwitch("strip-truth"));
+}
+
+TEST(ArgsTest, DefaultsApplyWhenAbsent) {
+  const Args args = Args::Parse({}, {"eps"});
+  EXPECT_FALSE(args.Get("eps").has_value());
+  EXPECT_DOUBLE_EQ(args.GetDouble("eps", 0.999), 0.999);
+  EXPECT_EQ(args.GetInt("depth", 9), 9);
+  EXPECT_EQ(args.GetOr("eps", "fallback"), "fallback");
+}
+
+TEST(ArgsTest, RejectsUnknownFlag) {
+  EXPECT_THROW((void)Args::Parse({"--bogus", "1"}, {"eps"}),
+               std::invalid_argument);
+}
+
+TEST(ArgsTest, RejectsMissingValue) {
+  EXPECT_THROW((void)Args::Parse({"--eps"}, {"eps"}), std::invalid_argument);
+}
+
+TEST(ArgsTest, RejectsBareToken) {
+  EXPECT_THROW((void)Args::Parse({"eps", "1"}, {"eps"}), std::invalid_argument);
+}
+
+TEST(ArgsTest, RejectsMalformedNumbers) {
+  const Args args = Args::Parse({"--eps", "0.5x", "--depth", "7y"},
+                                {"eps", "depth"});
+  EXPECT_THROW((void)args.GetDouble("eps", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.GetInt("depth", 0), std::invalid_argument);
+}
+
+// ---------- command round trip ----------
+
+class CliRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    graph_path_ = dir_ + "/cli_graph.tsv";
+    release_path_ = dir_ + "/cli_release.tsv";
+    hierarchy_path_ = dir_ + "/cli_hierarchy.tsv";
+  }
+  void TearDown() override {
+    std::remove(graph_path_.c_str());
+    std::remove(release_path_.c_str());
+    std::remove(hierarchy_path_.c_str());
+  }
+  std::string dir_;
+  std::string graph_path_;
+  std::string release_path_;
+  std::string hierarchy_path_;
+};
+
+TEST_F(CliRoundTripTest, GenerateDiscloseInspectDrilldown) {
+  std::ostringstream out;
+  // generate
+  ASSERT_EQ(Dispatch({"generate", "--out", graph_path_, "--left", "500",
+                      "--right", "700", "--edges", "3000", "--seed", "7"},
+                     out),
+            0);
+  EXPECT_NE(out.str().find("wrote"), std::string::npos);
+
+  // disclose (with consistency and hierarchy output)
+  out.str("");
+  ASSERT_EQ(Dispatch({"disclose", "--graph", graph_path_, "--release",
+                      release_path_, "--hierarchy", hierarchy_path_, "--depth",
+                      "5", "--eps", "0.9", "--consistent"},
+                     out),
+            0);
+  EXPECT_NE(out.str().find("budget ledger"), std::string::npos);
+  EXPECT_NE(out.str().find("release written"), std::string::npos);
+
+  // inspect
+  out.str("");
+  ASSERT_EQ(Dispatch({"inspect", "--release", release_path_}, out), 0);
+  EXPECT_NE(out.str().find("L0"), std::string::npos);
+  EXPECT_NE(out.str().find("L5"), std::string::npos);
+
+  // drilldown
+  out.str("");
+  ASSERT_EQ(Dispatch({"drilldown", "--release", release_path_, "--hierarchy",
+                      hierarchy_path_, "--side", "left", "--node", "3"},
+                     out),
+            0);
+  EXPECT_NE(out.str().find("group_size"), std::string::npos);
+  EXPECT_NE(out.str().find("L5"), std::string::npos);
+}
+
+TEST_F(CliRoundTripTest, StripTruthProducesZeroTruthArtifact) {
+  std::ostringstream out;
+  ASSERT_EQ(Dispatch({"generate", "--out", graph_path_, "--left", "200",
+                      "--right", "200", "--edges", "1000"},
+                     out),
+            0);
+  ASSERT_EQ(Dispatch({"disclose", "--graph", graph_path_, "--release",
+                      release_path_, "--depth", "4", "--strip-truth"},
+                     out),
+            0);
+  // The artifact must carry no true values: read it back and check fields.
+  const auto release = gdp::core::ReadReleaseFile(release_path_);
+  for (const auto& lvl : release.levels()) {
+    EXPECT_EQ(lvl.true_total, 0.0);
+    for (const double t : lvl.true_group_counts) {
+      EXPECT_EQ(t, 0.0);
+    }
+  }
+}
+
+TEST(CliDispatchTest, NoCommandPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(Dispatch({}, out), 2);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliDispatchTest, UnknownCommandPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(Dispatch({"frobnicate"}, out), 2);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliDispatchTest, MissingRequiredFlagThrows) {
+  std::ostringstream out;
+  EXPECT_THROW((void)Dispatch({"inspect"}, out), std::invalid_argument);
+  EXPECT_THROW((void)Dispatch({"generate"}, out), std::invalid_argument);
+}
+
+TEST(CliDispatchTest, DrilldownRejectsBadSide) {
+  std::ostringstream out;
+  EXPECT_THROW((void)Dispatch({"drilldown", "--release", "r", "--hierarchy",
+                               "h", "--side", "middle", "--node", "0"},
+                              out),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gdp::cli

@@ -1,0 +1,145 @@
+#include "core/drilldown.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/group_dp_engine.hpp"
+#include "graph/generators.hpp"
+#include "hier/specialization.hpp"
+
+namespace gdp::core {
+namespace {
+
+using gdp::common::Rng;
+using gdp::graph::BipartiteGraph;
+using gdp::graph::Side;
+
+struct Fixture {
+  BipartiteGraph graph;
+  gdp::hier::GroupHierarchy hierarchy;
+  MultiLevelRelease release;
+};
+
+Fixture MakeFixture() {
+  Rng grng(3);
+  BipartiteGraph g = gdp::graph::GenerateUniformRandom(64, 64, 600, grng);
+  gdp::hier::SpecializationConfig cfg;
+  cfg.depth = 4;
+  const gdp::hier::Specializer spec(cfg);
+  Rng srng(5);
+  auto hierarchy = spec.BuildHierarchy(g, srng).hierarchy;
+  const GroupDpEngine engine(ReleaseConfig{});
+  Rng rng(7);
+  auto release = engine.ReleaseAll(g, hierarchy, rng);
+  return Fixture{std::move(g), std::move(hierarchy), std::move(release)};
+}
+
+TEST(DrillDownTest, ChainDescendsFromCoarseToFine) {
+  const Fixture f = MakeFixture();
+  const gdp::hier::HierarchyIndex index(f.hierarchy);
+  const auto chain = DrillDown(f.release, index, Side::kLeft, 7, 4, 0);
+  ASSERT_EQ(chain.size(), 5u);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(chain[i].level, 4 - static_cast<int>(i));
+  }
+  // Group sizes shrink (weakly) down the chain.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LE(chain[i].group_size, chain[i - 1].group_size);
+  }
+  // Bottom of the chain is the node's singleton.
+  EXPECT_EQ(chain.back().group_size, 1u);
+}
+
+TEST(DrillDownTest, EntriesMatchReleasedCounts) {
+  const Fixture f = MakeFixture();
+  const gdp::hier::HierarchyIndex index(f.hierarchy);
+  const auto chain = DrillDown(f.release, index, Side::kRight, 3, 4, 1);
+  for (const auto& entry : chain) {
+    const auto g = f.hierarchy.level(entry.level).GroupOf(Side::kRight, 3);
+    EXPECT_EQ(entry.group, g);
+    EXPECT_DOUBLE_EQ(entry.noisy_count,
+                     f.release.level(entry.level).noisy_group_counts[g]);
+    EXPECT_DOUBLE_EQ(entry.true_count,
+                     f.release.level(entry.level).true_group_counts[g]);
+  }
+}
+
+TEST(DrillDownTest, TrueCountIsIncidentEdgeCount) {
+  const Fixture f = MakeFixture();
+  const gdp::hier::HierarchyIndex index(f.hierarchy);
+  const auto chain = DrillDown(f.release, index, Side::kLeft, 0, 2, 2);
+  ASSERT_EQ(chain.size(), 1u);
+  const auto& level = f.hierarchy.level(2);
+  const auto sums = level.GroupDegreeSums(f.graph);
+  EXPECT_DOUBLE_EQ(chain[0].true_count,
+                   static_cast<double>(sums[chain[0].group]));
+}
+
+TEST(DrillDownTest, ValidatesLevelRange) {
+  const Fixture f = MakeFixture();
+  const gdp::hier::HierarchyIndex index(f.hierarchy);
+  EXPECT_THROW((void)DrillDown(f.release, index, Side::kLeft, 0, 5, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)DrillDown(f.release, index, Side::kLeft, 0, 2, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)DrillDown(f.release, index, Side::kLeft, 0, 2, -1),
+               std::invalid_argument);
+}
+
+TEST(DrillDownTest, RejectsReleaseWithoutGroupCounts) {
+  const Fixture f = MakeFixture();
+  const gdp::hier::HierarchyIndex index(f.hierarchy);
+  ReleaseConfig cfg;
+  cfg.include_group_counts = false;
+  const GroupDpEngine engine(cfg);
+  Rng rng(11);
+  const MultiLevelRelease bare = engine.ReleaseAll(f.graph, f.hierarchy, rng);
+  EXPECT_THROW((void)DrillDown(bare, index, Side::kLeft, 0, 4, 0),
+               std::invalid_argument);
+}
+
+TEST(DrillDownTest, StrippedReleaseYieldsZeroTruth) {
+  const Fixture f = MakeFixture();
+  const gdp::hier::HierarchyIndex index(f.hierarchy);
+  const MultiLevelRelease pub = f.release.StripTruth();
+  const auto chain = DrillDown(pub, index, Side::kLeft, 2, 4, 0);
+  for (const auto& entry : chain) {
+    EXPECT_EQ(entry.true_count, 0.0);
+  }
+}
+
+TEST(ReleaseAllWithBudgetsTest, PerLevelEpsilonsChangeNoiseScales) {
+  const Fixture f = MakeFixture();
+  ReleaseConfig cfg;
+  cfg.include_group_counts = false;
+  const GroupDpEngine engine(cfg);
+  // Increasing epsilon per level: noise scale relative to the uniform
+  // release must shrink at generously-budgeted levels.
+  const std::vector<double> budgets{0.1, 0.2, 0.4, 0.8, 1.6};
+  Rng rng(13);
+  const MultiLevelRelease planned =
+      engine.ReleaseAllWithBudgets(f.graph, f.hierarchy, budgets, rng);
+  Rng rng2(13);
+  const MultiLevelRelease uniform = engine.ReleaseAll(f.graph, f.hierarchy, rng2);
+  // Level 0 budget (0.1) < uniform (0.999): more noise.
+  EXPECT_GT(planned.level(0).noise_stddev, uniform.level(0).noise_stddev);
+  // Level 4 budget (1.6) > uniform: less noise.
+  EXPECT_LT(planned.level(4).noise_stddev, uniform.level(4).noise_stddev);
+}
+
+TEST(ReleaseAllWithBudgetsTest, ValidatesBudgetVector) {
+  const Fixture f = MakeFixture();
+  const GroupDpEngine engine(ReleaseConfig{});
+  Rng rng(17);
+  const std::vector<double> too_short{0.5, 0.5};
+  EXPECT_THROW((void)engine.ReleaseAllWithBudgets(f.graph, f.hierarchy,
+                                                  too_short, rng),
+               std::invalid_argument);
+  const std::vector<double> bad{0.5, 0.5, -1.0, 0.5, 0.5};
+  EXPECT_THROW(
+      (void)engine.ReleaseAllWithBudgets(f.graph, f.hierarchy, bad, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gdp::core

@@ -1,0 +1,118 @@
+#include "dp/exponential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gdp::dp {
+namespace {
+
+using gdp::common::Rng;
+
+TEST(ExponentialMechanismTest, ExponentScale) {
+  const ExponentialMechanism em(Epsilon(1.0), L1Sensitivity(2.0));
+  EXPECT_DOUBLE_EQ(em.ExponentScale(), 0.25);
+}
+
+TEST(ExponentialMechanismTest, SelectRejectsEmpty) {
+  const ExponentialMechanism em(Epsilon(1.0), L1Sensitivity(1.0));
+  Rng rng(1);
+  EXPECT_THROW((void)em.Select({}, rng), std::invalid_argument);
+}
+
+TEST(ExponentialMechanismTest, SelectRejectsNonFinite) {
+  const ExponentialMechanism em(Epsilon(1.0), L1Sensitivity(1.0));
+  Rng rng(1);
+  const std::vector<double> utilities{
+      0.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)em.Select(utilities, rng), std::invalid_argument);
+}
+
+TEST(ExponentialMechanismTest, SingleCandidateAlwaysSelected) {
+  const ExponentialMechanism em(Epsilon(1.0), L1Sensitivity(1.0));
+  Rng rng(2);
+  const std::vector<double> utilities{3.0};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(em.Select(utilities, rng), 0u);
+  }
+}
+
+TEST(ExponentialMechanismTest, SelectionProbabilitiesSumToOne) {
+  const ExponentialMechanism em(Epsilon(0.7), L1Sensitivity(1.0));
+  const std::vector<double> utilities{0.0, 1.0, -2.0, 5.0};
+  const auto probs = em.SelectionProbabilities(utilities);
+  ASSERT_EQ(probs.size(), 4u);
+  double total = 0.0;
+  for (const double p : probs) {
+    EXPECT_GT(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ExponentialMechanismTest, ProbabilityRatiosFollowDefinition) {
+  const double eps = 1.2;
+  const ExponentialMechanism em(Epsilon(eps), L1Sensitivity(1.0));
+  const std::vector<double> utilities{0.0, 2.0};
+  const auto probs = em.SelectionProbabilities(utilities);
+  // p1/p0 = exp(eps * (u1 - u0) / 2).
+  EXPECT_NEAR(probs[1] / probs[0], std::exp(eps * 2.0 / 2.0), 1e-9);
+}
+
+TEST(ExponentialMechanismTest, ProbabilitiesStableUnderUtilityShift) {
+  const ExponentialMechanism em(Epsilon(0.5), L1Sensitivity(1.0));
+  const std::vector<double> a{0.0, 1.0, 2.0};
+  const std::vector<double> b{1000.0, 1001.0, 1002.0};
+  const auto pa = em.SelectionProbabilities(a);
+  const auto pb = em.SelectionProbabilities(b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(pa[i], pb[i], 1e-12);
+  }
+}
+
+TEST(ExponentialMechanismTest, EmpiricalFrequenciesMatchProbabilities) {
+  const ExponentialMechanism em(Epsilon(1.0), L1Sensitivity(1.0));
+  const std::vector<double> utilities{0.0, 1.0, 3.0};
+  const auto probs = em.SelectionProbabilities(utilities);
+  Rng rng(42);
+  constexpr int kN = 200000;
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < kN; ++i) {
+    ++counts[em.Select(utilities, rng)];
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kN, probs[i], 0.01)
+        << "candidate " << i;
+  }
+}
+
+TEST(ExponentialMechanismTest, HighEpsilonConcentratesOnArgmax) {
+  const ExponentialMechanism em(Epsilon(50.0), L1Sensitivity(1.0));
+  const std::vector<double> utilities{0.0, 1.0, 10.0, 2.0};
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(em.Select(utilities, rng), 2u);
+  }
+}
+
+TEST(ExponentialMechanismTest, TinyEpsilonNearUniform) {
+  const ExponentialMechanism em(Epsilon(1e-6), L1Sensitivity(1.0));
+  const std::vector<double> utilities{0.0, 100.0};
+  const auto probs = em.SelectionProbabilities(utilities);
+  EXPECT_NEAR(probs[0], 0.5, 0.001);
+  EXPECT_NEAR(probs[1], 0.5, 0.001);
+}
+
+TEST(ExponentialMechanismTest, LargerSensitivityFlattensDistribution) {
+  const std::vector<double> utilities{0.0, 4.0};
+  const ExponentialMechanism sharp(Epsilon(1.0), L1Sensitivity(1.0));
+  const ExponentialMechanism flat(Epsilon(1.0), L1Sensitivity(10.0));
+  EXPECT_GT(sharp.SelectionProbabilities(utilities)[1],
+            flat.SelectionProbabilities(utilities)[1]);
+}
+
+}  // namespace
+}  // namespace gdp::dp

@@ -1,0 +1,201 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/stats.hpp"
+
+namespace gdp::graph {
+namespace {
+
+using gdp::common::Rng;
+
+TEST(ZipfSamplerTest, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOne) {
+  const ZipfSampler z(100, 1.5);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    total += z.Probability(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSamplerTest, ProbabilityRatioFollowsPowerLaw) {
+  const double s = 2.0;
+  const ZipfSampler z(1000, s);
+  // P(0)/P(9) = (10/1)^s.
+  EXPECT_NEAR(z.Probability(0) / z.Probability(9), std::pow(10.0, s), 1e-9);
+}
+
+TEST(ZipfSamplerTest, ExponentZeroIsUniform) {
+  const ZipfSampler z(50, 0.0);
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    EXPECT_NEAR(z.Probability(k), 1.0 / 50.0, 1e-12);
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatch) {
+  const ZipfSampler z(10, 1.0);
+  Rng rng(3);
+  constexpr int kN = 200000;
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < kN; ++i) {
+    ++counts[z.Sample(rng)];
+  }
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kN, z.Probability(k), 0.01);
+  }
+}
+
+TEST(ZipfSamplerTest, ProbabilityRejectsOutOfRange) {
+  const ZipfSampler z(10, 1.0);
+  EXPECT_THROW((void)z.Probability(10), std::out_of_range);
+}
+
+TEST(DblpParamsTest, FullScaleMatchesPaper) {
+  const DblpLikeParams p = DblpFullScaleParams();
+  EXPECT_EQ(p.num_left, 1'295'100u);
+  EXPECT_EQ(p.num_right, 2'281'341u);
+  EXPECT_EQ(p.num_edges, 6'384'117u);
+}
+
+TEST(DblpParamsTest, ScalingIsProportional) {
+  const DblpLikeParams p = DblpScaledParams(0.1);
+  EXPECT_NEAR(p.num_left, 129'510, 2);
+  EXPECT_NEAR(p.num_right, 228'134, 2);
+  EXPECT_NEAR(p.num_edges, 638'411, 2);
+}
+
+TEST(DblpParamsTest, ScalingRejectsBadFraction) {
+  EXPECT_THROW((void)DblpScaledParams(0.0), std::invalid_argument);
+  EXPECT_THROW((void)DblpScaledParams(1.5), std::invalid_argument);
+}
+
+TEST(GenerateDblpLikeTest, ProducesRequestedShape) {
+  DblpLikeParams p;
+  p.num_left = 2000;
+  p.num_right = 3000;
+  p.num_edges = 10000;
+  Rng rng(17);
+  const BipartiteGraph g = GenerateDblpLike(p, rng);
+  EXPECT_EQ(g.num_left(), 2000u);
+  EXPECT_EQ(g.num_right(), 3000u);
+  EXPECT_EQ(g.num_edges(), 10000u);
+}
+
+TEST(GenerateDblpLikeTest, NoParallelEdgesByDefault) {
+  DblpLikeParams p;
+  p.num_left = 500;
+  p.num_right = 500;
+  p.num_edges = 2000;
+  Rng rng(19);
+  const BipartiteGraph g = GenerateDblpLike(p, rng);
+  std::vector<Edge> edges = g.EdgeList();
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(std::adjacent_find(edges.begin(), edges.end()), edges.end());
+}
+
+TEST(GenerateDblpLikeTest, HeavyTailOnLeftSide) {
+  DblpLikeParams p;
+  p.num_left = 5000;
+  p.num_right = 8000;
+  p.num_edges = 25000;
+  Rng rng(23);
+  const BipartiteGraph g = GenerateDblpLike(p, rng);
+  // Zipf productivity should give a clearly unequal degree profile.
+  EXPECT_GT(DegreeGini(g, Side::kLeft), 0.25);
+  // Max degree far above average degree (25000/5000 = 5).
+  EXPECT_GT(g.MaxDegree(Side::kLeft), 50u);
+  // ...but no single author may dominate the edge mass (the property that
+  // makes the multi-level sensitivity geometry of Figure 1 possible).
+  EXPECT_LT(static_cast<double>(g.MaxDegree(Side::kLeft)),
+            0.05 * static_cast<double>(g.num_edges()));
+}
+
+TEST(GenerateDblpLikeTest, DeterministicUnderSeed) {
+  DblpLikeParams p;
+  p.num_left = 300;
+  p.num_right = 400;
+  p.num_edges = 1000;
+  Rng rng1(5);
+  Rng rng2(5);
+  const BipartiteGraph g1 = GenerateDblpLike(p, rng1);
+  const BipartiteGraph g2 = GenerateDblpLike(p, rng2);
+  EXPECT_EQ(g1.EdgeList(), g2.EdgeList());
+}
+
+TEST(GenerateDblpLikeTest, DenseRequestDegradesGracefully) {
+  // Request more simple edges than pairs exist: generator must terminate and
+  // return at most num_left*num_right edges.
+  DblpLikeParams p;
+  p.num_left = 10;
+  p.num_right = 10;
+  p.num_edges = 1000;
+  Rng rng(29);
+  const BipartiteGraph g = GenerateDblpLike(p, rng);
+  EXPECT_LE(g.num_edges(), 100u);
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(GenerateDblpLikeTest, ParallelEdgesAllowedWhenConfigured) {
+  DblpLikeParams p;
+  p.num_left = 5;
+  p.num_right = 5;
+  p.num_edges = 500;
+  p.allow_parallel_edges = true;
+  Rng rng(31);
+  const BipartiteGraph g = GenerateDblpLike(p, rng);
+  EXPECT_EQ(g.num_edges(), 500u);  // collisions kept
+}
+
+TEST(GenerateUniformRandomTest, ShapeAndDeterminism) {
+  Rng rng1(7);
+  Rng rng2(7);
+  const BipartiteGraph g1 = GenerateUniformRandom(100, 200, 1000, rng1);
+  const BipartiteGraph g2 = GenerateUniformRandom(100, 200, 1000, rng2);
+  EXPECT_EQ(g1.num_edges(), 1000u);
+  EXPECT_EQ(g1.EdgeList(), g2.EdgeList());
+}
+
+TEST(GenerateUniformRandomTest, NearUniformDegrees) {
+  Rng rng(11);
+  const BipartiteGraph g = GenerateUniformRandom(100, 100, 50000, rng);
+  // Gini of a Poisson(500) degree profile is tiny.
+  EXPECT_LT(DegreeGini(g, Side::kLeft), 0.1);
+}
+
+TEST(GeneratePlantedBlocksTest, RespectsBlockStructure) {
+  Rng rng(13);
+  const int blocks = 4;
+  const BipartiteGraph g = GeneratePlantedBlocks(400, 400, 20000, blocks, 1.0, rng);
+  // With in_block_prob = 1 every edge joins same-index blocks.
+  for (const Edge& e : g.EdgeList()) {
+    EXPECT_EQ(e.left / 100, e.right / 100);
+  }
+}
+
+TEST(GeneratePlantedBlocksTest, ZeroInBlockProbIsUniform) {
+  Rng rng(17);
+  const BipartiteGraph g = GeneratePlantedBlocks(200, 200, 20000, 4, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 20000u);
+  EXPECT_LT(DegreeGini(g, Side::kLeft), 0.15);
+}
+
+TEST(GeneratePlantedBlocksTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_THROW((void)GeneratePlantedBlocks(10, 10, 5, 0, 0.5, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)GeneratePlantedBlocks(10, 10, 5, 20, 0.5, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)GeneratePlantedBlocks(10, 10, 5, 2, 1.5, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gdp::graph

@@ -1,0 +1,108 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace gdp::graph {
+namespace {
+
+TEST(GraphIoTest, RoundTripsThroughStream) {
+  const BipartiteGraph g(3, 4, {{0, 0}, {1, 2}, {2, 3}, {0, 3}});
+  std::stringstream ss;
+  WriteEdgeList(g, ss);
+  const BipartiteGraph back = ReadEdgeList(ss);
+  EXPECT_EQ(back.num_left(), 3u);
+  EXPECT_EQ(back.num_right(), 4u);
+  EXPECT_EQ(back.EdgeList(), g.EdgeList());
+}
+
+TEST(GraphIoTest, RoundTripsRandomGraph) {
+  gdp::common::Rng rng(3);
+  const BipartiteGraph g = GenerateUniformRandom(50, 60, 500, rng);
+  std::stringstream ss;
+  WriteEdgeList(g, ss);
+  const BipartiteGraph back = ReadEdgeList(ss);
+  EXPECT_EQ(back.EdgeList(), g.EdgeList());
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "2 2\n"
+      "# another comment\n"
+      "0 1\n"
+      "\n"
+      "1 0\n");
+  const BipartiteGraph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIoTest, AcceptsTabsAndSpaces) {
+  std::istringstream in("2\t3\n0\t2\n1 1\n");
+  const BipartiteGraph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.Degree(Side::kRight, 2), 1u);
+}
+
+TEST(GraphIoTest, EmptyEdgeSectionIsValid) {
+  std::istringstream in("4 5\n");
+  const BipartiteGraph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_left(), 4u);
+}
+
+TEST(GraphIoTest, MissingHeaderThrows) {
+  std::istringstream in("# only comments\n");
+  EXPECT_THROW((void)ReadEdgeList(in), gdp::common::IoError);
+}
+
+TEST(GraphIoTest, MalformedHeaderThrows) {
+  std::istringstream in("abc def\n");
+  EXPECT_THROW((void)ReadEdgeList(in), gdp::common::IoError);
+}
+
+TEST(GraphIoTest, MalformedEdgeThrows) {
+  std::istringstream in("2 2\n0 x\n");
+  EXPECT_THROW((void)ReadEdgeList(in), gdp::common::IoError);
+}
+
+TEST(GraphIoTest, TruncatedEdgeLineThrows) {
+  std::istringstream in("2 2\n1\n");
+  EXPECT_THROW((void)ReadEdgeList(in), gdp::common::IoError);
+}
+
+TEST(GraphIoTest, OutOfRangeEndpointThrows) {
+  std::istringstream in("2 2\n0 5\n");
+  EXPECT_THROW((void)ReadEdgeList(in), gdp::common::IoError);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gdp_io_test_graph.tsv";
+  const BipartiteGraph g(2, 2, {{0, 0}, {1, 1}});
+  WriteEdgeListFile(g, path);
+  const BipartiteGraph back = ReadEdgeListFile(path);
+  EXPECT_EQ(back.EdgeList(), g.EdgeList());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)ReadEdgeListFile("/nonexistent/path/graph.tsv"),
+               gdp::common::IoError);
+}
+
+TEST(GraphIoTest, UnwritablePathThrows) {
+  const BipartiteGraph g(1, 1, {});
+  EXPECT_THROW(WriteEdgeListFile(g, "/nonexistent/dir/out.tsv"),
+               gdp::common::IoError);
+}
+
+}  // namespace
+}  // namespace gdp::graph

@@ -1,0 +1,131 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace gdp::graph {
+namespace {
+
+BipartiteGraph SmallGraph() {
+  return BipartiteGraph(3, 4,
+                        {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {1, 3}, {2, 3}});
+}
+
+TEST(DegreeHistogramTest, CountsNodesPerDegree) {
+  const BipartiteGraph g = SmallGraph();
+  const auto hist = DegreeHistogram(g, Side::kLeft);
+  // Degrees on the left: 2, 3, 1.
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(DegreeHistogramTest, HistogramSumsToNodeCount) {
+  gdp::common::Rng rng(3);
+  const BipartiteGraph g = GenerateUniformRandom(100, 150, 700, rng);
+  const auto hist = DegreeHistogram(g, Side::kRight);
+  EdgeCount total = std::accumulate(hist.begin(), hist.end(), EdgeCount{0});
+  EXPECT_EQ(total, 150u);
+}
+
+TEST(DegreeGiniTest, UniformDegreesGiveZero) {
+  // Perfect matching: every node degree 1.
+  const BipartiteGraph g(4, 4, {{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_NEAR(DegreeGini(g, Side::kLeft), 0.0, 1e-12);
+}
+
+TEST(DegreeGiniTest, ConcentratedDegreesNearOne) {
+  // One left node holds every edge among 100 nodes.
+  std::vector<Edge> edges;
+  for (NodeIndex r = 0; r < 50; ++r) {
+    edges.push_back({0, r});
+  }
+  const BipartiteGraph g(100, 50, std::move(edges));
+  EXPECT_GT(DegreeGini(g, Side::kLeft), 0.95);
+}
+
+TEST(DegreeGiniTest, EdgelessGraphIsZero) {
+  const BipartiteGraph g(10, 10, {});
+  EXPECT_EQ(DegreeGini(g, Side::kLeft), 0.0);
+}
+
+TEST(IncidentEdgeCountTest, SumsMemberDegrees) {
+  const BipartiteGraph g = SmallGraph();
+  const std::vector<NodeIndex> nodes{0, 1};
+  EXPECT_EQ(IncidentEdgeCount(g, Side::kLeft, nodes), 5u);  // 2 + 3
+}
+
+TEST(IncidentEdgeCountTest, WholeSideEqualsEdgeCount) {
+  const BipartiteGraph g = SmallGraph();
+  std::vector<NodeIndex> all(g.num_right());
+  std::iota(all.begin(), all.end(), NodeIndex{0});
+  EXPECT_EQ(IncidentEdgeCount(g, Side::kRight, all), g.num_edges());
+}
+
+TEST(IncidentEdgeCountTest, EmptySetIsZero) {
+  const BipartiteGraph g = SmallGraph();
+  EXPECT_EQ(IncidentEdgeCount(g, Side::kLeft, {}), 0u);
+}
+
+TEST(InducedEdgeCountTest, CountsOnlyInternalEdges) {
+  const BipartiteGraph g = SmallGraph();
+  // Left {0,1} x Right {1}: edges (0,1) and (1,1).
+  const std::vector<NodeIndex> left{0, 1};
+  const std::vector<NodeIndex> right{1};
+  EXPECT_EQ(InducedEdgeCount(g, left, right), 2u);
+}
+
+TEST(InducedEdgeCountTest, FullSetsGiveAllEdges) {
+  const BipartiteGraph g = SmallGraph();
+  std::vector<NodeIndex> left(g.num_left());
+  std::vector<NodeIndex> right(g.num_right());
+  std::iota(left.begin(), left.end(), NodeIndex{0});
+  std::iota(right.begin(), right.end(), NodeIndex{0});
+  EXPECT_EQ(InducedEdgeCount(g, left, right), g.num_edges());
+}
+
+TEST(InducedEdgeCountTest, DisjointPartsPartitionEdges) {
+  gdp::common::Rng rng(7);
+  const BipartiteGraph g = GenerateUniformRandom(60, 60, 600, rng);
+  // Split both sides in half; the four quadrant counts must total |E|.
+  std::vector<NodeIndex> l0;
+  std::vector<NodeIndex> l1;
+  std::vector<NodeIndex> r0;
+  std::vector<NodeIndex> r1;
+  for (NodeIndex v = 0; v < 60; ++v) {
+    (v < 30 ? l0 : l1).push_back(v);
+    (v < 30 ? r0 : r1).push_back(v);
+  }
+  const EdgeCount total = InducedEdgeCount(g, l0, r0) + InducedEdgeCount(g, l0, r1) +
+                          InducedEdgeCount(g, l1, r0) + InducedEdgeCount(g, l1, r1);
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(IncidentEdgeCountsByLabelTest, GroupsDegreesByLabel) {
+  const BipartiteGraph g = SmallGraph();
+  // Left labels: node0 -> 0, node1 -> 1, node2 -> 0.
+  const std::vector<std::uint32_t> labels{0, 1, 0};
+  const auto counts = IncidentEdgeCountsByLabel(g, Side::kLeft, labels, 2);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 3u);  // deg(0)+deg(2) = 2+1
+  EXPECT_EQ(counts[1], 3u);  // deg(1)
+}
+
+TEST(IncidentEdgeCountsByLabelTest, ValidatesInputs) {
+  const BipartiteGraph g = SmallGraph();
+  const std::vector<std::uint32_t> short_labels{0, 1};
+  EXPECT_THROW((void)IncidentEdgeCountsByLabel(g, Side::kLeft, short_labels, 2),
+               std::invalid_argument);
+  const std::vector<std::uint32_t> bad_labels{0, 5, 0};
+  EXPECT_THROW((void)IncidentEdgeCountsByLabel(g, Side::kLeft, bad_labels, 2),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gdp::graph

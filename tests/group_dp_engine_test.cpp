@@ -1,0 +1,235 @@
+#include "core/group_dp_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "dp/gaussian.hpp"
+#include "graph/generators.hpp"
+#include "hier/specialization.hpp"
+
+namespace gdp::core {
+namespace {
+
+using gdp::common::Rng;
+using gdp::graph::BipartiteGraph;
+
+BipartiteGraph TestGraph() {
+  Rng rng(3);
+  return gdp::graph::GenerateUniformRandom(64, 64, 1000, rng);
+}
+
+gdp::hier::GroupHierarchy TestHierarchy(const BipartiteGraph& g, int depth = 4) {
+  gdp::hier::SpecializationConfig cfg;
+  cfg.depth = depth;
+  const gdp::hier::Specializer spec(cfg);
+  Rng rng(5);
+  return spec.BuildHierarchy(g, rng).hierarchy;
+}
+
+TEST(NoiseKindNameTest, AllNamed) {
+  EXPECT_STREQ(NoiseKindName(NoiseKind::kGaussian), "gaussian");
+  EXPECT_STREQ(NoiseKindName(NoiseKind::kAnalyticGaussian), "analytic_gaussian");
+  EXPECT_STREQ(NoiseKindName(NoiseKind::kLaplace), "laplace");
+  EXPECT_STREQ(NoiseKindName(NoiseKind::kDiscreteGaussian), "discrete_gaussian");
+  EXPECT_STREQ(NoiseKindName(NoiseKind::kGeometric), "geometric");
+}
+
+TEST(MakeMechanismTest, ProducesEveryKind) {
+  for (const NoiseKind kind :
+       {NoiseKind::kGaussian, NoiseKind::kAnalyticGaussian, NoiseKind::kLaplace,
+        NoiseKind::kDiscreteGaussian, NoiseKind::kGeometric}) {
+    const auto m = MakeMechanism(kind, 0.9, 1e-5, 10.0);
+    ASSERT_NE(m, nullptr);
+    EXPECT_GT(m->NoiseStddev(), 0.0);
+  }
+}
+
+TEST(MakeMechanismTest, GaussianAutoUpgradesAboveEpsilonOne) {
+  // Classic calibration is invalid at eps=2; the factory must switch to the
+  // analytic curve instead of throwing.
+  const auto m = MakeMechanism(NoiseKind::kGaussian, 2.0, 1e-5, 10.0);
+  EXPECT_GT(m->NoiseStddev(), 0.0);
+}
+
+TEST(GroupDpEngineTest, ConfigValidatedAtConstruction) {
+  ReleaseConfig bad;
+  bad.epsilon_g = 0.0;
+  EXPECT_THROW(GroupDpEngine{bad}, std::invalid_argument);
+  bad = ReleaseConfig{};
+  bad.delta = 1.0;
+  EXPECT_THROW(GroupDpEngine{bad}, std::invalid_argument);
+  bad = ReleaseConfig{};
+  bad.sensitivity_override = -1.0;
+  EXPECT_THROW(GroupDpEngine{bad}, std::invalid_argument);
+}
+
+TEST(GroupDpEngineTest, NoiseStddevMatchesClassicGaussianFormula) {
+  ReleaseConfig cfg;
+  cfg.epsilon_g = 0.999;
+  cfg.delta = 1e-5;
+  const GroupDpEngine engine(cfg);
+  const double delta_sigma = gdp::dp::ClassicGaussianSigma(
+      gdp::dp::Epsilon(0.999), gdp::dp::Delta(1e-5), gdp::dp::L2Sensitivity(500.0));
+  EXPECT_NEAR(engine.NoiseStddevFor(500.0), delta_sigma, 1e-9);
+}
+
+TEST(GroupDpEngineTest, ReleaseLevelRecordsSensitivityAndTruth) {
+  const BipartiteGraph g = TestGraph();
+  const auto h = TestHierarchy(g);
+  const GroupDpEngine engine(ReleaseConfig{});
+  Rng rng(11);
+  const LevelRelease lr = engine.ReleaseLevel(g, h.level(2), 2, rng);
+  EXPECT_EQ(lr.level, 2);
+  EXPECT_DOUBLE_EQ(lr.true_total, static_cast<double>(g.num_edges()));
+  EXPECT_DOUBLE_EQ(lr.sensitivity,
+                   static_cast<double>(h.level(2).MaxGroupDegreeSum(g)));
+  EXPECT_GT(lr.noise_stddev, 0.0);
+  EXPECT_NE(lr.noisy_total, lr.true_total);
+}
+
+TEST(GroupDpEngineTest, GroupCountsIncludedByDefault) {
+  const BipartiteGraph g = TestGraph();
+  const auto h = TestHierarchy(g);
+  const GroupDpEngine engine(ReleaseConfig{});
+  Rng rng(13);
+  const LevelRelease lr = engine.ReleaseLevel(g, h.level(3), 3, rng);
+  EXPECT_EQ(lr.true_group_counts.size(), h.level(3).num_groups());
+  EXPECT_EQ(lr.noisy_group_counts.size(), h.level(3).num_groups());
+}
+
+TEST(GroupDpEngineTest, GroupCountsOmittedWhenDisabled) {
+  const BipartiteGraph g = TestGraph();
+  const auto h = TestHierarchy(g);
+  ReleaseConfig cfg;
+  cfg.include_group_counts = false;
+  const GroupDpEngine engine(cfg);
+  Rng rng(13);
+  const LevelRelease lr = engine.ReleaseLevel(g, h.level(3), 3, rng);
+  EXPECT_TRUE(lr.true_group_counts.empty());
+  EXPECT_TRUE(lr.noisy_group_counts.empty());
+}
+
+TEST(GroupDpEngineTest, CoarserLevelsGetMoreNoise) {
+  const BipartiteGraph g = TestGraph();
+  const auto h = TestHierarchy(g, 5);
+  const GroupDpEngine engine(ReleaseConfig{});
+  Rng rng(17);
+  const MultiLevelRelease r = engine.ReleaseAll(g, h, rng);
+  for (int lvl = 1; lvl < r.num_levels(); ++lvl) {
+    EXPECT_GE(r.level(lvl).noise_stddev, r.level(lvl - 1).noise_stddev)
+        << "level " << lvl;
+  }
+}
+
+TEST(GroupDpEngineTest, SmallerEpsilonMeansMoreNoise) {
+  ReleaseConfig strict;
+  strict.epsilon_g = 0.1;
+  ReleaseConfig loose;
+  loose.epsilon_g = 0.999;
+  const GroupDpEngine e_strict(strict);
+  const GroupDpEngine e_loose(loose);
+  EXPECT_GT(e_strict.NoiseStddevFor(1000.0), e_loose.NoiseStddevFor(1000.0));
+}
+
+TEST(GroupDpEngineTest, SensitivityOverrideIsHonoured) {
+  const BipartiteGraph g = TestGraph();
+  const auto h = TestHierarchy(g);
+  ReleaseConfig cfg;
+  cfg.sensitivity_override = 12345.0;
+  cfg.include_group_counts = false;
+  const GroupDpEngine engine(cfg);
+  Rng rng(19);
+  const LevelRelease lr = engine.ReleaseLevel(g, h.level(1), 1, rng);
+  EXPECT_DOUBLE_EQ(lr.sensitivity, 12345.0);
+}
+
+TEST(GroupDpEngineTest, EdgelessGraphReleasedExactly) {
+  const BipartiteGraph g(8, 8, {});
+  const Partition top = Partition::TopLevel(8, 8);
+  const GroupDpEngine engine(ReleaseConfig{});
+  Rng rng(23);
+  const LevelRelease lr = engine.ReleaseLevel(g, top, 0, rng);
+  EXPECT_EQ(lr.noisy_total, 0.0);
+  EXPECT_EQ(lr.noise_stddev, 0.0);
+}
+
+TEST(GroupDpEngineTest, ClampNonNegativeEliminatesNegativeCounts) {
+  const BipartiteGraph g = TestGraph();
+  const auto h = TestHierarchy(g, 5);
+  ReleaseConfig cfg;
+  cfg.epsilon_g = 0.1;  // big noise: negatives certain without clamping
+  cfg.clamp_nonnegative = true;
+  const GroupDpEngine engine(cfg);
+  Rng rng(29);
+  const MultiLevelRelease r = engine.ReleaseAll(g, h, rng);
+  for (const auto& lvl : r.levels()) {
+    EXPECT_GE(lvl.noisy_total, 0.0);
+    for (const double c : lvl.noisy_group_counts) {
+      EXPECT_GE(c, 0.0);
+    }
+  }
+}
+
+TEST(GroupDpEngineTest, ReleaseAllIsDeterministicUnderSeed) {
+  const BipartiteGraph g = TestGraph();
+  const auto h = TestHierarchy(g);
+  const GroupDpEngine engine(ReleaseConfig{});
+  Rng r1(31);
+  Rng r2(31);
+  const MultiLevelRelease a = engine.ReleaseAll(g, h, r1);
+  const MultiLevelRelease b = engine.ReleaseAll(g, h, r2);
+  for (int lvl = 0; lvl < a.num_levels(); ++lvl) {
+    EXPECT_DOUBLE_EQ(a.level(lvl).noisy_total, b.level(lvl).noisy_total);
+  }
+}
+
+TEST(GroupDpEngineTest, EmpiricalNoiseMatchesReportedStddev) {
+  const BipartiteGraph g = TestGraph();
+  const auto h = TestHierarchy(g);
+  ReleaseConfig cfg;
+  cfg.include_group_counts = false;
+  const GroupDpEngine engine(cfg);
+  Rng rng(37);
+  gdp::common::RunningStats s;
+  double reported = 0.0;
+  for (int t = 0; t < 4000; ++t) {
+    const LevelRelease lr = engine.ReleaseLevel(g, h.level(2), 2, rng);
+    s.Add(lr.noisy_total - lr.true_total);
+    reported = lr.noise_stddev;
+  }
+  EXPECT_NEAR(s.stddev(), reported, reported * 0.05);
+  EXPECT_NEAR(s.mean(), 0.0, reported * 0.05);
+}
+
+// Parameterised sweep: every noise kind must produce a well-formed release.
+class EngineNoiseKindTest : public ::testing::TestWithParam<NoiseKind> {};
+
+TEST_P(EngineNoiseKindTest, ReleasesAllLevels) {
+  const BipartiteGraph g = TestGraph();
+  const auto h = TestHierarchy(g);
+  ReleaseConfig cfg;
+  cfg.noise = GetParam();
+  const GroupDpEngine engine(cfg);
+  Rng rng(41);
+  const MultiLevelRelease r = engine.ReleaseAll(g, h, rng);
+  EXPECT_EQ(r.num_levels(), h.num_levels());
+  for (const auto& lvl : r.levels()) {
+    EXPECT_TRUE(std::isfinite(lvl.noisy_total));
+    EXPECT_GT(lvl.noise_stddev, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, EngineNoiseKindTest,
+    ::testing::Values(NoiseKind::kGaussian, NoiseKind::kAnalyticGaussian,
+                      NoiseKind::kLaplace, NoiseKind::kDiscreteGaussian,
+                      NoiseKind::kGeometric),
+    [](const ::testing::TestParamInfo<NoiseKind>& info) {
+      return NoiseKindName(info.param);
+    });
+
+}  // namespace
+}  // namespace gdp::core

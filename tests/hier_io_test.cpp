@@ -1,0 +1,116 @@
+#include "hier/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "hier/specialization.hpp"
+
+namespace gdp::hier {
+namespace {
+
+using gdp::common::Rng;
+using gdp::graph::BipartiteGraph;
+
+GroupHierarchy BuildTestHierarchy(int depth = 4) {
+  Rng grng(3);
+  const BipartiteGraph g = gdp::graph::GenerateUniformRandom(48, 64, 400, grng);
+  SpecializationConfig cfg;
+  cfg.depth = depth;
+  const Specializer spec(cfg);
+  Rng rng(5);
+  return spec.BuildHierarchy(g, rng).hierarchy;
+}
+
+TEST(HierIoTest, RoundTripsThroughStream) {
+  const GroupHierarchy h = BuildTestHierarchy();
+  std::stringstream ss;
+  WriteHierarchy(h, ss);
+  const GroupHierarchy back = ReadHierarchy(ss);
+  ASSERT_EQ(back.num_levels(), h.num_levels());
+  for (int lvl = 0; lvl < h.num_levels(); ++lvl) {
+    const Partition& a = h.level(lvl);
+    const Partition& b = back.level(lvl);
+    ASSERT_EQ(a.num_groups(), b.num_groups()) << "level " << lvl;
+    for (gdp::graph::NodeIndex v = 0; v < a.num_left_nodes(); ++v) {
+      ASSERT_EQ(a.GroupOf(Side::kLeft, v), b.GroupOf(Side::kLeft, v));
+    }
+    for (gdp::graph::NodeIndex v = 0; v < a.num_right_nodes(); ++v) {
+      ASSERT_EQ(a.GroupOf(Side::kRight, v), b.GroupOf(Side::kRight, v));
+    }
+    for (GroupId g = 0; g < a.num_groups(); ++g) {
+      EXPECT_EQ(a.group(g).parent, b.group(g).parent);
+      EXPECT_EQ(a.group(g).side, b.group(g).side);
+      EXPECT_EQ(a.group(g).size, b.group(g).size);
+    }
+  }
+}
+
+TEST(HierIoTest, ReaderRevalidatesRefinement) {
+  // Corrupt a parent pointer: the reader must reject the file.
+  const GroupHierarchy h = BuildTestHierarchy(3);
+  std::stringstream ss;
+  WriteHierarchy(h, ss);
+  std::string text = ss.str();
+  // The level-3 (top) parents line is "parents -1 -1"; rewrite a mid-level
+  // parents line instead: find the second "parents" line and break its first
+  // entry.
+  const auto first = text.find("parents");
+  ASSERT_NE(first, std::string::npos);
+  const auto second = text.find("parents", first + 1);
+  ASSERT_NE(second, std::string::npos);
+  text.replace(second, std::string("parents 0").size(), "parents 9");
+  std::istringstream in(text);
+  EXPECT_ANY_THROW((void)ReadHierarchy(in));
+}
+
+TEST(HierIoTest, BadMagicThrows) {
+  std::istringstream in("wrong-magic\n");
+  EXPECT_THROW((void)ReadHierarchy(in), gdp::common::IoError);
+}
+
+TEST(HierIoTest, TruncatedFileThrows) {
+  const GroupHierarchy h = BuildTestHierarchy(3);
+  std::stringstream ss;
+  WriteHierarchy(h, ss);
+  const std::string text = ss.str();
+  std::istringstream in(text.substr(0, text.size() / 2));
+  EXPECT_THROW((void)ReadHierarchy(in), gdp::common::IoError);
+}
+
+TEST(HierIoTest, LabelOutOfRangeThrows) {
+  std::istringstream in(
+      "gdp-hierarchy v1\n"
+      "dims 1 1\n"
+      "levels 2\n"
+      "level 0 2\n"
+      "parents 0 1\n"
+      "left_labels 5\n"  // out of range
+      "right_labels 1\n"
+      "level 1 2\n"
+      "parents -1 -1\n"
+      "left_labels 0\n"
+      "right_labels 1\n");
+  EXPECT_THROW((void)ReadHierarchy(in), gdp::common::IoError);
+}
+
+TEST(HierIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gdp_hier_test.tsv";
+  const GroupHierarchy h = BuildTestHierarchy(3);
+  WriteHierarchyFile(h, path);
+  const GroupHierarchy back = ReadHierarchyFile(path);
+  EXPECT_EQ(back.num_levels(), h.num_levels());
+  std::remove(path.c_str());
+}
+
+TEST(HierIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)ReadHierarchyFile("/nonexistent/hier.tsv"),
+               gdp::common::IoError);
+}
+
+}  // namespace
+}  // namespace gdp::hier

@@ -1,0 +1,115 @@
+#include "hier/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "hier/specialization.hpp"
+
+namespace gdp::hier {
+namespace {
+
+using gdp::graph::BipartiteGraph;
+
+// A hand-built 3-level hierarchy over 2 left + 2 right nodes:
+// level 2 = top (2 groups), level 1 = left split (3 groups), level 0 = singletons.
+std::vector<Partition> TinyLevels() {
+  Partition top = Partition::TopLevel(2, 2);
+  Partition mid({0, 1}, {2, 2},
+                {GroupInfo{Side::kLeft, 1, 0}, GroupInfo{Side::kLeft, 1, 0},
+                 GroupInfo{Side::kRight, 2, 1}});
+  Partition bottom({0, 1}, {2, 3},
+                   {GroupInfo{Side::kLeft, 1, 0}, GroupInfo{Side::kLeft, 1, 1},
+                    GroupInfo{Side::kRight, 1, 2}, GroupInfo{Side::kRight, 1, 2}});
+  std::vector<Partition> levels;
+  levels.push_back(std::move(bottom));
+  levels.push_back(std::move(mid));
+  levels.push_back(std::move(top));
+  return levels;
+}
+
+TEST(GroupHierarchyTest, ValidHierarchyConstructs) {
+  const GroupHierarchy h(TinyLevels());
+  EXPECT_EQ(h.depth(), 2);
+  EXPECT_EQ(h.num_levels(), 3);
+  EXPECT_EQ(h.level(0).num_groups(), 4u);
+  EXPECT_EQ(h.level(2).num_groups(), 2u);
+}
+
+TEST(GroupHierarchyTest, RejectsTooFewLevels) {
+  std::vector<Partition> one;
+  one.push_back(Partition::Singletons(2, 2));
+  EXPECT_THROW(GroupHierarchy(std::move(one)), std::invalid_argument);
+}
+
+TEST(GroupHierarchyTest, RejectsNonSingletonBottom) {
+  std::vector<Partition> levels;
+  levels.push_back(Partition::TopLevel(2, 2));
+  levels.push_back(Partition::TopLevel(2, 2));
+  EXPECT_THROW(GroupHierarchy(std::move(levels)), std::invalid_argument);
+}
+
+TEST(GroupHierarchyTest, RejectsDimensionMismatchAcrossLevels) {
+  std::vector<Partition> levels;
+  levels.push_back(Partition::Singletons(2, 2));
+  levels.push_back(Partition::TopLevel(3, 2));
+  EXPECT_THROW(GroupHierarchy(std::move(levels)), std::invalid_argument);
+}
+
+TEST(GroupHierarchyTest, RejectsBrokenRefinement) {
+  auto levels = TinyLevels();
+  // Corrupt the middle level's parent links: point left groups at the right
+  // top group.
+  levels[1] = Partition({0, 1}, {2, 2},
+                        {GroupInfo{Side::kLeft, 1, 1}, GroupInfo{Side::kLeft, 1, 1},
+                         GroupInfo{Side::kRight, 2, 1}});
+  EXPECT_THROW(GroupHierarchy(std::move(levels)), std::invalid_argument);
+}
+
+TEST(GroupHierarchyTest, ValidateFalseSkipsRefinementCheck) {
+  auto levels = TinyLevels();
+  levels[1] = Partition({0, 1}, {2, 2},
+                        {GroupInfo{Side::kLeft, 1, 1}, GroupInfo{Side::kLeft, 1, 1},
+                         GroupInfo{Side::kRight, 2, 1}});
+  EXPECT_NO_THROW(GroupHierarchy(std::move(levels), /*validate=*/false));
+}
+
+TEST(GroupHierarchyTest, LevelAccessorBounds) {
+  const GroupHierarchy h(TinyLevels());
+  EXPECT_THROW((void)h.level(-1), std::out_of_range);
+  EXPECT_THROW((void)h.level(3), std::out_of_range);
+}
+
+TEST(GroupHierarchyTest, LevelSensitivitiesAreMonotoneInLevel) {
+  // Sensitivity can only grow with coarser groups (groups merge upward).
+  gdp::common::Rng rng(11);
+  const BipartiteGraph g = gdp::graph::GenerateUniformRandom(64, 64, 1000, rng);
+  SpecializationConfig cfg;
+  cfg.depth = 5;
+  cfg.arity = 2;
+  const Specializer spec(cfg);
+  gdp::common::Rng build_rng(1);
+  const auto result = spec.BuildHierarchy(g, build_rng);
+  const auto sens = result.hierarchy.LevelSensitivities(g);
+  ASSERT_EQ(sens.size(), 6u);
+  for (std::size_t i = 1; i < sens.size(); ++i) {
+    EXPECT_GE(sens[i], sens[i - 1]) << "level " << i;
+  }
+  // Top level covers every edge.
+  EXPECT_EQ(sens.back(), g.num_edges());
+  // Bottom level is the max degree.
+  EXPECT_EQ(sens.front(), std::max(g.MaxDegree(Side::kLeft),
+                                   g.MaxDegree(Side::kRight)));
+}
+
+TEST(GroupHierarchyTest, LevelGroupCountsDescendWithLevel) {
+  const GroupHierarchy h(TinyLevels());
+  const auto counts = h.LevelGroupCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 4u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 2u);
+}
+
+}  // namespace
+}  // namespace gdp::hier

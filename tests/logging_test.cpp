@@ -1,0 +1,94 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace gdp::common {
+namespace {
+
+// RAII guard restoring the log level and clog buffer after each test.
+class ClogCapture {
+ public:
+  ClogCapture() : old_level_(GetLogLevel()), old_buf_(std::clog.rdbuf(out_.rdbuf())) {}
+  ~ClogCapture() {
+    std::clog.rdbuf(old_buf_);
+    SetLogLevel(old_level_);
+  }
+  [[nodiscard]] std::string text() const { return out_.str(); }
+
+ private:
+  LogLevel old_level_;
+  std::ostringstream out_;
+  std::streambuf* old_buf_;
+};
+
+TEST(LoggingTest, EmitsAtOrAboveThreshold) {
+  ClogCapture capture;
+  SetLogLevel(LogLevel::kWarn);
+  GDP_LOG(kInfo) << "hidden message";
+  GDP_LOG(kWarn) << "visible warning";
+  GDP_LOG(kError) << "visible error";
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("hidden message"), std::string::npos);
+  EXPECT_NE(text.find("visible warning"), std::string::npos);
+  EXPECT_NE(text.find("visible error"), std::string::npos);
+}
+
+TEST(LoggingTest, OffSilencesEverything) {
+  ClogCapture capture;
+  SetLogLevel(LogLevel::kOff);
+  GDP_LOG(kError) << "should not appear";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(LoggingTest, MessagesCarryLevelTag) {
+  ClogCapture capture;
+  SetLogLevel(LogLevel::kDebug);
+  GDP_LOG(kDebug) << "dbg " << 42;
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("[DEBUG]"), std::string::npos);
+  EXPECT_NE(text.find("dbg 42"), std::string::npos);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(LogLevelName(LogLevel::kOff), "OFF");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  // Burn a little CPU deterministically.
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    x = x + 1e-9;
+  }
+  const double t1 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3,
+              sw.ElapsedSeconds() * 50);
+  sw.Restart();
+  EXPECT_LE(sw.ElapsedSeconds(), t1 + 1.0);
+}
+
+TEST(ErrorTypesTest, HierarchyAndCatchability) {
+  // IoError and BudgetExhaustedError are runtime errors; StateError a logic
+  // error — all catchable as std::exception.
+  EXPECT_THROW(throw IoError("io"), std::runtime_error);
+  EXPECT_THROW(throw BudgetExhaustedError("budget"), std::runtime_error);
+  EXPECT_THROW(throw StateError("state"), std::logic_error);
+  try {
+    throw IoError("detail message");
+  } catch (const std::exception& e) {
+    EXPECT_STREQ(e.what(), "detail message");
+  }
+}
+
+}  // namespace
+}  // namespace gdp::common

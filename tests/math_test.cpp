@@ -1,0 +1,196 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace gdp::common {
+namespace {
+
+TEST(LogSumExpTest, EmptyIsMinusInfinity) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogSumExpTest, SingleElementIsIdentity) {
+  const std::vector<double> xs{3.25};
+  EXPECT_DOUBLE_EQ(LogSumExp(xs), 3.25);
+}
+
+TEST(LogSumExpTest, MatchesDirectComputationForSmallValues) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const double direct = std::log(std::exp(0.0) + std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(LogSumExp(xs), direct, 1e-12);
+}
+
+TEST(LogSumExpTest, StableForHugeValues) {
+  const std::vector<double> xs{1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(xs), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExpTest, StableForTinyValues) {
+  const std::vector<double> xs{-1000.0, -1000.0, -1000.0, -1000.0};
+  EXPECT_NEAR(LogSumExp(xs), -1000.0 + std::log(4.0), 1e-9);
+}
+
+TEST(LogSumExpTest, AllMinusInfinityStaysMinusInfinity) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  const std::vector<double> xs{ninf, ninf};
+  EXPECT_EQ(LogSumExp(xs), ninf);
+}
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+}
+
+TEST(NormalCdfTest, ExtremeTailsSaturate) {
+  EXPECT_NEAR(NormalCdf(40.0), 1.0, 1e-15);
+  EXPECT_LT(NormalCdf(-40.0), 1e-300);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const double x = NormalQuantile(p);
+    EXPECT_NEAR(NormalCdf(x), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.841344746068543), 1.0, 1e-10);
+}
+
+TEST(NormalQuantileTest, SymmetricAroundHalf) {
+  for (const double p : {0.01, 0.2, 0.35}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-10);
+  }
+}
+
+TEST(NormalQuantileTest, RejectsBoundaries) {
+  EXPECT_THROW((void)NormalQuantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)NormalQuantile(1.0), std::invalid_argument);
+  EXPECT_THROW((void)NormalQuantile(-0.5), std::invalid_argument);
+  EXPECT_THROW((void)NormalQuantile(1.5), std::invalid_argument);
+}
+
+TEST(ErfInvTest, InvertsErf) {
+  for (const double x : {-0.9, -0.5, -0.1, 0.0, 0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(std::erf(ErfInv(x)), x, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(ErfInvTest, RejectsOutOfDomain) {
+  EXPECT_THROW((void)ErfInv(1.0), std::invalid_argument);
+  EXPECT_THROW((void)ErfInv(-1.0), std::invalid_argument);
+}
+
+TEST(RunningStatsTest, EmptyStats) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    whole.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsNoop) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  const RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(QuantileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> xs{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 9.0);
+}
+
+TEST(QuantileTest, RejectsBadInput) {
+  EXPECT_THROW((void)Quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)Quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)Quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(MeanTest, BasicAndEmpty) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.0);
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(RelativeDiffTest, SymmetricAndScaled) {
+  EXPECT_DOUBLE_EQ(RelativeDiff(10.0, 11.0), RelativeDiff(11.0, 10.0));
+  EXPECT_NEAR(RelativeDiff(100.0, 110.0), 10.0 / 110.0, 1e-15);
+  EXPECT_EQ(RelativeDiff(0.0, 0.0), 0.0);
+}
+
+TEST(ClampTest, ClampsAndValidates) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_THROW((void)Clamp(0.0, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(IsFinitePositiveTest, Classification) {
+  EXPECT_TRUE(IsFinitePositive(1e-300));
+  EXPECT_TRUE(IsFinitePositive(42.0));
+  EXPECT_FALSE(IsFinitePositive(0.0));
+  EXPECT_FALSE(IsFinitePositive(-1.0));
+  EXPECT_FALSE(IsFinitePositive(std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(IsFinitePositive(std::numeric_limits<double>::quiet_NaN()));
+}
+
+}  // namespace
+}  // namespace gdp::common

@@ -1,0 +1,112 @@
+#include "hier/navigation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "hier/specialization.hpp"
+
+namespace gdp::hier {
+namespace {
+
+using gdp::common::Rng;
+using gdp::graph::BipartiteGraph;
+
+GroupHierarchy BuildTestHierarchy(const BipartiteGraph& g, int depth = 4) {
+  SpecializationConfig cfg;
+  cfg.depth = depth;
+  cfg.arity = 4;
+  const Specializer spec(cfg);
+  Rng rng(3);
+  return spec.BuildHierarchy(g, rng).hierarchy;
+}
+
+TEST(HierarchyIndexTest, ChildrenPartitionEachParent) {
+  Rng grng(5);
+  const BipartiteGraph g = gdp::graph::GenerateUniformRandom(64, 64, 600, grng);
+  const GroupHierarchy h = BuildTestHierarchy(g);
+  const HierarchyIndex index(h);
+  for (int lvl = 1; lvl <= h.depth(); ++lvl) {
+    std::vector<bool> seen(h.level(lvl - 1).num_groups(), false);
+    for (GroupId gid = 0; gid < h.level(lvl).num_groups(); ++gid) {
+      NodeIndex child_size = 0;
+      for (const GroupId c : index.Children(lvl, gid)) {
+        EXPECT_FALSE(seen[c]) << "child claimed twice";
+        seen[c] = true;
+        child_size += h.level(lvl - 1).group(c).size;
+        EXPECT_EQ(h.level(lvl - 1).group(c).side, h.level(lvl).group(gid).side);
+      }
+      EXPECT_EQ(child_size, h.level(lvl).group(gid).size)
+          << "level " << lvl << " group " << gid;
+    }
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+  }
+}
+
+TEST(HierarchyIndexTest, ChildrenBoundsChecked) {
+  Rng grng(5);
+  const BipartiteGraph g = gdp::graph::GenerateUniformRandom(16, 16, 100, grng);
+  const GroupHierarchy h = BuildTestHierarchy(g, 3);
+  const HierarchyIndex index(h);
+  EXPECT_THROW((void)index.Children(0, 0), std::out_of_range);
+  EXPECT_THROW((void)index.Children(4, 0), std::out_of_range);
+  EXPECT_THROW((void)index.Children(3, 99), std::out_of_range);
+}
+
+TEST(HierarchyIndexTest, GroupPathIsAncestorChain) {
+  Rng grng(7);
+  const BipartiteGraph g = gdp::graph::GenerateUniformRandom(64, 64, 500, grng);
+  const GroupHierarchy h = BuildTestHierarchy(g);
+  const HierarchyIndex index(h);
+  for (const NodeIndex v : {NodeIndex{0}, NodeIndex{17}, NodeIndex{63}}) {
+    const auto path = index.GroupPath(Side::kLeft, v);
+    ASSERT_EQ(path.size(), static_cast<std::size_t>(h.num_levels()));
+    for (int lvl = 1; lvl < h.num_levels(); ++lvl) {
+      // Each path element's parent is the next path element.
+      EXPECT_EQ(h.level(lvl - 1).group(path[static_cast<std::size_t>(lvl - 1)]).parent,
+                path[static_cast<std::size_t>(lvl)]);
+    }
+  }
+}
+
+TEST(HierarchyIndexTest, LowestCommonLevelSameNodeIsZero) {
+  Rng grng(9);
+  const BipartiteGraph g = gdp::graph::GenerateUniformRandom(32, 32, 200, grng);
+  const GroupHierarchy h = BuildTestHierarchy(g, 3);
+  const HierarchyIndex index(h);
+  EXPECT_EQ(index.LowestCommonLevel(Side::kLeft, 5, Side::kLeft, 5), 0);
+}
+
+TEST(HierarchyIndexTest, LowestCommonLevelDifferentSidesIsMinusOne) {
+  Rng grng(9);
+  const BipartiteGraph g = gdp::graph::GenerateUniformRandom(32, 32, 200, grng);
+  const GroupHierarchy h = BuildTestHierarchy(g, 3);
+  const HierarchyIndex index(h);
+  EXPECT_EQ(index.LowestCommonLevel(Side::kLeft, 1, Side::kRight, 1), -1);
+}
+
+TEST(HierarchyIndexTest, LowestCommonLevelConsistentWithPaths) {
+  Rng grng(11);
+  const BipartiteGraph g = gdp::graph::GenerateUniformRandom(64, 64, 400, grng);
+  const GroupHierarchy h = BuildTestHierarchy(g);
+  const HierarchyIndex index(h);
+  for (NodeIndex a = 0; a < 8; ++a) {
+    for (NodeIndex b = 0; b < 8; ++b) {
+      const int lcl = index.LowestCommonLevel(Side::kLeft, a, Side::kLeft, b);
+      ASSERT_GE(lcl, 0);
+      const auto pa = index.GroupPath(Side::kLeft, a);
+      const auto pb = index.GroupPath(Side::kLeft, b);
+      EXPECT_EQ(pa[static_cast<std::size_t>(lcl)], pb[static_cast<std::size_t>(lcl)]);
+      if (lcl > 0) {
+        EXPECT_NE(pa[static_cast<std::size_t>(lcl - 1)],
+                  pb[static_cast<std::size_t>(lcl - 1)]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdp::hier

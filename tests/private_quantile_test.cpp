@@ -1,0 +1,120 @@
+#include "dp/private_quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace gdp::dp {
+namespace {
+
+using gdp::common::Rng;
+
+std::vector<double> Ramp(std::size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  return v;
+}
+
+TEST(PrivateQuantileTest, ValidatesParameters) {
+  Rng rng(1);
+  QuantileParams p;
+  p.lower_bound = 1.0;
+  p.upper_bound = 1.0;
+  EXPECT_THROW((void)PrivateQuantile({1.0}, p, Epsilon(1.0), rng),
+               std::invalid_argument);
+  p = QuantileParams{};
+  p.quantile = 1.5;
+  EXPECT_THROW((void)PrivateQuantile({0.5}, p, Epsilon(1.0), rng),
+               std::invalid_argument);
+}
+
+TEST(PrivateQuantileTest, StaysInPublicRange) {
+  Rng rng(2);
+  QuantileParams p;
+  p.quantile = 0.5;
+  p.lower_bound = 0.0;
+  p.upper_bound = 100.0;
+  for (int t = 0; t < 200; ++t) {
+    const double q = PrivateQuantile(Ramp(50, 10.0, 90.0), p, Epsilon(1.0), rng);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 100.0);
+  }
+}
+
+TEST(PrivateQuantileTest, MedianNearTrueMedianAtHighEpsilon) {
+  Rng rng(3);
+  QuantileParams p;
+  p.quantile = 0.5;
+  p.lower_bound = 0.0;
+  p.upper_bound = 1000.0;
+  const auto data = Ramp(999, 0.0, 1000.0);  // true median 500
+  gdp::common::RunningStats s;
+  for (int t = 0; t < 200; ++t) {
+    s.Add(PrivateQuantile(data, p, Epsilon(5.0), rng));
+  }
+  EXPECT_NEAR(s.mean(), 500.0, 25.0);
+}
+
+TEST(PrivateQuantileTest, HighQuantileTracksUpperTail) {
+  Rng rng(4);
+  QuantileParams p;
+  p.quantile = 0.99;
+  p.lower_bound = 0.0;
+  p.upper_bound = 2000.0;
+  const auto data = Ramp(1000, 0.0, 1000.0);
+  gdp::common::RunningStats s;
+  for (int t = 0; t < 200; ++t) {
+    s.Add(PrivateQuantile(data, p, Epsilon(5.0), rng));
+  }
+  EXPECT_GT(s.mean(), 900.0);
+  EXPECT_LT(s.mean(), 1100.0);
+}
+
+TEST(PrivateQuantileTest, ClampsOutOfRangeData) {
+  Rng rng(5);
+  QuantileParams p;
+  p.quantile = 1.0;
+  p.lower_bound = 0.0;
+  p.upper_bound = 10.0;
+  // All data above the public range: estimate must stay <= 10.
+  const std::vector<double> data(100, 500.0);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_LE(PrivateQuantile(data, p, Epsilon(2.0), rng), 10.0);
+  }
+}
+
+TEST(PrivateQuantileTest, EmptyDataFallsBackToRange) {
+  Rng rng(6);
+  QuantileParams p;
+  p.quantile = 0.5;
+  p.lower_bound = 2.0;
+  p.upper_bound = 4.0;
+  const double q = PrivateQuantile({}, p, Epsilon(1.0), rng);
+  EXPECT_GE(q, 2.0);
+  EXPECT_LE(q, 4.0);
+}
+
+TEST(PrivateQuantileTest, LowerEpsilonSpreadsEstimates) {
+  QuantileParams p;
+  p.quantile = 0.5;
+  p.lower_bound = 0.0;
+  p.upper_bound = 1000.0;
+  const auto data = Ramp(301, 400.0, 600.0);  // tight cluster, median 500
+  const auto spread = [&](double eps) {
+    Rng rng(7);
+    gdp::common::RunningStats s;
+    for (int t = 0; t < 300; ++t) {
+      s.Add(PrivateQuantile(data, p, Epsilon(eps), rng));
+    }
+    return s.stddev();
+  };
+  EXPECT_GT(spread(0.01), spread(10.0));
+}
+
+}  // namespace
+}  // namespace gdp::dp

@@ -1,0 +1,119 @@
+#include "graph/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace gdp::graph {
+namespace {
+
+using gdp::common::Rng;
+
+TEST(TruncateDegreesTest, RejectsZeroCap) {
+  const BipartiteGraph g(2, 2, {{0, 0}});
+  Rng rng(1);
+  EXPECT_THROW((void)TruncateDegrees(g, Side::kLeft, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(TruncateDegreesTest, NoopWhenCapAboveMaxDegree) {
+  Rng grng(2);
+  const BipartiteGraph g = GenerateUniformRandom(50, 50, 200, grng);
+  Rng rng(3);
+  const ProjectionResult r =
+      TruncateDegrees(g, Side::kLeft, g.MaxDegree(Side::kLeft) + 1, rng);
+  EXPECT_EQ(r.edges_dropped, 0u);
+  EXPECT_EQ(r.graph.num_edges(), g.num_edges());
+}
+
+TEST(TruncateDegreesTest, EnforcesCapOnTruncatedSide) {
+  Rng grng(5);
+  gdp::graph::DblpLikeParams p;
+  p.num_left = 500;
+  p.num_right = 500;
+  p.num_edges = 5000;
+  const BipartiteGraph g = GenerateDblpLike(p, grng);
+  Rng rng(7);
+  constexpr EdgeCount kCap = 5;
+  const ProjectionResult r = TruncateDegrees(g, Side::kLeft, kCap, rng);
+  EXPECT_LE(r.graph.MaxDegree(Side::kLeft), kCap);
+  EXPECT_EQ(r.graph.num_edges() + r.edges_dropped, g.num_edges());
+}
+
+TEST(TruncateDegreesTest, DropsExactlyOverflowPerNode) {
+  // One node of degree 7 capped at 3 drops exactly 4 edges.
+  std::vector<Edge> edges;
+  for (NodeIndex u = 0; u < 7; ++u) {
+    edges.push_back({0, u});
+  }
+  const BipartiteGraph g(1, 7, std::move(edges));
+  Rng rng(9);
+  const ProjectionResult r = TruncateDegrees(g, Side::kLeft, 3, rng);
+  EXPECT_EQ(r.edges_dropped, 4u);
+  EXPECT_EQ(r.graph.Degree(Side::kLeft, 0), 3u);
+}
+
+TEST(TruncateDegreesTest, SurvivorsAreSubsetOfOriginal) {
+  Rng grng(11);
+  const BipartiteGraph g = GenerateUniformRandom(30, 30, 300, grng);
+  Rng rng(13);
+  const ProjectionResult r = TruncateDegrees(g, Side::kRight, 4, rng);
+  auto original = g.EdgeList();
+  std::sort(original.begin(), original.end());
+  for (const Edge& e : r.graph.EdgeList()) {
+    EXPECT_TRUE(std::binary_search(original.begin(), original.end(), e));
+  }
+}
+
+TEST(TruncateDegreesBothSidesTest, BothCapsHold) {
+  Rng grng(17);
+  gdp::graph::DblpLikeParams p;
+  p.num_left = 300;
+  p.num_right = 300;
+  p.num_edges = 4000;
+  const BipartiteGraph g = GenerateDblpLike(p, grng);
+  Rng rng(19);
+  constexpr EdgeCount kCap = 6;
+  const ProjectionResult r = TruncateDegreesBothSides(g, kCap, rng);
+  EXPECT_LE(r.graph.MaxDegree(Side::kLeft), kCap);
+  EXPECT_LE(r.graph.MaxDegree(Side::kRight), kCap);
+  EXPECT_EQ(r.graph.num_edges() + r.edges_dropped, g.num_edges());
+}
+
+TEST(TruncateDegreesTest, BoundsGroupSensitivityWorstCase) {
+  // The point of the projection: after capping, a group of m nodes has
+  // incident weight at most m * cap, independent of the data.
+  Rng grng(23);
+  gdp::graph::DblpLikeParams p;
+  p.num_left = 400;
+  p.num_right = 400;
+  p.num_edges = 6000;
+  const BipartiteGraph g = GenerateDblpLike(p, grng);
+  Rng rng(29);
+  constexpr EdgeCount kCap = 4;
+  const ProjectionResult r = TruncateDegreesBothSides(g, kCap, rng);
+  // Any 10-node group is bounded by 40 after projection.
+  std::vector<NodeIndex> group;
+  for (NodeIndex v = 0; v < 10; ++v) {
+    group.push_back(v);
+  }
+  EdgeCount weight = 0;
+  for (const NodeIndex v : group) {
+    weight += r.graph.Degree(Side::kLeft, v);
+  }
+  EXPECT_LE(weight, 10 * kCap);
+}
+
+TEST(TruncateDegreesTest, DeterministicUnderSeed) {
+  Rng grng(31);
+  const BipartiteGraph g = GenerateUniformRandom(40, 40, 600, grng);
+  Rng r1(33);
+  Rng r2(33);
+  const auto a = TruncateDegrees(g, Side::kLeft, 3, r1);
+  const auto b = TruncateDegrees(g, Side::kLeft, 3, r2);
+  EXPECT_EQ(a.graph.EdgeList(), b.graph.EdgeList());
+}
+
+}  // namespace
+}  // namespace gdp::graph

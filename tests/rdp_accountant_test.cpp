@@ -1,0 +1,117 @@
+#include "dp/rdp_accountant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/gaussian.hpp"
+
+namespace gdp::dp {
+namespace {
+
+TEST(RdpAccountantTest, RejectsBadOrders) {
+  EXPECT_THROW(RdpAccountant(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(RdpAccountant(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(RdpAccountant(std::vector<double>{0.5}), std::invalid_argument);
+}
+
+TEST(RdpAccountantTest, RejectsBadInputs) {
+  RdpAccountant a;
+  EXPECT_THROW(a.AddGaussian(0.0), std::invalid_argument);
+  EXPECT_THROW(a.AddGaussians(1.0, 0), std::invalid_argument);
+}
+
+TEST(RdpAccountantTest, EmptyAccountantHasTinyEpsilon) {
+  const RdpAccountant a;
+  // No mechanisms: epsilon should collapse to ~0 (only conversion slack).
+  EXPECT_LT(a.EpsilonFor(Delta(1e-5)), 0.5);
+}
+
+TEST(RdpAccountantTest, GaussianRdpCurveIsAlphaOverTwoMSquared) {
+  RdpAccountant a(std::vector<double>{2.0, 10.0});
+  a.AddGaussian(3.0);
+  EXPECT_NEAR(a.rdp()[0], 2.0 / (2.0 * 9.0), 1e-12);
+  EXPECT_NEAR(a.rdp()[1], 10.0 / (2.0 * 9.0), 1e-12);
+}
+
+TEST(RdpAccountantTest, CompositionAddsLinearly) {
+  RdpAccountant once;
+  once.AddGaussians(2.0, 10);
+  RdpAccountant tenfold;
+  for (int i = 0; i < 10; ++i) {
+    tenfold.AddGaussian(2.0);
+  }
+  for (std::size_t i = 0; i < once.rdp().size(); ++i) {
+    EXPECT_NEAR(once.rdp()[i], tenfold.rdp()[i], 1e-12);
+  }
+}
+
+TEST(RdpAccountantTest, SingleGaussianConsistentWithAnalyticCurve) {
+  // One Gaussian with multiplier m: the RDP-derived epsilon at delta must be
+  // close to (and not much larger than) the exact analytic epsilon.
+  const double m = 5.0;  // sigma / Delta
+  const Delta delta(1e-6);
+  const double rdp_eps = RdpGaussianComposition(m, 1, delta);
+  // Exact epsilon: solve via the Balle-Wang curve (sigma = m, Delta = 1).
+  // Binary search on eps: delta(eps) decreasing in eps.
+  double lo = 1e-6;
+  double hi = 10.0;
+  for (int it = 0; it < 100; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (GaussianDeltaForSigma(m, Epsilon(mid), L2Sensitivity(1.0)) >
+        delta.value()) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double exact_eps = hi;
+  EXPECT_GE(rdp_eps, exact_eps * 0.8);  // RDP is an upper bound, near-tight
+  EXPECT_LE(rdp_eps, exact_eps * 2.0);
+}
+
+TEST(RdpAccountantTest, BeatsSequentialCompositionForManyLevels) {
+  // 10 Gaussian levels at multiplier m: sequential composition of the
+  // per-level analytic epsilons vs RDP.
+  const double m = 10.0;
+  const int k = 10;
+  const Delta delta(1e-5);
+  // Per-level epsilon at delta/k each (so sequential totals delta too).
+  double lo = 1e-6;
+  double hi = 10.0;
+  for (int it = 0; it < 100; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (GaussianDeltaForSigma(m, Epsilon(mid), L2Sensitivity(1.0)) >
+        delta.value() / k) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double sequential_total = hi * k;
+  const double rdp_total = RdpGaussianComposition(m, k, delta);
+  EXPECT_LT(rdp_total, sequential_total);
+}
+
+TEST(RdpAccountantTest, PureDpCurveBoundedByEpsilon) {
+  RdpAccountant a(std::vector<double>{1.5, 100.0});
+  a.AddPureDp(Epsilon(0.3));
+  EXPECT_LE(a.rdp()[0], 0.3 + 1e-12);
+  EXPECT_LE(a.rdp()[1], 0.3 + 1e-12);
+  // Small alpha: quadratic regime.
+  EXPECT_NEAR(a.rdp()[0], std::min(0.3, 1.5 * 0.09 / 2.0), 1e-12);
+}
+
+TEST(RdpAccountantTest, EpsilonMonotoneInDelta) {
+  RdpAccountant a;
+  a.AddGaussians(2.0, 5);
+  EXPECT_GT(a.EpsilonFor(Delta(1e-9)), a.EpsilonFor(Delta(1e-3)));
+}
+
+TEST(RdpAccountantTest, MoreNoiseMeansLessEpsilon) {
+  EXPECT_LT(RdpGaussianComposition(10.0, 5, Delta(1e-5)),
+            RdpGaussianComposition(2.0, 5, Delta(1e-5)));
+}
+
+}  // namespace
+}  // namespace gdp::dp

@@ -1,0 +1,85 @@
+#include "core/release.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gdp::core {
+namespace {
+
+LevelRelease MakeLevel(int level, double truth, double noisy) {
+  LevelRelease lr;
+  lr.level = level;
+  lr.true_total = truth;
+  lr.noisy_total = noisy;
+  lr.sensitivity = 10.0;
+  lr.noise_stddev = 2.0;
+  return lr;
+}
+
+TEST(LevelReleaseTest, TotalRer) {
+  const LevelRelease lr = MakeLevel(0, 100.0, 93.0);
+  EXPECT_NEAR(lr.TotalRer(), 0.07, 1e-12);
+}
+
+TEST(MultiLevelReleaseTest, ValidConstruction) {
+  std::vector<LevelRelease> levels{MakeLevel(0, 10, 11), MakeLevel(1, 10, 9),
+                                   MakeLevel(2, 10, 14)};
+  const MultiLevelRelease r(std::move(levels));
+  EXPECT_EQ(r.depth(), 2);
+  EXPECT_EQ(r.num_levels(), 3);
+  EXPECT_DOUBLE_EQ(r.level(2).noisy_total, 14.0);
+}
+
+TEST(MultiLevelReleaseTest, RejectsEmpty) {
+  EXPECT_THROW(MultiLevelRelease(std::vector<LevelRelease>{}),
+               std::invalid_argument);
+}
+
+TEST(MultiLevelReleaseTest, RejectsNonAscendingLevels) {
+  std::vector<LevelRelease> levels{MakeLevel(0, 1, 1), MakeLevel(2, 1, 1)};
+  EXPECT_THROW(MultiLevelRelease(std::move(levels)), std::invalid_argument);
+}
+
+TEST(MultiLevelReleaseTest, RejectsMismatchedGroupVectors) {
+  LevelRelease bad = MakeLevel(0, 1, 1);
+  bad.true_group_counts = {1.0, 2.0};
+  bad.noisy_group_counts = {1.0};
+  std::vector<LevelRelease> levels;
+  levels.push_back(std::move(bad));
+  EXPECT_THROW(MultiLevelRelease(std::move(levels)), std::invalid_argument);
+}
+
+TEST(MultiLevelReleaseTest, LevelAccessorBounds) {
+  std::vector<LevelRelease> levels{MakeLevel(0, 1, 1), MakeLevel(1, 1, 1)};
+  const MultiLevelRelease r(std::move(levels));
+  EXPECT_THROW((void)r.level(-1), std::out_of_range);
+  EXPECT_THROW((void)r.level(2), std::out_of_range);
+}
+
+TEST(MultiLevelReleaseTest, StripTruthZeroesTrueFields) {
+  LevelRelease lr = MakeLevel(0, 100.0, 97.0);
+  lr.true_group_counts = {40.0, 60.0};
+  lr.noisy_group_counts = {42.0, 58.0};
+  std::vector<LevelRelease> levels;
+  levels.push_back(std::move(lr));
+  const MultiLevelRelease r(std::move(levels));
+  const MultiLevelRelease pub = r.StripTruth();
+  EXPECT_EQ(pub.level(0).true_total, 0.0);
+  EXPECT_EQ(pub.level(0).true_group_counts,
+            (std::vector<double>{0.0, 0.0}));
+  // Noisy values untouched.
+  EXPECT_DOUBLE_EQ(pub.level(0).noisy_total, 97.0);
+  EXPECT_EQ(pub.level(0).noisy_group_counts,
+            (std::vector<double>{42.0, 58.0}));
+}
+
+TEST(MultiLevelReleaseTest, SummaryMentionsLevels) {
+  std::vector<LevelRelease> levels{MakeLevel(0, 100, 99), MakeLevel(1, 100, 90)};
+  const MultiLevelRelease r(std::move(levels));
+  const std::string s = r.Summary();
+  EXPECT_NE(s.find("L0"), std::string::npos);
+  EXPECT_NE(s.find("L1"), std::string::npos);
+  EXPECT_NE(s.find("RER"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdp::core

@@ -1,0 +1,83 @@
+#include "dp/snapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace gdp::dp {
+namespace {
+
+using gdp::common::Rng;
+
+TEST(SnappingMechanismTest, RejectsBadBound) {
+  EXPECT_THROW(SnappingMechanism(Epsilon(1.0), L1Sensitivity(1.0), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(SnappingMechanism(Epsilon(1.0), L1Sensitivity(1.0), -5.0),
+               std::invalid_argument);
+}
+
+TEST(SnappingMechanismTest, LambdaIsPowerOfTwoAtLeastScale) {
+  const SnappingMechanism m(Epsilon(0.3), L1Sensitivity(1.0), 1000.0);
+  EXPECT_GE(m.lambda(), m.scale());
+  EXPECT_LT(m.lambda(), 2.0 * m.scale());
+  const double log2_lambda = std::log2(m.lambda());
+  EXPECT_DOUBLE_EQ(log2_lambda, std::round(log2_lambda));
+}
+
+TEST(SnappingMechanismTest, OutputsClampedToBound) {
+  const double bound = 50.0;
+  const SnappingMechanism m(Epsilon(0.1), L1Sensitivity(10.0), bound);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double out = m.AddNoise(45.0, rng);
+    EXPECT_GE(out, -bound);
+    EXPECT_LE(out, bound);
+  }
+}
+
+TEST(SnappingMechanismTest, OutputsLieOnLambdaGrid) {
+  const SnappingMechanism m(Epsilon(1.0), L1Sensitivity(1.0), 1e6);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double out = m.AddNoise(123.456, rng);
+    const double cells = out / m.lambda();
+    EXPECT_NEAR(cells, std::nearbyint(cells), 1e-9);
+  }
+}
+
+TEST(SnappingMechanismTest, NoiseCentredOnTruth) {
+  const SnappingMechanism m(Epsilon(1.0), L1Sensitivity(1.0), 1e9);
+  Rng rng(7);
+  gdp::common::RunningStats s;
+  for (int i = 0; i < 200000; ++i) {
+    s.Add(m.AddNoise(1000.0, rng));
+  }
+  EXPECT_NEAR(s.mean(), 1000.0, 0.1);
+  // Stddev close to Laplace's sqrt(2)*b plus snapping quantisation.
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 0.3);
+}
+
+TEST(SnappingMechanismTest, ClampsInputBeforeNoising) {
+  const double bound = 10.0;
+  const SnappingMechanism m(Epsilon(5.0), L1Sensitivity(1.0), bound);
+  Rng rng(9);
+  // A wildly out-of-range answer cannot push the output past the bound.
+  gdp::common::RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(m.AddNoise(1e12, rng));
+  }
+  EXPECT_LE(s.max(), bound);
+  EXPECT_GT(s.mean(), bound - 3.0);  // centred near the clamp
+}
+
+TEST(SnappingMechanismTest, EffectiveEpsilonBarelyAboveNominal) {
+  const SnappingMechanism m(Epsilon(1.0), L1Sensitivity(1.0), 1e6);
+  EXPECT_GT(m.EffectiveEpsilon(), 1.0);
+  EXPECT_LT(m.EffectiveEpsilon(), 1.01);
+}
+
+}  // namespace
+}  // namespace gdp::dp

@@ -1,0 +1,66 @@
+#include "dp/sparse_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gdp::dp {
+namespace {
+
+using gdp::common::Rng;
+
+TEST(SparseVectorTest, RejectsZeroPositives) {
+  Rng rng(1);
+  EXPECT_THROW(SparseVector(Epsilon(1.0), L1Sensitivity(1.0), 0.0, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(SparseVectorTest, ObviousQueriesClassifiedCorrectly) {
+  Rng rng(2);
+  SparseVector sv(Epsilon(10.0), L1Sensitivity(1.0), 100.0, 5, rng);
+  EXPECT_FALSE(sv.Process(0.0));     // far below
+  EXPECT_TRUE(sv.Process(200.0));    // far above
+  EXPECT_EQ(sv.positives_used(), 1u);
+}
+
+TEST(SparseVectorTest, ExhaustsAfterMaxPositives) {
+  Rng rng(3);
+  SparseVector sv(Epsilon(10.0), L1Sensitivity(1.0), 10.0, 2, rng);
+  EXPECT_TRUE(sv.Process(1000.0));
+  EXPECT_TRUE(sv.Process(1000.0));
+  EXPECT_THROW((void)sv.Process(1000.0), gdp::common::BudgetExhaustedError);
+}
+
+TEST(SparseVectorTest, NegativeAnswersAreFree) {
+  Rng rng(4);
+  SparseVector sv(Epsilon(10.0), L1Sensitivity(1.0), 1000.0, 1, rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(sv.Process(-1000.0));
+  }
+  EXPECT_EQ(sv.positives_used(), 0u);
+  EXPECT_TRUE(sv.Process(5000.0));  // budget still available
+}
+
+TEST(SparseVectorTest, BorderlineQueriesAreNoisy) {
+  // Exactly at the threshold, answers should split both ways across
+  // instantiations (the threshold itself is perturbed).
+  int above = 0;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    Rng rng(seed);
+    SparseVector sv(Epsilon(0.5), L1Sensitivity(1.0), 50.0, 1, rng);
+    above += sv.Process(50.0) ? 1 : 0;
+  }
+  EXPECT_GT(above, 100);
+  EXPECT_LT(above, 300);
+}
+
+TEST(SparseVectorTest, AccessorsReportConfiguration) {
+  Rng rng(5);
+  const SparseVector sv(Epsilon(1.0), L1Sensitivity(2.0), 42.0, 3, rng);
+  EXPECT_EQ(sv.max_positives(), 3u);
+  EXPECT_DOUBLE_EQ(sv.threshold(), 42.0);
+}
+
+}  // namespace
+}  // namespace gdp::dp

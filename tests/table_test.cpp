@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gdp::common {
+namespace {
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RejectsRowWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.AddRow({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, CountsRowsAndCols) {
+  TextTable t({"x", "y", "z"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1", "2", "3"});
+  t.AddRow({"4", "5", "6"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, PrintAlignsColumns) {
+  TextTable t({"name", "v"});
+  t.AddRow({"longer_name", "1"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Header line must pad "name" to the width of "longer_name".
+  EXPECT_NE(out.find("name         v"), std::string::npos) << out;
+  EXPECT_NE(out.find("longer_name  1"), std::string::npos) << out;
+}
+
+TEST(TextTableTest, PrintTsvUsesTabs) {
+  TextTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintTsv(os);
+  EXPECT_EQ(os.str(), "a\tb\n1\t2\n");
+}
+
+TEST(FormatDoubleTest, RespectsDecimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+TEST(FormatPercentTest, ConvertsFraction) {
+  EXPECT_EQ(FormatPercent(0.0213, 2), "2.13%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.001234, 2), "0.12%");
+}
+
+}  // namespace
+}  // namespace gdp::common

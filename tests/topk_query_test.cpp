@@ -1,0 +1,131 @@
+#include "query/topk_query.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace gdp::query {
+namespace {
+
+using gdp::common::Rng;
+using gdp::graph::BipartiteGraph;
+using gdp::graph::NodeIndex;
+using gdp::hier::GroupId;
+using gdp::hier::GroupInfo;
+using gdp::hier::kNoParent;
+
+// 8 left groups of 4 nodes with sharply different weights; right side one
+// group.
+struct Fixture {
+  BipartiteGraph graph;
+  gdp::hier::Partition level;
+};
+
+Fixture MakeFixture() {
+  // Left group g (nodes 4g..4g+3) gets (g+1)^2 edges spread over its nodes.
+  std::vector<gdp::graph::Edge> edges;
+  NodeIndex right = 0;
+  for (GroupId g = 0; g < 8; ++g) {
+    const int weight = static_cast<int>((g + 1) * (g + 1));
+    for (int e = 0; e < weight; ++e) {
+      edges.push_back({static_cast<NodeIndex>(4 * g + (e % 4)),
+                       static_cast<NodeIndex>(right++ % 300)});
+    }
+  }
+  BipartiteGraph graph(32, 300, std::move(edges));
+  std::vector<GroupId> left_labels(32);
+  for (NodeIndex v = 0; v < 32; ++v) {
+    left_labels[v] = v / 4;
+  }
+  std::vector<GroupId> right_labels(300, 8);
+  std::vector<GroupInfo> infos;
+  for (GroupId g = 0; g < 8; ++g) {
+    infos.push_back(GroupInfo{gdp::graph::Side::kLeft, 4, kNoParent});
+  }
+  infos.push_back(GroupInfo{gdp::graph::Side::kRight, 300, kNoParent});
+  return Fixture{std::move(graph),
+                 gdp::hier::Partition(std::move(left_labels),
+                                      std::move(right_labels), std::move(infos))};
+}
+
+TEST(TopKQueryTest, ValidatesK) {
+  const Fixture f = MakeFixture();
+  Rng rng(1);
+  EXPECT_THROW(
+      (void)SelectTopKGroups(f.graph, f.level, 0, gdp::dp::Epsilon(1.0), rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)SelectTopKGroups(f.graph, f.level, 10, gdp::dp::Epsilon(1.0), rng),
+      std::invalid_argument);
+}
+
+TEST(TopKQueryTest, ReturnsKDistinctGroups) {
+  const Fixture f = MakeFixture();
+  Rng rng(3);
+  const TopKResult r =
+      SelectTopKGroups(f.graph, f.level, 4, gdp::dp::Epsilon(2.0), rng);
+  EXPECT_EQ(r.groups.size(), 4u);
+  const std::unordered_set<GroupId> distinct(r.groups.begin(), r.groups.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.epsilon_spent, 2.0);
+}
+
+TEST(TopKQueryTest, HighEpsilonFindsTrueTopK) {
+  const Fixture f = MakeFixture();
+  Rng rng(5);
+  // With huge budget, selection should be essentially exact.  The heaviest
+  // groups are the right-side catch-all (id 8, weight 204 = every edge),
+  // then left groups 7 (weight 64) and 6 (weight 49).
+  const TopKResult r =
+      SelectTopKGroups(f.graph, f.level, 3, gdp::dp::Epsilon(500.0), rng);
+  const std::unordered_set<GroupId> got(r.groups.begin(), r.groups.end());
+  EXPECT_TRUE(got.contains(8));
+  EXPECT_TRUE(got.contains(7));
+  EXPECT_TRUE(got.contains(6));
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+}
+
+TEST(TopKQueryTest, PrecisionDegradesGracefullyWithBudget) {
+  const Fixture f = MakeFixture();
+  const auto mean_precision = [&](double eps) {
+    double total = 0.0;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+      Rng rng(seed);
+      total += SelectTopKGroups(f.graph, f.level, 3, gdp::dp::Epsilon(eps), rng)
+                   .precision;
+    }
+    return total / 40.0;
+  };
+  // Richer budget must not hurt; with a heavy-weight fixture even modest
+  // budgets should do fairly well.
+  EXPECT_GE(mean_precision(50.0), mean_precision(0.01) - 0.05);
+  EXPECT_GT(mean_precision(50.0), 0.6);
+}
+
+TEST(TopKQueryTest, EdgelessGraphHandled) {
+  const BipartiteGraph g(8, 8, {});
+  const auto level = gdp::hier::Partition::TopLevel(8, 8);
+  Rng rng(7);
+  const TopKResult r = SelectTopKGroups(g, level, 2, gdp::dp::Epsilon(1.0), rng);
+  EXPECT_EQ(r.groups.size(), 2u);
+}
+
+TEST(TopKQueryTest, SelectingAllGroupsIsPermutation) {
+  const Fixture f = MakeFixture();
+  Rng rng(9);
+  const TopKResult r =
+      SelectTopKGroups(f.graph, f.level, 9, gdp::dp::Epsilon(1.0), rng);
+  std::vector<GroupId> sorted = r.groups;
+  std::sort(sorted.begin(), sorted.end());
+  for (GroupId g = 0; g < 9; ++g) {
+    EXPECT_EQ(sorted[g], g);
+  }
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);  // all groups selected = trivially exact
+}
+
+}  // namespace
+}  // namespace gdp::query

@@ -1,0 +1,91 @@
+#include "query/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace gdp::query {
+namespace {
+
+using gdp::common::Rng;
+using gdp::graph::BipartiteGraph;
+
+BipartiteGraph TestGraph() {
+  Rng rng(3);
+  return gdp::graph::GenerateUniformRandom(50, 50, 600, rng);
+}
+
+TEST(WorkloadTest, RejectsNullQuery) {
+  Workload w;
+  EXPECT_THROW(w.Add(nullptr), std::invalid_argument);
+}
+
+TEST(WorkloadTest, RunsEveryQuery) {
+  const BipartiteGraph g = TestGraph();
+  const Partition top = Partition::TopLevel(50, 50);
+  Workload w;
+  w.Add(std::make_unique<AssociationCountQuery>())
+      .Add(std::make_unique<DegreeHistogramQuery>(Side::kLeft, 20));
+  EXPECT_EQ(w.size(), 2u);
+  Rng rng(5);
+  const auto results =
+      w.Run(g, top, gdp::core::NoiseKind::kGaussian, 0.9, 1e-5, rng);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].query_name, "association_count");
+  EXPECT_EQ(results[1].query_name, "degree_histogram_left");
+  for (const auto& r : results) {
+    EXPECT_GT(r.sensitivity, 0.0);
+    EXPECT_GT(r.noise_stddev, 0.0);
+    EXPECT_EQ(r.truth.size(), r.noisy.size());
+  }
+}
+
+TEST(WorkloadTest, MetricsAreConsistent) {
+  const BipartiteGraph g = TestGraph();
+  const Partition singles = Partition::Singletons(50, 50);
+  Workload w;
+  w.Add(std::make_unique<AssociationCountQuery>());
+  Rng rng(7);
+  const auto results =
+      w.Run(g, singles, gdp::core::NoiseKind::kLaplace, 1.0, 1e-5, rng);
+  const auto& r = results[0];
+  // Scalar query: MAE equals |noise| and RER = MAE / truth.
+  EXPECT_NEAR(r.mean_rer, r.mae / r.truth[0], 1e-12);
+  EXPECT_NEAR(r.rmse, r.mae, 1e-9);
+}
+
+TEST(WorkloadTest, ZeroSensitivityReleasedExactly) {
+  // Edgeless graph: all queries have zero group sensitivity.
+  const BipartiteGraph g(10, 10, {});
+  const Partition top = Partition::TopLevel(10, 10);
+  Workload w;
+  w.Add(std::make_unique<AssociationCountQuery>());
+  Rng rng(9);
+  const auto results =
+      w.Run(g, top, gdp::core::NoiseKind::kGaussian, 0.5, 1e-5, rng);
+  EXPECT_EQ(results[0].noisy, results[0].truth);
+  EXPECT_EQ(results[0].noise_stddev, 0.0);
+}
+
+TEST(WorkloadTest, FinerLevelYieldsSmallerError) {
+  const BipartiteGraph g = TestGraph();
+  Workload w;
+  w.Add(std::make_unique<AssociationCountQuery>());
+  double err_fine = 0.0;
+  double err_coarse = 0.0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng r1(seed);
+    Rng r2(seed + 1000);
+    err_fine += w.Run(g, Partition::Singletons(50, 50),
+                      gdp::core::NoiseKind::kGaussian, 0.9, 1e-5, r1)[0]
+                    .mean_rer;
+    err_coarse += w.Run(g, Partition::TopLevel(50, 50),
+                        gdp::core::NoiseKind::kGaussian, 0.9, 1e-5, r2)[0]
+                      .mean_rer;
+  }
+  EXPECT_LT(err_fine, err_coarse);
+}
+
+}  // namespace
+}  // namespace gdp::query
