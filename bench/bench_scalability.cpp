@@ -5,8 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/group_dp_engine.hpp"
 #include "core/pipeline.hpp"
+#include "core/release_plan.hpp"
 #include "graph/generators.hpp"
 #include "hier/specialization.hpp"
 
@@ -69,7 +71,10 @@ void BM_LevelSensitivities(benchmark::State& state) {
 BENCHMARK(BM_LevelSensitivities)->Arg(10'000)->Arg(100'000)->Arg(640'000)
     ->Unit(benchmark::kMillisecond);
 
-void BM_ReleaseAllLevels(benchmark::State& state) {
+// The legacy-vs-planned pair: identical output (parallel_release_test pins
+// bit-parity), different scan counts.  Legacy rescans the node set up to
+// three times per level; planned performs one scan + a parent-pointer rollup.
+void BM_ReleaseAll_Legacy(benchmark::State& state) {
   const auto g = MakeGraph(state.range(0));
   hier::SpecializationConfig cfg;
   cfg.depth = 9;
@@ -82,12 +87,81 @@ void BM_ReleaseAllLevels(benchmark::State& state) {
   rel.include_group_counts = true;
   const core::GroupDpEngine engine(rel);
   for (auto _ : state) {
+    auto release = engine.ReleaseAllLegacy(g, built.hierarchy, rng);
+    benchmark::DoNotOptimize(release.num_levels());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReleaseAll_Legacy)->Arg(10'000)->Arg(100'000)->Arg(640'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReleaseAll_Planned(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  hier::SpecializationConfig cfg;
+  cfg.depth = 9;
+  cfg.validate_hierarchy = false;
+  const hier::Specializer spec(cfg);
+  common::Rng rng(5);
+  const auto built = spec.BuildHierarchy(g, rng);
+  core::ReleaseConfig rel;
+  rel.epsilon_g = 0.999;
+  rel.include_group_counts = true;
+  const core::GroupDpEngine engine(rel);
+  for (auto _ : state) {
+    // Plan built inside the loop: the comparison with Legacy is end-to-end.
     auto release = engine.ReleaseAll(g, built.hierarchy, rng);
     benchmark::DoNotOptimize(release.num_levels());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_ReleaseAllLevels)->Arg(10'000)->Arg(100'000)->Arg(640'000)
+BENCHMARK(BM_ReleaseAll_Planned)->Arg(10'000)->Arg(100'000)->Arg(640'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildReleasePlan(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  hier::SpecializationConfig cfg;
+  cfg.depth = 9;
+  cfg.validate_hierarchy = false;
+  const hier::Specializer spec(cfg);
+  common::Rng rng(5);
+  const auto built = spec.BuildHierarchy(g, rng);
+  for (auto _ : state) {
+    auto plan = core::ReleasePlan::Build(g, built.hierarchy);
+    benchmark::DoNotOptimize(plan.num_levels());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildReleasePlan)->Arg(10'000)->Arg(100'000)->Arg(640'000)
+    ->Unit(benchmark::kMillisecond);
+
+// Thread sweep at the acceptance configuration (640k edges, depth 9): plan
+// and pool are prebuilt, so this isolates the noise stage's multicore
+// scaling.  Arg pair = {edges, threads}.
+void BM_ParallelReleaseAll(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  hier::SpecializationConfig cfg;
+  cfg.depth = 9;
+  cfg.validate_hierarchy = false;
+  const hier::Specializer spec(cfg);
+  common::Rng rng(5);
+  const auto built = spec.BuildHierarchy(g, rng);
+  core::ReleaseConfig rel;
+  rel.epsilon_g = 0.999;
+  rel.include_group_counts = true;
+  const core::GroupDpEngine engine(rel);
+  const auto plan = core::ReleasePlan::Build(g, built.hierarchy);
+  common::ThreadPool pool(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto release = engine.ParallelReleaseAll(plan, rng, pool);
+    benchmark::DoNotOptimize(release.num_levels());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelReleaseAll)
+    ->Args({640'000, 1})
+    ->Args({640'000, 2})
+    ->Args({640'000, 4})
+    ->Args({640'000, 8})
     ->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndDisclosure(benchmark::State& state) {

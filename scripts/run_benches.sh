@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Run the google-benchmark harnesses and record JSON trajectories as
+# BENCH_<name>.json in the repo root, so successive PRs accumulate a
+# comparable perf history.
+#
+# usage: scripts/run_benches.sh [build_dir] [benchmark_filter]
+#   build_dir         defaults to ./build
+#   benchmark_filter  optional --benchmark_filter regex (e.g. 'BM_ReleaseAll.*')
+#
+# Environment: GDP_BENCH_REPS (default 1) sets --benchmark_repetitions.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+filter="${2:-}"
+reps="${GDP_BENCH_REPS:-1}"
+
+if [[ ! -d "$build_dir" ]]; then
+  echo "build dir '$build_dir' not found; run: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+for bench in bench_scalability bench_micro_mechanisms; do
+  bin="$build_dir/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "skipping $bench (not built)" >&2
+    continue
+  fi
+  out="$repo_root/BENCH_${bench#bench_}.json"
+  args=(--benchmark_format=json --benchmark_repetitions="$reps")
+  if [[ -n "$filter" ]]; then
+    args+=(--benchmark_filter="$filter")
+  fi
+  echo ">> $bench ${args[*]}" >&2
+  "$bin" "${args[@]}" > "$out"
+  echo "wrote $out" >&2
+done

@@ -57,6 +57,7 @@ int RunDisclose(const Args& args, std::ostream& out) {
   config.depth = static_cast<int>(args.GetInt("depth", 9));
   config.arity = static_cast<int>(args.GetInt("arity", 4));
   config.enforce_consistency = args.HasSwitch("consistent");
+  config.num_threads = static_cast<int>(args.GetInt("threads", 1));
 
   gdp::common::Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 42)));
   const auto result = gdp::core::RunDisclosure(graph, config, rng);
@@ -129,7 +130,7 @@ std::string UsageText() {
          " [--seed S]\n"
          "  disclose  --graph g.tsv --release r.tsv [--hierarchy h.tsv]\n"
          "            [--eps E] [--delta D] [--depth K] [--arity A] [--seed S]\n"
-         "            [--consistent] [--strip-truth]\n"
+         "            [--threads T] [--consistent] [--strip-truth]\n"
          "  inspect   --release r.tsv\n"
          "  drilldown --release r.tsv --hierarchy h.tsv --side left|right"
          " --node V\n"
@@ -152,7 +153,7 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
     return RunDisclose(
         Args::Parse(rest,
                     {"graph", "release", "hierarchy", "eps", "delta", "depth",
-                     "arity", "seed"},
+                     "arity", "seed", "threads"},
                     {"consistent", "strip-truth"}),
         out);
   }

@@ -1,0 +1,105 @@
+#include "common/thread_pool.hpp"
+
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace gdp::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) {
+      num_threads = 1;
+    }
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (!task) {
+    throw std::invalid_argument("ThreadPool::Submit: empty task");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::Submit: pool is shutting down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  struct Barrier {
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+  };
+  // Shared-ptr so stragglers stay valid even if the waiter is released by an
+  // earlier exception path (it isn't today, but keeps the invariant local).
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Submit([barrier, &fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(barrier->m);
+        if (!barrier->first_error) {
+          barrier->first_error = std::current_exception();
+        }
+      }
+      {
+        const std::lock_guard<std::mutex> lock(barrier->m);
+        --barrier->remaining;
+      }
+      barrier->done.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(barrier->m);
+  barrier->done.wait(lock, [&] { return barrier->remaining == 0; });
+  if (barrier->first_error) {
+    std::rethrow_exception(barrier->first_error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace gdp::common

@@ -1,0 +1,58 @@
+// Fixed-size thread pool for parallel release work.
+//
+// Deliberately work-stealing-free: a single mutex-guarded FIFO feeds N
+// worker threads.  The release workload is a handful of coarse per-level
+// tasks, where a lock-free deque would buy nothing and cost auditability —
+// determinism reviews only have to reason about "tasks run exactly once,
+// in some order", which this structure makes obvious.
+//
+// Determinism contract: the pool never owns randomness.  Callers that need
+// reproducible output fork one RNG stream per task BEFORE submission (see
+// GroupDpEngine::ParallelReleaseAll), so scheduling order cannot leak into
+// results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gdp::common {
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  // Enqueue a task; returns immediately.  Tasks must not themselves block on
+  // this pool (no nested ParallelFor from a worker — the workers would
+  // deadlock waiting on each other).
+  void Submit(std::function<void()> task);
+
+  // Run fn(0), ..., fn(n-1) across the pool and block until all complete.
+  // The first exception thrown by any task is rethrown here (remaining
+  // tasks still run to completion).  Must be called from outside the pool.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stopping_{false};
+};
+
+}  // namespace gdp::common

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "core/group_sensitivity.hpp"
 #include "dp/discrete_gaussian.hpp"
 #include "dp/gaussian.hpp"
@@ -57,6 +58,25 @@ std::unique_ptr<gdp::dp::NumericMechanism> MakeMechanism(NoiseKind kind,
   throw std::invalid_argument("MakeMechanism: unknown noise kind");
 }
 
+const gdp::dp::NumericMechanism& MechanismCache::Get(NoiseKind kind,
+                                                     double epsilon,
+                                                     double delta,
+                                                     double sensitivity) {
+  const Key key{static_cast<int>(kind), epsilon, delta, sensitivity};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, MakeMechanism(kind, epsilon, delta, sensitivity))
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t MechanismCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
 GroupDpEngine::GroupDpEngine(ReleaseConfig config) : config_(config) {
   // Validate eagerly so a bad config fails at construction, not mid-release.
   (void)gdp::dp::Epsilon(config_.epsilon_g);
@@ -68,9 +88,9 @@ GroupDpEngine::GroupDpEngine(ReleaseConfig config) : config_(config) {
 }
 
 double GroupDpEngine::NoiseStddevFor(double sensitivity) const {
-  return MakeMechanism(config_.noise, config_.epsilon_g, config_.delta,
-                       sensitivity)
-      ->NoiseStddev();
+  return mech_cache_
+      .Get(config_.noise, config_.epsilon_g, config_.delta, sensitivity)
+      .NoiseStddev();
 }
 
 LevelRelease GroupDpEngine::ReleaseLevel(const BipartiteGraph& graph,
@@ -134,14 +154,110 @@ LevelRelease GroupDpEngine::ReleaseLevelWithEpsilon(const BipartiteGraph& graph,
   return out;
 }
 
+LevelRelease GroupDpEngine::ReleaseLevelFromPlan(const ReleasePlan& plan,
+                                                 int level_index,
+                                                 double epsilon,
+                                                 gdp::common::Rng& rng) const {
+  LevelRelease out;
+  out.level = level_index;
+  out.true_total = static_cast<double>(plan.num_edges());
+
+  const gdp::graph::EdgeCount computed = plan.CountSensitivity(level_index);
+  out.sensitivity =
+      config_.sensitivity_override.value_or(static_cast<double>(computed));
+
+  const std::vector<gdp::graph::EdgeCount>& sums =
+      plan.GroupDegreeSums(level_index);
+
+  if (out.sensitivity == 0.0) {
+    out.noisy_total = out.true_total;
+    if (config_.include_group_counts) {
+      out.true_group_counts.assign(sums.size(), 0.0);
+      out.noisy_group_counts.assign(sums.size(), 0.0);
+    }
+    return out;
+  }
+
+  const auto& scalar_mechanism =
+      mech_cache_.Get(config_.noise, epsilon, config_.delta, out.sensitivity);
+  out.noise_stddev = scalar_mechanism.NoiseStddev();
+  out.noisy_total = scalar_mechanism.AddNoise(out.true_total, rng);
+
+  if (config_.include_group_counts) {
+    out.true_group_counts.reserve(sums.size());
+    for (const auto s : sums) {
+      out.true_group_counts.push_back(static_cast<double>(s));
+    }
+    // Same sqrt(2)·Δℓ bound as the per-level path; Δℓ here is the computed
+    // (not overridden) scalar, matching the legacy calibration exactly.
+    const auto& vector_mechanism = mech_cache_.Get(
+        config_.noise, epsilon, config_.delta, plan.VectorSensitivity(level_index));
+    out.group_noise_stddev = vector_mechanism.NoiseStddev();
+    out.noisy_group_counts =
+        vector_mechanism.AddNoise(out.true_group_counts, rng);
+  }
+
+  if (config_.clamp_nonnegative) {
+    out.noisy_total = std::max(0.0, out.noisy_total);
+    for (double& c : out.noisy_group_counts) {
+      c = std::max(0.0, c);
+    }
+  }
+  return out;
+}
+
 MultiLevelRelease GroupDpEngine::ReleaseAll(const BipartiteGraph& graph,
                                             const GroupHierarchy& hierarchy,
                                             gdp::common::Rng& rng) const {
+  return ReleaseAll(ReleasePlan::Build(graph, hierarchy), rng);
+}
+
+MultiLevelRelease GroupDpEngine::ReleaseAll(const ReleasePlan& plan,
+                                            gdp::common::Rng& rng) const {
+  std::vector<LevelRelease> levels;
+  levels.reserve(static_cast<std::size_t>(plan.num_levels()));
+  for (int i = 0; i < plan.num_levels(); ++i) {
+    levels.push_back(ReleaseLevelFromPlan(plan, i, config_.epsilon_g, rng));
+  }
+  return MultiLevelRelease(std::move(levels));
+}
+
+MultiLevelRelease GroupDpEngine::ReleaseAllLegacy(const BipartiteGraph& graph,
+                                                  const GroupHierarchy& hierarchy,
+                                                  gdp::common::Rng& rng) const {
   std::vector<LevelRelease> levels;
   levels.reserve(static_cast<std::size_t>(hierarchy.num_levels()));
   for (int i = 0; i < hierarchy.num_levels(); ++i) {
     levels.push_back(ReleaseLevel(graph, hierarchy.level(i), i, rng));
   }
+  return MultiLevelRelease(std::move(levels));
+}
+
+MultiLevelRelease GroupDpEngine::ParallelReleaseAll(
+    const BipartiteGraph& graph, const GroupHierarchy& hierarchy,
+    gdp::common::Rng& rng, int num_threads) const {
+  const ReleasePlan plan = ReleasePlan::Build(graph, hierarchy);
+  gdp::common::ThreadPool pool(num_threads);
+  return ParallelReleaseAll(plan, rng, pool);
+}
+
+MultiLevelRelease GroupDpEngine::ParallelReleaseAll(
+    const ReleasePlan& plan, gdp::common::Rng& rng,
+    gdp::common::ThreadPool& pool) const {
+  const int n = plan.num_levels();
+  // Fork one decorrelated child stream per level BEFORE dispatch, in level
+  // order: the fork sequence depends only on the incoming rng state, so the
+  // released values are identical whatever the thread count or schedule.
+  std::vector<gdp::common::Rng> streams;
+  streams.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    streams.push_back(rng.Fork(static_cast<std::uint64_t>(i)));
+  }
+  std::vector<LevelRelease> levels(static_cast<std::size_t>(n));
+  pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t i) {
+    levels[i] = ReleaseLevelFromPlan(plan, static_cast<int>(i),
+                                     config_.epsilon_g, streams[i]);
+  });
   return MultiLevelRelease(std::move(levels));
 }
 
@@ -153,15 +269,25 @@ MultiLevelRelease GroupDpEngine::ReleaseAllWithBudgets(
     throw std::invalid_argument(
         "ReleaseAllWithBudgets: one epsilon required per level");
   }
+  return ReleaseAllWithBudgets(ReleasePlan::Build(graph, hierarchy),
+                               per_level_epsilon, rng);
+}
+
+MultiLevelRelease GroupDpEngine::ReleaseAllWithBudgets(
+    const ReleasePlan& plan, std::span<const double> per_level_epsilon,
+    gdp::common::Rng& rng) const {
+  if (per_level_epsilon.size() != static_cast<std::size_t>(plan.num_levels())) {
+    throw std::invalid_argument(
+        "ReleaseAllWithBudgets: one epsilon required per level");
+  }
   for (const double eps : per_level_epsilon) {
     (void)gdp::dp::Epsilon(eps);  // validates
   }
   std::vector<LevelRelease> levels;
-  levels.reserve(static_cast<std::size_t>(hierarchy.num_levels()));
-  for (int i = 0; i < hierarchy.num_levels(); ++i) {
-    levels.push_back(ReleaseLevelWithEpsilon(
-        graph, hierarchy.level(i), i,
-        per_level_epsilon[static_cast<std::size_t>(i)], rng));
+  levels.reserve(static_cast<std::size_t>(plan.num_levels()));
+  for (int i = 0; i < plan.num_levels(); ++i) {
+    levels.push_back(ReleaseLevelFromPlan(
+        plan, i, per_level_epsilon[static_cast<std::size_t>(i)], rng));
   }
   return MultiLevelRelease(std::move(levels));
 }

@@ -6,6 +6,16 @@
 // Gaussian/Laplace mechanism guarantee, each level's release satisfies
 // εg-group-DP with respect to level-ℓ group adjacency.
 //
+// RELEASE PATHS: multi-level releases are plan-based — a ReleasePlan computes
+// every level's statistics in one O(V + total groups) sweep (see
+// release_plan.hpp), and the engine consumes the cached values.  The
+// pre-plan per-level path (up to three node scans per level) is retained as
+// ReleaseAllLegacy: it is the bench comparator and the parity oracle —
+// plan-based output is bit-identical to it under the same seed.
+// ParallelReleaseAll releases levels concurrently on a ThreadPool with one
+// forked RNG stream per level, so its output is seed-deterministic for every
+// thread count (but intentionally differs from the sequential draw order).
+//
 // SENSITIVITY CAVEAT (documented honestly): following the paper, Δℓ is
 // computed from the dataset's own hierarchy, i.e. it is a *local* rather
 // than worst-case-global sensitivity.  The hierarchy itself was produced by
@@ -15,15 +25,23 @@
 // ReleaseConfig::sensitivity_override.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <tuple>
 
 #include "common/rng.hpp"
 #include "core/release.hpp"
+#include "core/release_plan.hpp"
 #include "dp/mechanism.hpp"
 #include "dp/privacy_params.hpp"
 #include "hier/hierarchy.hpp"
+
+namespace gdp::common {
+class ThreadPool;
+}  // namespace gdp::common
 
 namespace gdp::core {
 
@@ -62,13 +80,37 @@ struct ReleaseConfig {
 [[nodiscard]] std::unique_ptr<gdp::dp::NumericMechanism> MakeMechanism(
     NoiseKind kind, double epsilon, double delta, double sensitivity);
 
+// Memoized mechanism calibration, keyed by (kind, ε, δ, Δ).  A 9-level
+// release with repeated ε touches only a handful of distinct calibrations;
+// re-deriving (and heap-allocating) one per level per release is pure waste.
+// Mechanisms are immutable after construction, so the cached instances are
+// safe to share across the pool's threads; the map itself is mutex-guarded.
+class MechanismCache {
+ public:
+  [[nodiscard]] const gdp::dp::NumericMechanism& Get(NoiseKind kind,
+                                                     double epsilon,
+                                                     double delta,
+                                                     double sensitivity);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  using Key = std::tuple<int, double, double, double>;
+  mutable std::mutex mutex_;
+  std::map<Key, std::unique_ptr<gdp::dp::NumericMechanism>> cache_;
+};
+
 class GroupDpEngine {
  public:
   explicit GroupDpEngine(ReleaseConfig config);
 
+  // The engine owns a mechanism cache (and a mutex): non-copyable by design.
+  GroupDpEngine(const GroupDpEngine&) = delete;
+  GroupDpEngine& operator=(const GroupDpEngine&) = delete;
+
   // Release one level.  `level_index` is recorded in the artifact.
   // A level whose sensitivity is zero (edgeless graph) is released exactly —
-  // there are no associations to protect.
+  // there are no associations to protect.  Per-level node scans (no plan).
   [[nodiscard]] LevelRelease ReleaseLevel(const BipartiteGraph& graph,
                                           const Partition& level,
                                           int level_index,
@@ -76,10 +118,36 @@ class GroupDpEngine {
 
   // Release every level of the hierarchy with the configured εg per level
   // (the paper's scheme: each level carries its own εg-group-DP guarantee
-  // under its own adjacency relation).
+  // under its own adjacency relation).  Builds a ReleasePlan internally:
+  // one node scan total, bit-identical to ReleaseAllLegacy.
   [[nodiscard]] MultiLevelRelease ReleaseAll(const BipartiteGraph& graph,
                                              const GroupHierarchy& hierarchy,
                                              gdp::common::Rng& rng) const;
+
+  // Same, from a caller-owned plan (amortise the sweep across repeated
+  // releases of one graph/hierarchy pair).
+  [[nodiscard]] MultiLevelRelease ReleaseAll(const ReleasePlan& plan,
+                                             gdp::common::Rng& rng) const;
+
+  // The pre-plan path: every level rescans the node set (CountSensitivity,
+  // group counts, VectorSensitivity) and calibrates fresh mechanisms.  Kept
+  // as the benchmark comparator and the parity oracle for the plan path.
+  [[nodiscard]] MultiLevelRelease ReleaseAllLegacy(
+      const BipartiteGraph& graph, const GroupHierarchy& hierarchy,
+      gdp::common::Rng& rng) const;
+
+  // Release levels concurrently.  Each level draws from its own child RNG
+  // stream forked from `rng` in level order before dispatch, so the output
+  // depends only on the seed — NOT on the thread count or schedule.
+  // num_threads <= 0 selects the hardware concurrency.
+  [[nodiscard]] MultiLevelRelease ParallelReleaseAll(
+      const BipartiteGraph& graph, const GroupHierarchy& hierarchy,
+      gdp::common::Rng& rng, int num_threads = 0) const;
+
+  // Same, from a caller-owned plan and pool (servers reuse both).
+  [[nodiscard]] MultiLevelRelease ParallelReleaseAll(
+      const ReleasePlan& plan, gdp::common::Rng& rng,
+      gdp::common::ThreadPool& pool) const;
 
   // Release with an explicit per-level budget (one epsilon per hierarchy
   // level, e.g. from PlanLevelBudgets).  Summing the epsilons gives the
@@ -90,20 +158,32 @@ class GroupDpEngine {
       const BipartiteGraph& graph, const GroupHierarchy& hierarchy,
       std::span<const double> per_level_epsilon, gdp::common::Rng& rng) const;
 
+  [[nodiscard]] MultiLevelRelease ReleaseAllWithBudgets(
+      const ReleasePlan& plan, std::span<const double> per_level_epsilon,
+      gdp::common::Rng& rng) const;
+
   [[nodiscard]] const ReleaseConfig& config() const noexcept { return config_; }
 
   // Noise σ the engine will use for a level with sensitivity Δ (exposed for
-  // expected-error analysis and tests).
+  // expected-error analysis and tests).  Served from the mechanism cache.
   [[nodiscard]] double NoiseStddevFor(double sensitivity) const;
 
  private:
+  // Per-level node-scan path (the seed implementation, verbatim).
   [[nodiscard]] LevelRelease ReleaseLevelWithEpsilon(const BipartiteGraph& graph,
                                                      const Partition& level,
                                                      int level_index,
                                                      double epsilon,
                                                      gdp::common::Rng& rng) const;
 
+  // Plan path: all statistics are cached lookups; mechanisms are memoized.
+  [[nodiscard]] LevelRelease ReleaseLevelFromPlan(const ReleasePlan& plan,
+                                                  int level_index,
+                                                  double epsilon,
+                                                  gdp::common::Rng& rng) const;
+
   ReleaseConfig config_;
+  mutable MechanismCache mech_cache_;
 };
 
 }  // namespace gdp::core

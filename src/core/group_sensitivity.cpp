@@ -17,15 +17,18 @@ std::vector<EdgeCount> CountSensitivities(const BipartiteGraph& graph,
   return hierarchy.LevelSensitivities(graph);
 }
 
-gdp::dp::L2Sensitivity VectorSensitivity(const BipartiteGraph& graph,
-                                         const Partition& level) {
-  const EdgeCount scalar = CountSensitivity(graph, level);
+gdp::dp::L2Sensitivity VectorSensitivityFromScalar(EdgeCount scalar) {
   if (scalar == 0) {
     throw std::invalid_argument(
         "VectorSensitivity: level has zero sensitivity (edgeless graph); "
         "release exact zeros instead of calibrating a mechanism");
   }
   return gdp::dp::L2Sensitivity(std::sqrt(2.0) * static_cast<double>(scalar));
+}
+
+gdp::dp::L2Sensitivity VectorSensitivity(const BipartiteGraph& graph,
+                                         const Partition& level) {
+  return VectorSensitivityFromScalar(CountSensitivity(graph, level));
 }
 
 gdp::graph::EdgeCount EstimateDegreeCapDp(const BipartiteGraph& graph,

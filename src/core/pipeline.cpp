@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "core/consistency.hpp"
 
 namespace gdp::core {
@@ -40,7 +41,15 @@ DisclosureResult RunDisclosure(const gdp::graph::BipartiteGraph& graph,
   rel.clamp_nonnegative = config.clamp_nonnegative;
 
   const GroupDpEngine engine(rel);
-  MultiLevelRelease release = engine.ReleaseAll(graph, built.hierarchy, rng);
+  // One plan = one node scan for every level's sensitivities and counts.
+  const ReleasePlan plan = ReleasePlan::Build(graph, built.hierarchy);
+  MultiLevelRelease release = [&] {
+    if (config.num_threads == 1) {
+      return engine.ReleaseAll(plan, rng);
+    }
+    gdp::common::ThreadPool pool(config.num_threads);
+    return engine.ParallelReleaseAll(plan, rng, pool);
+  }();
 
   if (config.enforce_consistency) {
     if (!config.include_group_counts) {

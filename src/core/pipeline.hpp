@@ -34,6 +34,12 @@ struct DisclosureConfig {
   // (GLS tree consistency; requires include_group_counts).  Free in privacy
   // terms — post-processing — and reduces variance at coarse levels.
   bool enforce_consistency{false};
+  // Phase-2 worker threads.  1 (default) releases levels sequentially —
+  // bit-identical to the pre-plan pipeline.  Any other value uses
+  // ParallelReleaseAll with per-level forked RNG streams: still
+  // seed-deterministic, but a different (documented) draw order; 0 selects
+  // the hardware concurrency.
+  int num_threads{1};
 };
 
 struct DisclosureResult {

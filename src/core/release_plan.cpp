@@ -1,0 +1,38 @@
+#include "core/release_plan.hpp"
+
+#include <stdexcept>
+
+#include "core/group_sensitivity.hpp"
+
+namespace gdp::core {
+
+ReleasePlan ReleasePlan::Build(const gdp::graph::BipartiteGraph& graph,
+                               const gdp::hier::GroupHierarchy& hierarchy) {
+  ReleasePlan plan;
+  plan.num_edges_ = graph.num_edges();
+  plan.sums_ = hierarchy.AllGroupDegreeSums(graph);
+  plan.max_sums_ =
+      gdp::hier::GroupHierarchy::LevelSensitivitiesFromSums(plan.sums_);
+  return plan;
+}
+
+const std::vector<gdp::graph::EdgeCount>& ReleasePlan::GroupDegreeSums(
+    int level) const {
+  if (level < 0 || level >= num_levels()) {
+    throw std::out_of_range("ReleasePlan::GroupDegreeSums: level out of range");
+  }
+  return sums_[static_cast<std::size_t>(level)];
+}
+
+gdp::graph::EdgeCount ReleasePlan::CountSensitivity(int level) const {
+  if (level < 0 || level >= num_levels()) {
+    throw std::out_of_range("ReleasePlan::CountSensitivity: level out of range");
+  }
+  return max_sums_[static_cast<std::size_t>(level)];
+}
+
+double ReleasePlan::VectorSensitivity(int level) const {
+  return VectorSensitivityFromScalar(CountSensitivity(level)).value();
+}
+
+}  // namespace gdp::core

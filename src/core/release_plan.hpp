@@ -1,0 +1,71 @@
+// ReleasePlan: the precomputed statistics Phase 2 needs, for every level at
+// once.
+//
+// The legacy release path rescanned the node set up to three times per level
+// (CountSensitivity, the per-group count pass, VectorSensitivity), i.e.
+// O(levels · V) for a full multi-level release.  A plan performs ONE node
+// scan — the singleton-level group degree sums, which are just the node
+// degrees — and rolls sums up the hierarchy through the finer levels' parent
+// pointers, O(V + total groups) overall.  Everything the engine consumes per
+// level is then a cached lookup:
+//
+//   GroupDegreeSums(ℓ)   — the true per-group association counts,
+//   CountSensitivity(ℓ)  — max group degree sum = Δℓ of the scalar query,
+//   VectorSensitivity(ℓ) — the sqrt(2)·Δℓ L2 bound of the count vector.
+//
+// The rollup is exact integer arithmetic over the same disjoint unions of
+// nodes, so a plan-based release is bit-identical to the per-level path
+// (release_plan_test asserts this).  Plans are immutable after Build and
+// safe to share across threads (ParallelReleaseAll reads one concurrently).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hier/hierarchy.hpp"
+
+namespace gdp::core {
+
+class ReleasePlan {
+ public:
+  // One sweep over the graph + one rollup over the hierarchy.  The plan is
+  // bound to the (graph, hierarchy) pair it was built from; dimensions are
+  // validated by the underlying scan.
+  [[nodiscard]] static ReleasePlan Build(const gdp::graph::BipartiteGraph& graph,
+                                         const gdp::hier::GroupHierarchy& hierarchy);
+
+  [[nodiscard]] int num_levels() const noexcept {
+    return static_cast<int>(sums_.size());
+  }
+
+  // Total association count |E| of the graph the plan was built from.
+  [[nodiscard]] std::uint64_t num_edges() const noexcept { return num_edges_; }
+
+  // True per-group association counts at `level` (same values as
+  // Partition::GroupDegreeSums, without the scan).
+  [[nodiscard]] const std::vector<gdp::graph::EdgeCount>& GroupDegreeSums(
+      int level) const;
+
+  // Δℓ: max group degree sum at `level` (0 for an edgeless graph).
+  [[nodiscard]] gdp::graph::EdgeCount CountSensitivity(int level) const;
+
+  // sqrt(2)·Δℓ, the L2 sensitivity of the per-group count vector.  Throws
+  // std::invalid_argument when Δℓ = 0, mirroring core::VectorSensitivity —
+  // a zero-sensitivity level must be released exactly, not calibrated.
+  [[nodiscard]] double VectorSensitivity(int level) const;
+
+  // Δ per level (same values as GroupHierarchy::LevelSensitivities).
+  [[nodiscard]] const std::vector<gdp::graph::EdgeCount>& LevelSensitivities()
+      const noexcept {
+    return max_sums_;
+  }
+
+ private:
+  ReleasePlan() = default;
+
+  std::vector<std::vector<gdp::graph::EdgeCount>> sums_;  // [level][group]
+  std::vector<gdp::graph::EdgeCount> max_sums_;           // [level]
+  std::uint64_t num_edges_{0};
+};
+
+}  // namespace gdp::core

@@ -1,5 +1,6 @@
 #include "hier/hierarchy.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gdp::hier {
@@ -40,12 +41,66 @@ const Partition& GroupHierarchy::level(int i) const {
   return levels_[static_cast<std::size_t>(i)];
 }
 
+std::vector<std::vector<EdgeCount>> GroupHierarchy::AllGroupDegreeSums(
+    const BipartiteGraph& graph) const {
+  std::vector<std::vector<EdgeCount>> all;
+  all.reserve(levels_.size());
+  // The one node scan: singleton sums are exactly the node degrees.
+  all.push_back(levels_.front().GroupDegreeSums(graph));
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    const Partition& coarse = levels_[i];
+    const Partition& fine = levels_[i - 1];
+    const std::vector<EdgeCount>& fine_sums = all[i - 1];
+
+    // Refinement (validated at construction) makes each coarse group the
+    // disjoint union of its fine children, so summing child sums into the
+    // parent slot reproduces a direct scan exactly.  validate=false
+    // hierarchies may carry broken parent links; mis-rolled sums would
+    // UNDERSTATE a level's sensitivity and silently under-noise the release,
+    // so guard with an O(groups) conservation check — every coarse group's
+    // declared size must equal the total size of the children that rolled
+    // into it — and fall back to a direct scan when it fails.
+    bool parents_ok = true;
+    std::vector<EdgeCount> sums(coarse.num_groups(), 0);
+    std::vector<NodeIndex> rolled_sizes(coarse.num_groups(), 0);
+    for (GroupId g = 0; g < fine.num_groups(); ++g) {
+      const GroupId parent = fine.group(g).parent;
+      if (parent >= coarse.num_groups() ||
+          fine.group(g).side != coarse.group(parent).side) {
+        parents_ok = false;
+        break;
+      }
+      sums[parent] += fine_sums[g];
+      rolled_sizes[parent] += fine.group(g).size;
+    }
+    if (parents_ok) {
+      for (GroupId p = 0; p < coarse.num_groups(); ++p) {
+        if (rolled_sizes[p] != coarse.group(p).size) {
+          parents_ok = false;
+          break;
+        }
+      }
+    }
+    if (!parents_ok) {
+      sums = coarse.GroupDegreeSums(graph);
+    }
+    all.push_back(std::move(sums));
+  }
+  return all;
+}
+
 std::vector<EdgeCount> GroupHierarchy::LevelSensitivities(
     const BipartiteGraph& graph) const {
+  return LevelSensitivitiesFromSums(AllGroupDegreeSums(graph));
+}
+
+std::vector<EdgeCount> GroupHierarchy::LevelSensitivitiesFromSums(
+    const std::vector<std::vector<EdgeCount>>& all_sums) {
   std::vector<EdgeCount> out;
-  out.reserve(levels_.size());
-  for (const Partition& p : levels_) {
-    out.push_back(p.MaxGroupDegreeSum(graph));
+  out.reserve(all_sums.size());
+  for (const auto& sums : all_sums) {
+    out.push_back(sums.empty() ? 0
+                               : *std::max_element(sums.begin(), sums.end()));
   }
   return out;
 }

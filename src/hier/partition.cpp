@@ -1,12 +1,21 @@
 #include "hier/partition.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <stdexcept>
 
 #include "graph/stats.hpp"
 
 namespace gdp::hier {
+
+namespace {
+std::atomic<std::uint64_t> g_degree_sum_scans{0};
+}  // namespace
+
+std::uint64_t Partition::DegreeSumScanCount() noexcept {
+  return g_degree_sum_scans.load(std::memory_order_relaxed);
+}
 
 Partition::Partition(std::vector<GroupId> left_labels,
                      std::vector<GroupId> right_labels,
@@ -103,6 +112,7 @@ std::vector<EdgeCount> Partition::GroupDegreeSums(const BipartiteGraph& graph) c
     throw std::invalid_argument(
         "Partition::GroupDegreeSums: graph dimensions mismatch");
   }
+  g_degree_sum_scans.fetch_add(1, std::memory_order_relaxed);
   std::vector<EdgeCount> sums(groups_.size(), 0);
   for (NodeIndex v = 0; v < num_left_nodes(); ++v) {
     sums[left_labels_[v]] += graph.Degree(Side::kLeft, v);

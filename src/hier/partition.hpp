@@ -82,6 +82,11 @@ class Partition {
   [[nodiscard]] std::vector<EdgeCount> GroupDegreeSums(
       const BipartiteGraph& graph) const;
 
+  // Process-wide count of full node-scan degree-sum computations (every
+  // GroupDegreeSums / MaxGroupDegreeSum call).  Instrumentation for the
+  // ReleasePlan single-scan guarantee; monotone, thread-safe.
+  [[nodiscard]] static std::uint64_t DegreeSumScanCount() noexcept;
+
   [[nodiscard]] EdgeCount MaxGroupDegreeSum(const BipartiteGraph& graph) const;
 
   // Node count of the largest group.

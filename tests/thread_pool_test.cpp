@@ -1,0 +1,96 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gdp::common {
+namespace {
+
+TEST(ThreadPoolTest, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPoolTest, ExplicitSizeHonoured) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::promise<int> done;
+  pool.Submit([&] { done.set_value(42); });
+  EXPECT_EQ(done.get_future().get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitRejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.Submit({}), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [](std::size_t i) {
+                                  if (i == 3) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotPoisonThePool) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(4, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  // Pool must still be fully usable afterwards.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRounds) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(50, [&](std::size_t i) { total += static_cast<long>(i); });
+  }
+  EXPECT_EQ(total.load(), 20L * (49L * 50L / 2L));
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::vector<int> out(64, 0);
+  pool.ParallelFor(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<int>(i) * 2;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+  }
+}
+
+}  // namespace
+}  // namespace gdp::common
