@@ -158,6 +158,67 @@ void BM_ParallelReleaseAll(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ParallelReleaseAll)
+    ->Args({640'000, 0})  // 0 = hardware concurrency (the --threads 0 config)
+    ->Args({640'000, 1})
+    ->Args({640'000, 2})
+    ->Args({640'000, 4})
+    ->Args({640'000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// Within-level scaling: the level-0 per-group vector draw is the single
+// largest noise cost of a release (one sample per node), and per-level
+// parallelism cannot split it.  This sweeps threads over just that draw via
+// the chunked path (one RNG substream per 8192-group chunk — output is
+// identical at every thread count).  Arg pair = {edges, threads}.
+void BM_ParallelLevel0Noise(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  hier::SpecializationConfig cfg;
+  cfg.depth = 9;
+  cfg.validate_hierarchy = false;
+  const hier::Specializer spec(cfg);
+  common::Rng rng(5);
+  const auto built = spec.BuildHierarchy(g, rng);
+  core::ReleaseConfig rel;
+  rel.epsilon_g = 0.999;
+  rel.include_group_counts = true;
+  const core::GroupDpEngine engine(rel);
+  const auto plan = core::ReleasePlan::Build(g, built.hierarchy);
+  common::ThreadPool pool(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto release =
+        engine.ReleaseLevelFromPlan(plan, 0, rel.epsilon_g, rng, &pool);
+    benchmark::DoNotOptimize(release.noisy_group_counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelLevel0Noise)
+    ->Args({10'000, 2})  // small point: CI smoke + small-graph trajectory
+    ->Args({640'000, 1})
+    ->Args({640'000, 2})
+    ->Args({640'000, 4})
+    ->Args({640'000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// Sharded plan construction: the plan's one node scan is cut into
+// fixed-size node shards with per-shard accumulators merged at the end
+// (exactly equal to the sequential Build).  Arg pair = {edges, threads}.
+void BM_ShardedPlanBuild(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  hier::SpecializationConfig cfg;
+  cfg.depth = 9;
+  cfg.validate_hierarchy = false;
+  const hier::Specializer spec(cfg);
+  common::Rng rng(5);
+  const auto built = spec.BuildHierarchy(g, rng);
+  common::ThreadPool pool(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto plan = core::ReleasePlan::Build(g, built.hierarchy, pool);
+    benchmark::DoNotOptimize(plan.num_levels());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ShardedPlanBuild)
+    ->Args({10'000, 2})  // small point: CI smoke + small-graph trajectory
     ->Args({640'000, 1})
     ->Args({640'000, 2})
     ->Args({640'000, 4})

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Validate the shape of BENCH_*.json trajectories emitted by run_benches.sh.
+
+Usage: scripts/check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+
+Checks, per file:
+  * valid JSON with a "context" object (date, num_cpus) and a "benchmarks"
+    list — the google-benchmark --benchmark_format=json contract;
+  * every benchmark entry carries a name, a numeric real_time/cpu_time, and
+    a time_unit.
+Across all files, at least one benchmark entry must exist (a filter that
+matches nothing everywhere means the trajectory silently rotted).
+
+Exit code 0 on success; 1 with a diagnostic on the first violation.
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_file(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: unreadable or invalid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        fail(f"{path}: missing 'context' object")
+    for key in ("date", "num_cpus"):
+        if key not in context:
+            fail(f"{path}: context lacks '{key}'")
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        fail(f"{path}: missing 'benchmarks' list")
+    for i, bench in enumerate(benchmarks):
+        if not isinstance(bench, dict):
+            fail(f"{path}: benchmarks[{i}] is not an object")
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{path}: benchmarks[{i}] lacks a name")
+        for key in ("real_time", "cpu_time"):
+            if not isinstance(bench.get(key), (int, float)):
+                fail(f"{path}: {name} lacks numeric '{key}'")
+        if not isinstance(bench.get("time_unit"), str):
+            fail(f"{path}: {name} lacks 'time_unit'")
+    print(f"{path}: OK ({len(benchmarks)} benchmark entries)")
+    return len(benchmarks)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("no files given")
+    total = sum(check_file(path) for path in sys.argv[1:])
+    if total == 0:
+        fail("no benchmark entries in any file (filter matched nothing?)")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,14 @@ for bench in bench_scalability bench_micro_mechanisms; do
   out="$repo_root/BENCH_${bench#bench_}.json"
   args=(--benchmark_format=json --benchmark_repetitions="$reps")
   if [[ -n "$filter" ]]; then
+    # A filter that matches nothing in this binary is not an error for the
+    # run as a whole (CI smoke-filters one harness at a time), but running
+    # it would make google-benchmark fail — skip instead of clobbering the
+    # recorded trajectory with an empty one.
+    if ! "$bin" --benchmark_list_tests --benchmark_filter="$filter" | grep -q .; then
+      echo "skipping $bench (filter '$filter' matches nothing)" >&2
+      continue
+    fi
     args+=(--benchmark_filter="$filter")
   fi
   echo ">> $bench ${args[*]}" >&2

@@ -47,9 +47,9 @@ int RunGenerate(const Args& args, std::ostream& out) {
 }
 
 int RunDisclose(const Args& args, std::ostream& out) {
+  // Validate cheap flags before touching the filesystem.
   const std::string graph_path = Require(args, "graph");
   const std::string release_path = Require(args, "release");
-  const auto graph = gdp::graph::ReadEdgeListFile(graph_path);
 
   gdp::core::DisclosureConfig config;
   config.epsilon_g = args.GetDouble("eps", 0.999);
@@ -58,6 +58,15 @@ int RunDisclose(const Args& args, std::ostream& out) {
   config.arity = static_cast<int>(args.GetInt("arity", 4));
   config.enforce_consistency = args.HasSwitch("consistent");
   config.num_threads = static_cast<int>(args.GetInt("threads", 1));
+  const std::int64_t grain = args.GetInt(
+      "noise-grain",
+      static_cast<std::int64_t>(gdp::core::DisclosureConfig{}.noise_chunk_grain));
+  if (grain <= 0) {
+    throw std::invalid_argument("--noise-grain must be > 0");
+  }
+  config.noise_chunk_grain = static_cast<std::size_t>(grain);
+
+  const auto graph = gdp::graph::ReadEdgeListFile(graph_path);
 
   gdp::common::Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 42)));
   const auto result = gdp::core::RunDisclosure(graph, config, rng);
@@ -130,7 +139,8 @@ std::string UsageText() {
          " [--seed S]\n"
          "  disclose  --graph g.tsv --release r.tsv [--hierarchy h.tsv]\n"
          "            [--eps E] [--delta D] [--depth K] [--arity A] [--seed S]\n"
-         "            [--threads T] [--consistent] [--strip-truth]\n"
+         "            [--threads T] [--noise-grain G] [--consistent]"
+         " [--strip-truth]\n"
          "  inspect   --release r.tsv\n"
          "  drilldown --release r.tsv --hierarchy h.tsv --side left|right"
          " --node V\n"
@@ -153,7 +163,7 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
     return RunDisclose(
         Args::Parse(rest,
                     {"graph", "release", "hierarchy", "eps", "delta", "depth",
-                     "arity", "seed", "threads"},
+                     "arity", "seed", "threads", "noise-grain"},
                     {"consistent", "strip-truth"}),
         out);
   }

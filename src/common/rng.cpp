@@ -49,6 +49,15 @@ bool Rng::Bernoulli(double p) {
   return UniformUnit() < p;
 }
 
+std::vector<Rng> Rng::ForkStreams(std::size_t count) {
+  std::vector<Rng> streams;
+  streams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    streams.push_back(Fork(static_cast<std::uint64_t>(i)));
+  }
+  return streams;
+}
+
 Rng Rng::Fork(std::uint64_t salt) noexcept {
   std::uint64_t mix = seed_ ^ (0xa0761d6478bd642fULL * (salt + 1));
   const std::uint64_t child_seed = SplitMix64(mix) ^ engine_();

@@ -117,6 +117,13 @@ class Rng {
   // decorrelated streams; used to give each trial / each worker its own RNG.
   [[nodiscard]] Rng Fork(std::uint64_t salt) noexcept;
 
+  // Fork `count` child streams with salts 0..count-1, in that order.  The
+  // result depends only on this Rng's state at the call (each fork advances
+  // it), so parallel engines fork one substream per work unit BEFORE
+  // dispatch and their output is independent of thread count and schedule
+  // (see ThreadPool's determinism contract).
+  [[nodiscard]] std::vector<Rng> ForkStreams(std::size_t count);
+
   // Fisher–Yates shuffle of a vector (helper used by generators and tests).
   template <typename T>
   void Shuffle(std::vector<T>& v) {

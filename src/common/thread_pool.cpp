@@ -1,5 +1,6 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <memory>
 #include <stdexcept>
@@ -36,6 +37,16 @@ void ThreadPool::Submit(std::function<void()> task) {
     throw std::invalid_argument("ThreadPool::Submit: empty task");
   }
   {
+    int expected = submit_fault_after_.load(std::memory_order_relaxed);
+    while (expected >= 0 &&
+           !submit_fault_after_.compare_exchange_weak(
+               expected, expected - 1, std::memory_order_relaxed)) {
+    }
+    if (expected == 0) {
+      throw std::runtime_error("ThreadPool::Submit: injected test fault");
+    }
+  }
+  {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool::Submit: pool is shutting down");
@@ -47,42 +58,91 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
+  ParallelForChunked(
+      n, 1, [&fn](std::size_t, std::size_t begin, std::size_t) { fn(begin); });
+}
+
+void ThreadPool::ParallelForChunked(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t chunk, std::size_t begin,
+                             std::size_t end)>& fn) {
+  if (grain == 0) {
+    throw std::invalid_argument("ThreadPool::ParallelForChunked: grain == 0");
+  }
   if (n == 0) {
     return;
   }
-  struct Barrier {
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t num_chunks{0};
+    std::size_t n{0};
+    std::size_t grain{0};
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* fn{
+        nullptr};
     std::mutex m;
-    std::condition_variable done;
-    std::size_t remaining;
+    std::condition_variable completed;
     std::exception_ptr first_error;
   };
-  // Shared-ptr so stragglers stay valid even if the waiter is released by an
-  // earlier exception path (it isn't today, but keeps the invariant local).
-  auto barrier = std::make_shared<Barrier>();
-  barrier->remaining = n;
+  // Shared-ptr so a straggling worker that claims past the end after the
+  // waiter has already returned still touches valid memory.
+  auto state = std::make_shared<State>();
+  state->num_chunks = num_chunks;
+  state->n = n;
+  state->grain = grain;
+  state->fn = &fn;
 
-  for (std::size_t i = 0; i < n; ++i) {
-    Submit([barrier, &fn, i] {
+  const auto run_chunks = [state] {
+    for (;;) {
+      const std::size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= state->num_chunks) {
+        return;
+      }
       try {
-        fn(i);
+        const std::size_t begin = c * state->grain;
+        const std::size_t end = std::min(state->n, begin + state->grain);
+        (*state->fn)(c, begin, end);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(barrier->m);
-        if (!barrier->first_error) {
-          barrier->first_error = std::current_exception();
+        const std::lock_guard<std::mutex> lock(state->m);
+        if (!state->first_error) {
+          state->first_error = std::current_exception();
         }
       }
-      {
-        const std::lock_guard<std::mutex> lock(barrier->m);
-        --barrier->remaining;
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->num_chunks) {
+        // Take the lock before notifying so the waiter cannot slip between
+        // its predicate check and its sleep.
+        const std::lock_guard<std::mutex> lock(state->m);
+        state->completed.notify_all();
       }
-      barrier->done.notify_one();
-    });
+    }
+  };
+
+  // The caller takes one share of the work, so at most num_chunks - 1
+  // helpers are useful.  Chunks are claimed at run time, not bound to tasks:
+  // if Submit throws mid-dispatch (shutdown, injected fault), the chunks the
+  // queue never received are simply drained by the caller below — the waiter
+  // can only ever block on chunks a live thread is actually executing.
+  const std::size_t helpers =
+      std::min<std::size_t>(workers_.size(), num_chunks - 1);
+  try {
+    for (std::size_t i = 0; i < helpers; ++i) {
+      Submit(run_chunks);
+    }
+  } catch (...) {
+    // Fall through to inline execution of everything not yet claimed.
   }
 
-  std::unique_lock<std::mutex> lock(barrier->m);
-  barrier->done.wait(lock, [&] { return barrier->remaining == 0; });
-  if (barrier->first_error) {
-    std::rethrow_exception(barrier->first_error);
+  run_chunks();
+
+  std::unique_lock<std::mutex> lock(state->m);
+  state->completed.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->num_chunks;
+  });
+  if (state->first_error) {
+    std::rethrow_exception(state->first_error);
   }
 }
 

@@ -2,16 +2,26 @@
 //
 // Deliberately work-stealing-free: a single mutex-guarded FIFO feeds N
 // worker threads.  The release workload is a handful of coarse per-level
-// tasks, where a lock-free deque would buy nothing and cost auditability —
-// determinism reviews only have to reason about "tasks run exactly once,
-// in some order", which this structure makes obvious.
+// tasks plus fixed-size noise/scan chunks, where a lock-free deque would buy
+// nothing and cost auditability — determinism reviews only have to reason
+// about "chunks run exactly once, in some order", which this structure makes
+// obvious.
 //
 // Determinism contract: the pool never owns randomness.  Callers that need
-// reproducible output fork one RNG stream per task BEFORE submission (see
-// GroupDpEngine::ParallelReleaseAll), so scheduling order cannot leak into
-// results.
+// reproducible output fork one RNG stream per work unit BEFORE submission
+// (see GroupDpEngine::ParallelReleaseAll and ReleaseLevelFromPlan), so
+// scheduling order cannot leak into results.
+//
+// CALLER PARTICIPATION: ParallelFor / ParallelForChunked never park the
+// calling thread while work remains.  The caller claims chunks from the same
+// shared counter the workers do, so (a) a nested call from inside a worker
+// cannot self-deadlock — the worker simply runs the inner chunks itself when
+// no sibling is free — and (b) a Submit failure mid-dispatch cannot strand
+// the waiter: chunks are claimed at execution time, not pinned to tasks at
+// submission time, so the caller drains whatever the queue never received.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -35,15 +45,38 @@ class ThreadPool {
     return static_cast<int>(workers_.size());
   }
 
-  // Enqueue a task; returns immediately.  Tasks must not themselves block on
-  // this pool (no nested ParallelFor from a worker — the workers would
-  // deadlock waiting on each other).
+  // Enqueue a task; returns immediately.  Raw tasks must not themselves
+  // block on this pool (ParallelFor/ParallelForChunked are safe to nest —
+  // they never block while work remains — but a bare Submit-and-wait from a
+  // worker can still deadlock).
   void Submit(std::function<void()> task);
 
   // Run fn(0), ..., fn(n-1) across the pool and block until all complete.
-  // The first exception thrown by any task is rethrown here (remaining
-  // tasks still run to completion).  Must be called from outside the pool.
+  // The calling thread participates in the work, so this is safe to call
+  // from inside a pool worker (nested parallelism degrades to inline
+  // execution instead of deadlocking).  The first exception thrown by any
+  // task is rethrown here (remaining tasks still run to completion).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Run fn(chunk, begin, end) for each of ceil(n / grain) fixed-size chunks
+  // ([begin, end) ⊂ [0, n), chunk = begin / grain) and block until all
+  // complete.  Chunk boundaries depend only on (n, grain) — never on the
+  // thread count — so callers can fork one RNG substream per chunk before
+  // dispatch and get bit-identical output for any pool size.  The calling
+  // thread participates (safe to nest from a worker); exceptions behave as
+  // in ParallelFor.  Requires grain > 0.
+  void ParallelForChunked(
+      std::size_t n, std::size_t grain,
+      const std::function<void(std::size_t chunk, std::size_t begin,
+                               std::size_t end)>& fn);
+
+  // Test-only fault injection: after `successes` more successful Submit
+  // calls, the next Submit throws std::runtime_error (simulating a queue
+  // failure mid-dispatch), then injection disarms.  Pass a negative value to
+  // disarm immediately.
+  void FailSubmitAfterForTest(int successes) noexcept {
+    submit_fault_after_.store(successes, std::memory_order_relaxed);
+  }
 
  private:
   void WorkerLoop();
@@ -53,6 +86,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable ready_;
   bool stopping_{false};
+  std::atomic<int> submit_fault_after_{-1};
 };
 
 }  // namespace gdp::common

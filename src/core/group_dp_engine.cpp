@@ -35,8 +35,10 @@ std::unique_ptr<gdp::dp::NumericMechanism> MakeMechanism(NoiseKind kind,
   const Epsilon eps(epsilon);
   switch (kind) {
     case NoiseKind::kGaussian: {
-      // Classic calibration inside its validity range, analytic outside.
-      const GaussianCalibration calib = epsilon < 1.0001
+      // Classic calibration inside its validity range (Dwork–Roth Thm 3.22
+      // requires ε ≤ 1 — the old `< 1.0001` cutoff admitted ε ∈ (1, 1.0001)
+      // outside the theorem), analytic above.
+      const GaussianCalibration calib = epsilon <= 1.0
                                             ? GaussianCalibration::kClassic
                                             : GaussianCalibration::kAnalytic;
       return std::make_unique<GaussianMechanism>(eps, Delta(delta),
@@ -85,6 +87,10 @@ GroupDpEngine::GroupDpEngine(ReleaseConfig config) : config_(config) {
     throw std::invalid_argument(
         "GroupDpEngine: sensitivity_override must be > 0");
   }
+  if (config_.noise_chunk_grain == 0) {
+    throw std::invalid_argument(
+        "GroupDpEngine: noise_chunk_grain must be > 0");
+  }
 }
 
 double GroupDpEngine::NoiseStddevFor(double sensitivity) const {
@@ -113,8 +119,12 @@ LevelRelease GroupDpEngine::ReleaseLevelWithEpsilon(const BipartiteGraph& graph,
       static_cast<double>(CountSensitivity(graph, level));
   out.sensitivity = config_.sensitivity_override.value_or(computed_sensitivity);
 
-  if (out.sensitivity == 0.0) {
-    // Edgeless graph: nothing to protect, release exactly.
+  if (computed_sensitivity == 0.0) {
+    // Edgeless graph: nothing to protect, release exactly.  This holds even
+    // under a sensitivity_override — a vector mechanism cannot be calibrated
+    // for Δℓ = 0 (VectorSensitivity throws), and there is no association for
+    // the override to bound, so the recorded sensitivity is the computed 0.
+    out.sensitivity = 0.0;
     out.noisy_total = out.true_total;
     if (config_.include_group_counts) {
       out.true_group_counts.assign(level.num_groups(), 0.0);
@@ -123,10 +133,10 @@ LevelRelease GroupDpEngine::ReleaseLevelWithEpsilon(const BipartiteGraph& graph,
     return out;
   }
 
-  const auto scalar_mechanism = MakeMechanism(config_.noise, epsilon,
-                                              config_.delta, out.sensitivity);
-  out.noise_stddev = scalar_mechanism->NoiseStddev();
-  out.noisy_total = scalar_mechanism->AddNoise(out.true_total, rng);
+  const auto& scalar_mechanism =
+      mech_cache_.Get(config_.noise, epsilon, config_.delta, out.sensitivity);
+  out.noise_stddev = scalar_mechanism.NoiseStddev();
+  out.noisy_total = scalar_mechanism.AddNoise(out.true_total, rng);
 
   if (config_.include_group_counts) {
     const std::vector<gdp::graph::EdgeCount> sums = level.GroupDegreeSums(graph);
@@ -136,13 +146,14 @@ LevelRelease GroupDpEngine::ReleaseLevelWithEpsilon(const BipartiteGraph& graph,
     }
     // Per-group vector: one group's change moves its own entry by up to Δℓ
     // and opposite-side entries by up to Δℓ in total, so calibrate with the
-    // sqrt(2)·Δℓ L2 bound (see group_sensitivity.hpp).
-    const auto vector_mechanism =
-        MakeMechanism(config_.noise, epsilon, config_.delta,
-                      VectorSensitivity(graph, level).value());
-    out.group_noise_stddev = vector_mechanism->NoiseStddev();
+    // sqrt(2)·Δℓ L2 bound (see group_sensitivity.hpp).  Served from the
+    // same cache as the plan path — the calibration key is identical.
+    const auto& vector_mechanism =
+        mech_cache_.Get(config_.noise, epsilon, config_.delta,
+                        VectorSensitivity(graph, level).value());
+    out.group_noise_stddev = vector_mechanism.NoiseStddev();
     out.noisy_group_counts =
-        vector_mechanism->AddNoise(out.true_group_counts, rng);
+        vector_mechanism.AddNoise(out.true_group_counts, rng);
   }
 
   if (config_.clamp_nonnegative) {
@@ -154,10 +165,9 @@ LevelRelease GroupDpEngine::ReleaseLevelWithEpsilon(const BipartiteGraph& graph,
   return out;
 }
 
-LevelRelease GroupDpEngine::ReleaseLevelFromPlan(const ReleasePlan& plan,
-                                                 int level_index,
-                                                 double epsilon,
-                                                 gdp::common::Rng& rng) const {
+LevelRelease GroupDpEngine::ReleaseLevelFromPlan(
+    const ReleasePlan& plan, int level_index, double epsilon,
+    gdp::common::Rng& rng, gdp::common::ThreadPool* pool) const {
   LevelRelease out;
   out.level = level_index;
   out.true_total = static_cast<double>(plan.num_edges());
@@ -169,7 +179,11 @@ LevelRelease GroupDpEngine::ReleaseLevelFromPlan(const ReleasePlan& plan,
   const std::vector<gdp::graph::EdgeCount>& sums =
       plan.GroupDegreeSums(level_index);
 
-  if (out.sensitivity == 0.0) {
+  if (computed == 0) {
+    // Edgeless graph: release exactly, even under a sensitivity_override
+    // (same contract as the per-level path — nothing to protect, and Δℓ = 0
+    // cannot calibrate the vector mechanism).
+    out.sensitivity = 0.0;
     out.noisy_total = out.true_total;
     if (config_.include_group_counts) {
       out.true_group_counts.assign(sums.size(), 0.0);
@@ -193,8 +207,29 @@ LevelRelease GroupDpEngine::ReleaseLevelFromPlan(const ReleasePlan& plan,
     const auto& vector_mechanism = mech_cache_.Get(
         config_.noise, epsilon, config_.delta, plan.VectorSensitivity(level_index));
     out.group_noise_stddev = vector_mechanism.NoiseStddev();
-    out.noisy_group_counts =
-        vector_mechanism.AddNoise(out.true_group_counts, rng);
+
+    const std::size_t grain = config_.noise_chunk_grain;
+    const std::size_t n = out.true_group_counts.size();
+    if (pool != nullptr && n > grain) {
+      // Within-level parallel draw.  Chunk layout depends only on (n, grain)
+      // and the substreams are forked in chunk order BEFORE dispatch, so the
+      // released values are bit-identical for any thread count or schedule.
+      const std::size_t num_chunks = (n + grain - 1) / grain;
+      std::vector<gdp::common::Rng> streams = rng.ForkStreams(num_chunks);
+      out.noisy_group_counts.resize(n);
+      pool->ParallelForChunked(
+          n, grain,
+          [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            gdp::common::Rng& chunk_rng = streams[chunk];
+            for (std::size_t i = begin; i < end; ++i) {
+              out.noisy_group_counts[i] =
+                  vector_mechanism.AddNoise(out.true_group_counts[i], chunk_rng);
+            }
+          });
+    } else {
+      out.noisy_group_counts =
+          vector_mechanism.AddNoise(out.true_group_counts, rng);
+    }
   }
 
   if (config_.clamp_nonnegative) {
@@ -236,8 +271,10 @@ MultiLevelRelease GroupDpEngine::ReleaseAllLegacy(const BipartiteGraph& graph,
 MultiLevelRelease GroupDpEngine::ParallelReleaseAll(
     const BipartiteGraph& graph, const GroupHierarchy& hierarchy,
     gdp::common::Rng& rng, int num_threads) const {
-  const ReleasePlan plan = ReleasePlan::Build(graph, hierarchy);
   gdp::common::ThreadPool pool(num_threads);
+  // Shard the plan's single node scan across the same pool (exactly equal
+  // to the sequential Build — integer sums over disjoint node shards).
+  const ReleasePlan plan = ReleasePlan::Build(graph, hierarchy, pool);
   return ParallelReleaseAll(plan, rng, pool);
 }
 
@@ -248,15 +285,15 @@ MultiLevelRelease GroupDpEngine::ParallelReleaseAll(
   // Fork one decorrelated child stream per level BEFORE dispatch, in level
   // order: the fork sequence depends only on the incoming rng state, so the
   // released values are identical whatever the thread count or schedule.
-  std::vector<gdp::common::Rng> streams;
-  streams.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    streams.push_back(rng.Fork(static_cast<std::uint64_t>(i)));
-  }
+  std::vector<gdp::common::Rng> streams =
+      rng.ForkStreams(static_cast<std::size_t>(n));
   std::vector<LevelRelease> levels(static_cast<std::size_t>(n));
   pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t i) {
+    // Nested use of the same pool: each large level's vector draw is split
+    // into chunks (caller participation in ParallelForChunked makes the
+    // nesting deadlock-free).
     levels[i] = ReleaseLevelFromPlan(plan, static_cast<int>(i),
-                                     config_.epsilon_g, streams[i]);
+                                     config_.epsilon_g, streams[i], &pool);
   });
   return MultiLevelRelease(std::move(levels));
 }

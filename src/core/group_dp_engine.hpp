@@ -13,8 +13,12 @@
 // ReleaseAllLegacy: it is the bench comparator and the parity oracle —
 // plan-based output is bit-identical to it under the same seed.
 // ParallelReleaseAll releases levels concurrently on a ThreadPool with one
-// forked RNG stream per level, so its output is seed-deterministic for every
-// thread count (but intentionally differs from the sequential draw order).
+// forked RNG stream per level, and additionally splits each large level's
+// per-group vector noise into fixed-size chunks with one RNG substream per
+// chunk (forked in chunk order before dispatch).  Output is therefore
+// seed-deterministic for every thread count — the chunk layout depends only
+// on the group count and ReleaseConfig::noise_chunk_grain — but
+// intentionally differs from the sequential draw order.
 //
 // SENSITIVITY CAVEAT (documented honestly): following the paper, Δℓ is
 // computed from the dataset's own hierarchy, i.e. it is a *local* rather
@@ -72,7 +76,15 @@ struct ReleaseConfig {
   // Off by default to match the paper's raw-RER measurements.
   bool clamp_nonnegative{false};
   // When set, use this Δ for every level instead of the computed one.
+  // A level whose COMPUTED Δℓ is 0 (edgeless graph) is still released
+  // exactly: there are no associations to protect, so the override cannot
+  // manufacture noise for it.
   std::optional<double> sensitivity_override;
+  // Groups per chunk for the within-level parallel vector noise draw (pool
+  // paths only).  Part of the output's reproducibility contract: one RNG
+  // substream is forked per chunk, so changing the grain re-splits the
+  // stream and changes the released values — thread count never does.
+  std::size_t noise_chunk_grain{8192};
 };
 
 // Factory shared by the engine and the baselines: a calibrated scalar
@@ -162,25 +174,38 @@ class GroupDpEngine {
       const ReleasePlan& plan, std::span<const double> per_level_epsilon,
       gdp::common::Rng& rng) const;
 
+  // Plan path for one level: all statistics are cached lookups; mechanisms
+  // are memoized.  When `pool` is non-null and the level has more groups
+  // than config().noise_chunk_grain, the per-group vector noise is drawn in
+  // fixed-size chunks across the pool, one RNG substream per chunk forked
+  // from `rng` in chunk order BEFORE dispatch — bit-identical for any pool
+  // size (and to the pool == nullptr draw order only when the level fits in
+  // a single chunk).  Public so per-level services and benches can release
+  // one level without paying for the rest.
+  [[nodiscard]] LevelRelease ReleaseLevelFromPlan(
+      const ReleasePlan& plan, int level_index, double epsilon,
+      gdp::common::Rng& rng, gdp::common::ThreadPool* pool = nullptr) const;
+
   [[nodiscard]] const ReleaseConfig& config() const noexcept { return config_; }
 
   // Noise σ the engine will use for a level with sensitivity Δ (exposed for
   // expected-error analysis and tests).  Served from the mechanism cache.
   [[nodiscard]] double NoiseStddevFor(double sensitivity) const;
 
+  // Number of distinct calibrations memoized so far (tests assert that the
+  // legacy and plan paths share cache entries instead of re-deriving).
+  [[nodiscard]] std::size_t MechanismCacheSize() const {
+    return mech_cache_.size();
+  }
+
  private:
-  // Per-level node-scan path (the seed implementation, verbatim).
+  // Per-level node-scan path (the seed implementation), served from the
+  // same mechanism cache as the plan path.
   [[nodiscard]] LevelRelease ReleaseLevelWithEpsilon(const BipartiteGraph& graph,
                                                      const Partition& level,
                                                      int level_index,
                                                      double epsilon,
                                                      gdp::common::Rng& rng) const;
-
-  // Plan path: all statistics are cached lookups; mechanisms are memoized.
-  [[nodiscard]] LevelRelease ReleaseLevelFromPlan(const ReleasePlan& plan,
-                                                  int level_index,
-                                                  double epsilon,
-                                                  gdp::common::Rng& rng) const;
 
   ReleaseConfig config_;
   mutable MechanismCache mech_cache_;

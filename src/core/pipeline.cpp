@@ -39,15 +39,19 @@ DisclosureResult RunDisclosure(const gdp::graph::BipartiteGraph& graph,
   rel.noise = config.noise;
   rel.include_group_counts = config.include_group_counts;
   rel.clamp_nonnegative = config.clamp_nonnegative;
+  rel.noise_chunk_grain = config.noise_chunk_grain;
 
   const GroupDpEngine engine(rel);
   // One plan = one node scan for every level's sensitivities and counts.
-  const ReleasePlan plan = ReleasePlan::Build(graph, built.hierarchy);
+  // On the parallel path the same pool shards that scan AND splits each
+  // large level's vector noise into per-chunk RNG substreams.
   MultiLevelRelease release = [&] {
     if (config.num_threads == 1) {
+      const ReleasePlan plan = ReleasePlan::Build(graph, built.hierarchy);
       return engine.ReleaseAll(plan, rng);
     }
     gdp::common::ThreadPool pool(config.num_threads);
+    const ReleasePlan plan = ReleasePlan::Build(graph, built.hierarchy, pool);
     return engine.ParallelReleaseAll(plan, rng, pool);
   }();
 

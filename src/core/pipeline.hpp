@@ -35,11 +35,16 @@ struct DisclosureConfig {
   // terms — post-processing — and reduces variance at coarse levels.
   bool enforce_consistency{false};
   // Phase-2 worker threads.  1 (default) releases levels sequentially —
-  // bit-identical to the pre-plan pipeline.  Any other value uses
-  // ParallelReleaseAll with per-level forked RNG streams: still
-  // seed-deterministic, but a different (documented) draw order; 0 selects
-  // the hardware concurrency.
+  // bit-identical to the pre-plan pipeline.  Any other value shards the
+  // plan's node scan across a pool and uses ParallelReleaseAll with
+  // per-level forked RNG streams plus chunked within-level vector noise:
+  // still seed-deterministic for ANY thread count, but a different
+  // (documented) draw order; 0 selects the hardware concurrency.
   int num_threads{1};
+  // Groups per chunk for the within-level noise draw on the parallel path.
+  // Part of the reproducibility contract (one RNG substream per chunk):
+  // changing it changes the released values; thread count never does.
+  std::size_t noise_chunk_grain{8192};
 };
 
 struct DisclosureResult {

@@ -31,6 +31,15 @@ void WriteRelease(const MultiLevelRelease& release, std::ostream& out) {
 
 namespace {
 
+// A release file's counts are attacker-controlled until validated: a corrupt
+// header must not drive a multi-gigabyte resize before any payload is read.
+// Levels are capped absolutely (the paper uses depth 9; even extravagant
+// hierarchies stay in the hundreds), and per-level group counts are bounded
+// by the group_counts line that must carry them — each (true, noisy) pair
+// costs at least four characters, so a count exceeding the line length is
+// malformed by construction.
+constexpr int kMaxLevels = 100000;
+
 std::string NextContentLine(std::istream& in) {
   std::string line;
   while (std::getline(in, line)) {
@@ -53,6 +62,11 @@ MultiLevelRelease ReadRelease(std::istream& in) {
   if (!(header >> word >> num_levels) || word != "levels" || num_levels <= 0) {
     throw IoError("release: bad 'levels' line");
   }
+  if (num_levels > kMaxLevels) {
+    throw IoError("release: implausible level count " +
+                  std::to_string(num_levels) + " (max " +
+                  std::to_string(kMaxLevels) + ")");
+  }
   std::vector<LevelRelease> levels;
   levels.reserve(static_cast<std::size_t>(num_levels));
   for (int i = 0; i < num_levels; ++i) {
@@ -66,7 +80,16 @@ MultiLevelRelease ReadRelease(std::istream& in) {
       throw IoError("release: bad 'level' line for level " + std::to_string(i));
     }
     if (num_groups > 0) {
-      std::istringstream gs(NextContentLine(in));
+      const std::string group_line = NextContentLine(in);
+      // Every group contributes two numbers to this one line, each at least
+      // two characters (" x"): a declared count beyond that bound cannot be
+      // backed by data and would otherwise trigger a giant resize.
+      if (num_groups > group_line.size() / 4) {
+        throw IoError("release: group count " + std::to_string(num_groups) +
+                      " for level " + std::to_string(lr.level) +
+                      " exceeds what its group_counts line could hold");
+      }
+      std::istringstream gs(group_line);
       int level_echo = -1;
       if (!(gs >> word >> level_echo) || word != "group_counts" ||
           level_echo != lr.level) {

@@ -16,6 +16,18 @@ ReleasePlan ReleasePlan::Build(const gdp::graph::BipartiteGraph& graph,
   return plan;
 }
 
+ReleasePlan ReleasePlan::Build(const gdp::graph::BipartiteGraph& graph,
+                               const gdp::hier::GroupHierarchy& hierarchy,
+                               gdp::common::ThreadPool& pool,
+                               std::size_t shard_grain) {
+  ReleasePlan plan;
+  plan.num_edges_ = graph.num_edges();
+  plan.sums_ = hierarchy.AllGroupDegreeSums(graph, pool, shard_grain);
+  plan.max_sums_ =
+      gdp::hier::GroupHierarchy::LevelSensitivitiesFromSums(plan.sums_);
+  return plan;
+}
+
 const std::vector<gdp::graph::EdgeCount>& ReleasePlan::GroupDegreeSums(
     int level) const {
   if (level < 0 || level >= num_levels()) {

@@ -34,6 +34,16 @@ class ReleasePlan {
   [[nodiscard]] static ReleasePlan Build(const gdp::graph::BipartiteGraph& graph,
                                          const gdp::hier::GroupHierarchy& hierarchy);
 
+  // Same plan, but the single node scan is sharded across `pool` with one
+  // accumulator per fixed-size node shard, merged at the end (see
+  // Partition::GroupDegreeSums pool overload).  Exact integer equality with
+  // the sequential Build for every pool size — release_plan_test pins it.
+  [[nodiscard]] static ReleasePlan Build(
+      const gdp::graph::BipartiteGraph& graph,
+      const gdp::hier::GroupHierarchy& hierarchy,
+      gdp::common::ThreadPool& pool,
+      std::size_t shard_grain = gdp::hier::Partition::kDefaultShardGrain);
+
   [[nodiscard]] int num_levels() const noexcept {
     return static_cast<int>(sums_.size());
   }

@@ -8,11 +8,12 @@
 namespace gdp::dp {
 
 double ClassicGaussianSigma(Epsilon eps, Delta delta, L2Sensitivity sensitivity) {
-  // Dwork–Roth Theorem 3.22 requires ε < 1; we admit a hair above to cover
-  // the paper's εg = 0.999 sweep endpoint exactly.
-  if (eps.value() >= 1.0001) {
+  // Dwork–Roth Theorem 3.22 is valid only for ε ≤ 1 (the paper's εg = 0.999
+  // sweep endpoint is inside the range; the old `< 1.0001` allowance
+  // admitted ε ∈ (1, 1.0001) outside the theorem with no error).
+  if (eps.value() > 1.0) {
     throw std::invalid_argument(
-        "ClassicGaussianSigma: classic calibration requires eps < 1; "
+        "ClassicGaussianSigma: classic calibration requires eps <= 1; "
         "use GaussianCalibration::kAnalytic");
   }
   return sensitivity.value() * std::sqrt(2.0 * std::log(1.25 / delta.value())) /

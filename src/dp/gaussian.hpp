@@ -2,8 +2,8 @@
 // N(0, σ²) noise.
 //
 // Two calibrations are provided:
-//  * kClassic  — σ = Δ2·sqrt(2·ln(1.25/δ))/ε  (Dwork–Roth Thm 3.22; requires
-//                ε ≤ 1, we allow ε < 1.0001 to admit the paper's εg = 0.999).
+//  * kClassic  — σ = Δ2·sqrt(2·ln(1.25/δ))/ε  (Dwork–Roth Thm 3.22; valid
+//                only for ε ≤ 1, enforced — the paper's εg = 0.999 fits).
 //  * kAnalytic — the tight calibration of Balle & Wang (ICML 2018), valid for
 //                every ε > 0, found by binary search on the exact Gaussian
 //                privacy curve  δ(ε,σ) = Φ(Δ/2σ − εσ/Δ) − e^ε·Φ(−Δ/2σ − εσ/Δ).
@@ -21,7 +21,7 @@ namespace gdp::dp {
 
 enum class GaussianCalibration { kClassic, kAnalytic };
 
-// σ for the classic calibration.  Throws if eps >= 1.0001 (outside the
+// σ for the classic calibration.  Throws if eps > 1.0 (outside the
 // theorem's validity) — use kAnalytic there.
 [[nodiscard]] double ClassicGaussianSigma(Epsilon eps, Delta delta,
                                           L2Sensitivity sensitivity);

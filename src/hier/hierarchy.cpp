@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace gdp::hier {
 
 GroupHierarchy::GroupHierarchy(std::vector<Partition> levels, bool validate)
@@ -43,10 +45,26 @@ const Partition& GroupHierarchy::level(int i) const {
 
 std::vector<std::vector<EdgeCount>> GroupHierarchy::AllGroupDegreeSums(
     const BipartiteGraph& graph) const {
+  return AllGroupDegreeSumsImpl(graph, nullptr, 0);
+}
+
+std::vector<std::vector<EdgeCount>> GroupHierarchy::AllGroupDegreeSums(
+    const BipartiteGraph& graph, gdp::common::ThreadPool& pool,
+    std::size_t shard_grain) const {
+  return AllGroupDegreeSumsImpl(graph, &pool, shard_grain);
+}
+
+std::vector<std::vector<EdgeCount>> GroupHierarchy::AllGroupDegreeSumsImpl(
+    const BipartiteGraph& graph, gdp::common::ThreadPool* pool,
+    std::size_t shard_grain) const {
+  const auto scan = [&](const Partition& level) {
+    return pool != nullptr ? level.GroupDegreeSums(graph, *pool, shard_grain)
+                           : level.GroupDegreeSums(graph);
+  };
   std::vector<std::vector<EdgeCount>> all;
   all.reserve(levels_.size());
   // The one node scan: singleton sums are exactly the node degrees.
-  all.push_back(levels_.front().GroupDegreeSums(graph));
+  all.push_back(scan(levels_.front()));
   for (std::size_t i = 1; i < levels_.size(); ++i) {
     const Partition& coarse = levels_[i];
     const Partition& fine = levels_[i - 1];
@@ -82,7 +100,7 @@ std::vector<std::vector<EdgeCount>> GroupHierarchy::AllGroupDegreeSums(
       }
     }
     if (!parents_ok) {
-      sums = coarse.GroupDegreeSums(graph);
+      sums = scan(coarse);
     }
     all.push_back(std::move(sums));
   }

@@ -51,6 +51,13 @@ class GroupHierarchy {
   [[nodiscard]] std::vector<std::vector<EdgeCount>> AllGroupDegreeSums(
       const BipartiteGraph& graph) const;
 
+  // Same rollup, but the one node scan (and a validation-failure rescan, if
+  // any) runs sharded on `pool` (Partition::GroupDegreeSums pool overload).
+  // Exactly equal to the sequential result for every pool size.
+  [[nodiscard]] std::vector<std::vector<EdgeCount>> AllGroupDegreeSums(
+      const BipartiteGraph& graph, gdp::common::ThreadPool& pool,
+      std::size_t shard_grain = Partition::kDefaultShardGrain) const;
+
   // Group-level sensitivity of the association-count query at each level:
   // result[i] = max over groups at level i of the group's incident-edge
   // count.  result[0] is the max node degree; result[depth] >= |E|/1 when a
@@ -68,6 +75,12 @@ class GroupHierarchy {
   [[nodiscard]] std::vector<GroupId> LevelGroupCounts() const;
 
  private:
+  // Shared body of the two AllGroupDegreeSums overloads; pool == nullptr
+  // selects the sequential scan.
+  [[nodiscard]] std::vector<std::vector<EdgeCount>> AllGroupDegreeSumsImpl(
+      const BipartiteGraph& graph, gdp::common::ThreadPool* pool,
+      std::size_t shard_grain) const;
+
   std::vector<Partition> levels_;
 };
 

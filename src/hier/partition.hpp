@@ -18,6 +18,10 @@
 
 #include "graph/bipartite_graph.hpp"
 
+namespace gdp::common {
+class ThreadPool;
+}  // namespace gdp::common
+
 namespace gdp::hier {
 
 using gdp::graph::BipartiteGraph;
@@ -81,6 +85,29 @@ class Partition {
   // Requires the graph dimensions to match the partition.
   [[nodiscard]] std::vector<EdgeCount> GroupDegreeSums(
       const BipartiteGraph& graph) const;
+
+  // Sharded variant of the same scan: the node range (both sides
+  // concatenated) is cut into contiguous shards of at least `shard_grain`
+  // nodes (at most 2 shards per pool worker, keeping accumulator memory and
+  // merge work at O(workers · groups)) executed on `pool`, each
+  // accumulating into its own per-group vector, merged at the end.  The
+  // sums are exact integer arithmetic over disjoint node sets, so the
+  // result EQUALS the sequential scan for every pool size and shard layout
+  // (partition_test pins this).  The merge costs O(shards · groups), so the win requires
+  // nodes >> groups or a multicore merge; small inputs (one shard) and
+  // single-worker pools fall back to the sequential loop — safe precisely
+  // because sharding never changes the result.  Counts as ONE scan for
+  // DegreeSumScanCount.
+  [[nodiscard]] std::vector<EdgeCount> GroupDegreeSums(
+      const BipartiteGraph& graph, gdp::common::ThreadPool& pool,
+      std::size_t shard_grain = kDefaultShardGrain) const;
+
+  // Minimum nodes-per-shard for the sharded scan.  Large enough that the
+  // per-shard accumulator allocation amortises; small enough that the
+  // paper-scale graphs (hundreds of thousands of nodes) split across a
+  // desktop core count (the 2-per-worker cap above decides the actual
+  // shard size on big inputs).
+  static constexpr std::size_t kDefaultShardGrain = 32768;
 
   // Process-wide count of full node-scan degree-sum computations (every
   // GroupDegreeSums / MaxGroupDegreeSum call).  Instrumentation for the

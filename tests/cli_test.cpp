@@ -5,6 +5,7 @@
 #include <cstdio>
 #include "core/release_io.hpp"
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "cli/args.hpp"
@@ -106,6 +107,38 @@ TEST_F(CliRoundTripTest, GenerateDiscloseInspectDrilldown) {
             0);
   EXPECT_NE(out.str().find("group_size"), std::string::npos);
   EXPECT_NE(out.str().find("L5"), std::string::npos);
+}
+
+TEST_F(CliRoundTripTest, ThreadedDiscloseMatchesAnyThreadCount) {
+  // --threads T with a fixed seed and grain: the artifact is identical for
+  // every T (the within-level chunk layout is thread-count independent).
+  std::ostringstream out;
+  ASSERT_EQ(Dispatch({"generate", "--out", graph_path_, "--left", "400",
+                      "--right", "400", "--edges", "2500", "--seed", "9"},
+                     out),
+            0);
+  std::string artifacts[2];
+  const char* thread_args[] = {"2", "8"};
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(Dispatch({"disclose", "--graph", graph_path_, "--release",
+                        release_path_, "--depth", "4", "--seed", "11",
+                        "--threads", thread_args[i], "--noise-grain", "128"},
+                       out),
+              0);
+    std::ifstream in(release_path_);
+    artifacts[i].assign(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+  }
+  EXPECT_EQ(artifacts[0], artifacts[1]);
+  EXPECT_FALSE(artifacts[0].empty());
+}
+
+TEST(CliDispatchTest, DiscloseRejectsNonPositiveNoiseGrain) {
+  std::ostringstream out;
+  EXPECT_THROW((void)Dispatch({"disclose", "--graph", "g", "--release", "r",
+                               "--noise-grain", "0"},
+                              out),
+               std::invalid_argument);
 }
 
 TEST_F(CliRoundTripTest, StripTruthProducesZeroTruthArtifact) {

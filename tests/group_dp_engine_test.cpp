@@ -156,6 +156,65 @@ TEST(GroupDpEngineTest, EdgelessGraphReleasedExactly) {
   EXPECT_EQ(lr.noise_stddev, 0.0);
 }
 
+// Minimal valid hierarchy over an edgeless 2x2 graph: singletons -> top.
+gdp::hier::GroupHierarchy EdgelessHierarchy() {
+  using gdp::hier::GroupInfo;
+  using gdp::hier::Side;
+  std::vector<GroupInfo> g0{GroupInfo{Side::kLeft, 1, 0},
+                            GroupInfo{Side::kLeft, 1, 0},
+                            GroupInfo{Side::kRight, 1, 1},
+                            GroupInfo{Side::kRight, 1, 1}};
+  std::vector<Partition> levels;
+  levels.emplace_back(std::vector<gdp::hier::GroupId>{0, 1},
+                      std::vector<gdp::hier::GroupId>{2, 3}, std::move(g0));
+  levels.push_back(Partition::TopLevel(2, 2));
+  return gdp::hier::GroupHierarchy(std::move(levels));
+}
+
+TEST(GroupDpEngineTest, OverrideCannotManufactureNoiseWhenComputedDeltaIsZero) {
+  // Δℓ computed from the data is 0 (edgeless graph) but an override is set:
+  // both release paths must take the exact-release branch — a Δ = 0 vector
+  // mechanism cannot be calibrated, and there is no association to protect.
+  const BipartiteGraph g(2, 2, {});
+  const auto h = EdgelessHierarchy();
+  ReleaseConfig cfg;
+  cfg.sensitivity_override = 7.5;
+  const GroupDpEngine engine(cfg);
+  Rng plan_rng(43);
+  Rng legacy_rng(43);
+  const MultiLevelRelease planned = engine.ReleaseAll(g, h, plan_rng);
+  const MultiLevelRelease legacy = engine.ReleaseAllLegacy(g, h, legacy_rng);
+  for (const MultiLevelRelease* r : {&planned, &legacy}) {
+    ASSERT_EQ(r->num_levels(), h.num_levels());
+    for (const auto& lvl : r->levels()) {
+      EXPECT_EQ(lvl.sensitivity, 0.0);  // recorded Δ is the computed zero
+      EXPECT_EQ(lvl.noise_stddev, 0.0);
+      EXPECT_EQ(lvl.noisy_total, 0.0);
+      for (const double c : lvl.noisy_group_counts) {
+        EXPECT_EQ(c, 0.0);
+      }
+      EXPECT_EQ(lvl.noisy_group_counts.size(), lvl.true_group_counts.size());
+    }
+  }
+}
+
+TEST(GroupDpEngineTest, LegacyPathIsServedFromTheMechanismCache) {
+  const BipartiteGraph g = TestGraph();
+  const auto h = TestHierarchy(g);
+  const GroupDpEngine engine(ReleaseConfig{});
+  Rng rng(47);
+  EXPECT_EQ(engine.MechanismCacheSize(), 0u);
+  (void)engine.ReleaseAllLegacy(g, h, rng);
+  const std::size_t after_first = engine.MechanismCacheSize();
+  EXPECT_GT(after_first, 0u);
+  // A repeat release re-uses every calibration: pure cache hits.
+  (void)engine.ReleaseAllLegacy(g, h, rng);
+  EXPECT_EQ(engine.MechanismCacheSize(), after_first);
+  // The plan path keys calibrations identically, so it adds nothing either.
+  (void)engine.ReleaseAll(g, h, rng);
+  EXPECT_EQ(engine.MechanismCacheSize(), after_first);
+}
+
 TEST(GroupDpEngineTest, ClampNonNegativeEliminatesNegativeCounts) {
   const BipartiteGraph g = TestGraph();
   const auto h = TestHierarchy(g, 5);

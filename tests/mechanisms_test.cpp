@@ -4,6 +4,7 @@
 
 #include "common/math.hpp"
 #include "common/rng.hpp"
+#include "core/group_dp_engine.hpp"
 #include "dp/discrete_gaussian.hpp"
 #include "dp/gaussian.hpp"
 #include "dp/geometric.hpp"
@@ -165,6 +166,41 @@ TEST(AnalyticGaussianSigmaTest, WorksAboveEpsilonOne) {
   const double achieved =
       GaussianDeltaForSigma(sigma, Epsilon(4.0), L2Sensitivity(1.0));
   EXPECT_LE(achieved, 1e-5 * 1.0001);
+}
+
+TEST(GaussianCalibrationBoundaryTest, FactorySwitchesToAnalyticStrictlyAboveOne) {
+  // The classic bound (Dwork–Roth Thm 3.22) is valid only for ε ≤ 1.  The
+  // factory used to admit ε ∈ (1, 1.0001) into the classic branch; pin the
+  // tightened boundary on both sides.
+  const auto at_one =
+      gdp::core::MakeMechanism(gdp::core::NoiseKind::kGaussian, 1.0, 1e-5, 2.0);
+  const auto* g_one = dynamic_cast<const GaussianMechanism*>(at_one.get());
+  ASSERT_NE(g_one, nullptr);
+  EXPECT_EQ(g_one->calibration(), GaussianCalibration::kClassic);
+
+  const auto just_above = gdp::core::MakeMechanism(
+      gdp::core::NoiseKind::kGaussian, 1.00005, 1e-5, 2.0);
+  const auto* g_above = dynamic_cast<const GaussianMechanism*>(just_above.get());
+  ASSERT_NE(g_above, nullptr);
+  EXPECT_EQ(g_above->calibration(), GaussianCalibration::kAnalytic);
+
+  // The paper's εg = 0.999 stays on the classic branch.
+  const auto paper = gdp::core::MakeMechanism(gdp::core::NoiseKind::kGaussian,
+                                              0.999, 1e-5, 2.0);
+  const auto* g_paper = dynamic_cast<const GaussianMechanism*>(paper.get());
+  ASSERT_NE(g_paper, nullptr);
+  EXPECT_EQ(g_paper->calibration(), GaussianCalibration::kClassic);
+
+  // The boundary holds at the calibration primitive too, not just the
+  // factory: requesting classic above ε = 1 is an error, ε = 1 is not.
+  EXPECT_NO_THROW((void)ClassicGaussianSigma(Epsilon(1.0), Delta(1e-5),
+                                             L2Sensitivity(2.0)));
+  EXPECT_THROW((void)ClassicGaussianSigma(Epsilon(1.00005), Delta(1e-5),
+                                          L2Sensitivity(2.0)),
+               std::invalid_argument);
+  EXPECT_THROW(GaussianMechanism(Epsilon(1.00005), Delta(1e-5),
+                                 L2Sensitivity(2.0)),
+               std::invalid_argument);
 }
 
 TEST(GaussianMechanismTest, ClassicCalibrationByDefault) {

@@ -184,6 +184,69 @@ TEST(ParallelReleaseTest, WellFormedRelease) {
   }
 }
 
+// ---- Within-level chunked vector noise (PR 2 tentpole) ----
+//
+// With noise_chunk_grain = 16 the 128-group singleton level splits into 8
+// chunks, so these tests exercise the real chunked path on a small graph.
+
+TEST(WithinLevelParallelTest, ChunkedNoiseBitIdenticalAcross1_2_8Threads) {
+  const BipartiteGraph g = TestGraph();
+  const GroupHierarchy h = TestHierarchy(g, 5);
+  ReleaseConfig cfg;
+  cfg.noise_chunk_grain = 16;
+  const GroupDpEngine engine(cfg);
+  Rng rng1(101);
+  const MultiLevelRelease one = engine.ParallelReleaseAll(g, h, rng1, 1);
+  Rng rng2(101);
+  const MultiLevelRelease two = engine.ParallelReleaseAll(g, h, rng2, 2);
+  Rng rng8(101);
+  const MultiLevelRelease eight = engine.ParallelReleaseAll(g, h, rng8, 8);
+  ExpectBitIdentical(one, two);
+  ExpectBitIdentical(one, eight);
+}
+
+TEST(WithinLevelParallelTest, GrainIsPartOfTheOutputContract) {
+  // One RNG substream per chunk: a different grain re-splits the stream, so
+  // the released group counts must change.  (Thread count never does —
+  // pinned above.)
+  const BipartiteGraph g = TestGraph();
+  const GroupHierarchy h = TestHierarchy(g);
+  ReleaseConfig coarse_cfg;
+  coarse_cfg.noise_chunk_grain = 32;
+  ReleaseConfig fine_cfg;
+  fine_cfg.noise_chunk_grain = 16;
+  const GroupDpEngine coarse(coarse_cfg);
+  const GroupDpEngine fine(fine_cfg);
+  Rng r1(103);
+  Rng r2(103);
+  const MultiLevelRelease a = coarse.ParallelReleaseAll(g, h, r1, 4);
+  const MultiLevelRelease b = fine.ParallelReleaseAll(g, h, r2, 4);
+  bool any_differs = false;
+  for (int lvl = 0; lvl < a.num_levels(); ++lvl) {
+    any_differs |=
+        a.level(lvl).noisy_group_counts != b.level(lvl).noisy_group_counts;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(WithinLevelParallelTest, SingleChunkLevelMatchesSequentialDraw) {
+  // A level that fits in one chunk takes the plain sequential draw from the
+  // level stream, with or without a pool.
+  const BipartiteGraph g = TestGraph();
+  const GroupHierarchy h = TestHierarchy(g);
+  const GroupDpEngine engine{ReleaseConfig{}};  // default grain 8192 >> 128
+  const ReleasePlan plan = ReleasePlan::Build(g, h);
+  gdp::common::ThreadPool pool(4);
+  Rng with_pool(107);
+  Rng without_pool(107);
+  const LevelRelease a =
+      engine.ReleaseLevelFromPlan(plan, 0, 0.999, with_pool, &pool);
+  const LevelRelease b =
+      engine.ReleaseLevelFromPlan(plan, 0, 0.999, without_pool);
+  EXPECT_EQ(a.noisy_total, b.noisy_total);
+  EXPECT_EQ(a.noisy_group_counts, b.noisy_group_counts);
+}
+
 TEST(MechanismCacheTest, MemoizesByCalibrationKey) {
   MechanismCache cache;
   const auto& a = cache.Get(NoiseKind::kGaussian, 0.9, 1e-5, 10.0);

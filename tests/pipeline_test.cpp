@@ -88,6 +88,33 @@ TEST(PipelineTest, DifferentSeedsGiveDifferentNoise) {
   EXPECT_NE(a.release.level(3).noisy_total, b.release.level(3).noisy_total);
 }
 
+TEST(PipelineTest, ParallelDisclosureInvariantAcrossThreadCounts) {
+  // End-to-end determinism of the parallel path: graph is big enough (1200
+  // nodes) that with grain 256 the level-0 vector noise really chunks, and
+  // the plan scan really shards on a per-pool basis inside RunDisclosure.
+  const BipartiteGraph g = TestGraph();
+  DisclosureConfig cfg = SmallConfig();
+  cfg.noise_chunk_grain = 256;
+  std::vector<MultiLevelRelease> releases;
+  const int thread_counts[] = {2, 4, 8};
+  for (const int threads : thread_counts) {
+    cfg.num_threads = threads;
+    Rng rng(7);
+    releases.push_back(RunDisclosure(g, cfg, rng).release);
+  }
+  for (int t = 1; t < 3; ++t) {
+    ASSERT_EQ(releases[t].num_levels(), releases[0].num_levels());
+    for (int lvl = 0; lvl < releases[0].num_levels(); ++lvl) {
+      EXPECT_EQ(releases[t].level(lvl).noisy_total,
+                releases[0].level(lvl).noisy_total)
+          << "threads " << thread_counts[t] << " level " << lvl;
+      EXPECT_EQ(releases[t].level(lvl).noisy_group_counts,
+                releases[0].level(lvl).noisy_group_counts)
+          << "threads " << thread_counts[t] << " level " << lvl;
+    }
+  }
+}
+
 TEST(PipelineTest, RerOrderingMatchesPaperOnAverage) {
   // Coarser protection levels must show larger average RER (Figure 1's
   // vertical ordering).  Averaged over several pipeline runs.

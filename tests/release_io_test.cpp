@@ -106,6 +106,32 @@ TEST(ReleaseIoTest, BadLevelCountThrows) {
   EXPECT_THROW((void)ReadRelease(in), gdp::common::IoError);
 }
 
+TEST(ReleaseIoTest, ImplausibleLevelCountRejectedBeforeAllocation) {
+  // A corrupt header must not drive a gigabyte-scale reserve: the count is
+  // bounds-checked before any container is sized.
+  std::istringstream in("gdp-release v1\nlevels 2000000000\nlevel 0 1 1 1 1 1 0\n");
+  EXPECT_THROW((void)ReadRelease(in), gdp::common::IoError);
+}
+
+TEST(ReleaseIoTest, GroupCountBeyondLineCapacityRejectedBeforeResize) {
+  // Declared 4e9 groups backed by a 20-character line: each (true, noisy)
+  // pair needs at least 4 characters, so this is malformed by construction
+  // and must be rejected before the giant resize, not after.
+  std::istringstream in(
+      "gdp-release v1\nlevels 1\nlevel 0 1 1 1 1 1 4000000000\n"
+      "group_counts 0 1 1\n");
+  EXPECT_THROW((void)ReadRelease(in), gdp::common::IoError);
+}
+
+TEST(ReleaseIoTest, MaximalGroupCountForLineStillParses) {
+  // Boundary sanity: a legitimate line is never rejected by the capacity
+  // bound (every pair costs more than the 4 characters the bound assumes).
+  const MultiLevelRelease r = SampleRelease();
+  std::stringstream ss;
+  WriteRelease(r, ss);
+  EXPECT_NO_THROW((void)ReadRelease(ss));
+}
+
 TEST(ReleaseIoTest, TruncatedGroupCountsThrow) {
   std::istringstream in(
       "gdp-release v1\nlevels 1\nlevel 0 1 1 1 1 1 2\ngroup_counts 0 1 1\n");

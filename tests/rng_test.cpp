@@ -198,6 +198,23 @@ TEST(RngTest, ForkIsDeterministicGivenParentState) {
   }
 }
 
+TEST(RngTest, ForkStreamsMatchesSequentialForkOrder) {
+  // The parallel engines rely on ForkStreams(k) being exactly Fork(0..k-1)
+  // in order: that is what makes chunked output thread-count-invariant.
+  Rng p1(91);
+  Rng p2(91);
+  std::vector<Rng> streams = p1.ForkStreams(5);
+  ASSERT_EQ(streams.size(), 5u);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    Rng expected = p2.Fork(static_cast<std::uint64_t>(s));
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(streams[s](), expected()) << "stream " << s;
+    }
+  }
+  // Both parents advanced identically.
+  EXPECT_EQ(p1(), p2());
+}
+
 TEST(RngTest, ShufflePreservesElements) {
   Rng rng(31);
   std::vector<int> v(100);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <numeric>
@@ -90,6 +91,104 @@ TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i], static_cast<int>(i) * 2);
   }
+}
+
+// Regression: ParallelFor from inside a worker used to deadlock (the worker
+// blocked waiting on tasks no free sibling could run).  Caller participation
+// means the nested call degrades to inline execution instead.
+TEST(ThreadPoolTest, NestedParallelForFromWorkerCompletes) {
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 6;
+  constexpr std::size_t kInner = 8;
+  std::atomic<int> hits{0};
+  pool.ParallelFor(kOuter, [&](std::size_t) {
+    pool.ParallelFor(kInner, [&](std::size_t) { ++hits; });
+  });
+  EXPECT_EQ(hits.load(), static_cast<int>(kOuter * kInner));
+}
+
+TEST(ThreadPoolTest, NestedExceptionPropagatesToOuterCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(4,
+                                [&](std::size_t) {
+                                  pool.ParallelFor(4, [](std::size_t j) {
+                                    if (j == 2) {
+                                      throw std::runtime_error("inner");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
+}
+
+// Regression: if Submit threw mid-dispatch, the already-submitted tasks
+// decremented the barrier but the never-submitted ones could not, so the
+// waiter blocked forever.  Chunks are now claimed at run time and the caller
+// drains whatever the queue never received.
+TEST(ThreadPoolTest, SubmitFailureMidDispatchStillCompletesEveryIndex) {
+  ThreadPool pool(4);
+  pool.FailSubmitAfterForTest(1);  // second helper Submit throws
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  // Injection disarmed after firing: the pool is fully usable again.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, EverySubmitFailingFallsBackToInlineExecution) {
+  ThreadPool pool(4);
+  pool.FailSubmitAfterForTest(0);  // very first Submit throws
+  std::atomic<int> sum{0};
+  pool.ParallelFor(32, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 31 * 32 / 2);
+  pool.FailSubmitAfterForTest(-1);
+}
+
+TEST(ThreadPoolTest, ChunkedCoversRangeWithExactChunkGeometry) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 103;
+  constexpr std::size_t kGrain = 10;
+  std::vector<std::atomic<int>> hits(kN);
+  std::vector<std::atomic<int>> chunk_of(kN);
+  pool.ParallelForChunked(kN, kGrain,
+                          [&](std::size_t chunk, std::size_t begin,
+                              std::size_t end) {
+                            EXPECT_EQ(begin, chunk * kGrain);
+                            EXPECT_EQ(end, std::min(kN, begin + kGrain));
+                            for (std::size_t i = begin; i < end; ++i) {
+                              ++hits[i];
+                              chunk_of[i] = static_cast<int>(chunk);
+                            }
+                          });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    EXPECT_EQ(chunk_of[i].load(), static_cast<int>(i / kGrain));
+  }
+}
+
+TEST(ThreadPoolTest, ChunkedRejectsZeroGrain) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.ParallelForChunked(4, 0, [](std::size_t, std::size_t, std::size_t) {}),
+      std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, ChunkedPropagatesFirstExceptionAndRunsRest) {
+  ThreadPool pool(2);
+  std::atomic<int> chunks_run{0};
+  EXPECT_THROW(pool.ParallelForChunked(40, 4,
+                                       [&](std::size_t chunk, std::size_t,
+                                           std::size_t) {
+                                         ++chunks_run;
+                                         if (chunk == 1) {
+                                           throw std::runtime_error("boom");
+                                         }
+                                       }),
+               std::runtime_error);
+  EXPECT_EQ(chunks_run.load(), 10);  // remaining chunks still ran
 }
 
 }  // namespace
