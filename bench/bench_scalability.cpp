@@ -9,6 +9,7 @@
 #include "core/group_dp_engine.hpp"
 #include "core/pipeline.hpp"
 #include "core/release_plan.hpp"
+#include "core/session.hpp"
 #include "graph/generators.hpp"
 #include "hier/specialization.hpp"
 
@@ -223,6 +224,62 @@ BENCHMARK(BM_ShardedPlanBuild)
     ->Args({640'000, 2})
     ->Args({640'000, 4})
     ->Args({640'000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// The ε-sweep pair: identical work product (one release per ε point),
+// different amortization.  RebuildPerEpsilon is the pre-session pattern —
+// every point pays Phase-1 specialization AND the plan's node scan again.
+// SessionSweep opens one DisclosureSession (Phase 1 + plan once) and serves
+// every point from the cached plan; the sweep's marginal cost is noise
+// drawing alone.  Both run end-to-end inside the timing loop.
+const std::vector<double>& SweepEpsilons() {
+  static const std::vector<double> eps{0.3, 0.5, 0.7, 0.999};
+  return eps;
+}
+
+void BM_RebuildPerEpsilon(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  core::DisclosureConfig cfg;
+  cfg.depth = 9;
+  cfg.include_group_counts = true;
+  cfg.validate_hierarchy = false;
+  std::uint64_t seed = 300;
+  for (auto _ : state) {
+    common::Rng rng(++seed);
+    for (const double eps : SweepEpsilons()) {
+      cfg.epsilon_g = eps;
+      auto result = core::RunDisclosure(g, cfg, rng);
+      benchmark::DoNotOptimize(result.release.num_levels());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(SweepEpsilons().size()));
+}
+BENCHMARK(BM_RebuildPerEpsilon)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SessionSweep(benchmark::State& state) {
+  const auto g = MakeGraph(state.range(0));
+  core::SessionSpec spec;
+  spec.hierarchy.depth = 9;
+  spec.hierarchy.validate_hierarchy = false;
+  std::vector<core::BudgetSpec> budgets;
+  for (const double eps : SweepEpsilons()) {
+    core::BudgetSpec b = spec.budget;
+    b.epsilon_g = eps;
+    budgets.push_back(b);
+  }
+  std::uint64_t seed = 300;
+  for (auto _ : state) {
+    common::Rng rng(++seed);
+    auto session = core::DisclosureSession::Open(g, spec, rng);
+    auto releases = session.Sweep(budgets, rng);
+    benchmark::DoNotOptimize(releases.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(SweepEpsilons().size()));
+}
+BENCHMARK(BM_SessionSweep)->Arg(10'000)->Arg(100'000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndDisclosure(benchmark::State& state) {

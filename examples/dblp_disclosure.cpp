@@ -16,7 +16,7 @@
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
-#include "core/pipeline.hpp"
+#include "core/session.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
@@ -34,20 +34,23 @@ int main(int argc, char** argv) {
             << ", max author degree: "
             << graph.MaxDegree(graph::Side::kLeft) << "\n\n";
 
-  core::DisclosureConfig config;
-  config.epsilon_g = 0.999;
-  config.depth = 9;
-  config.arity = 4;
-  config.include_group_counts = true;
-  const core::DisclosureResult result = core::RunDisclosure(graph, config, rng);
+  // One session per dataset: Phase 1 and the release plan are built here
+  // once; re-publishing (new noise, new ε, drilldowns) reuses both.
+  core::SessionSpec spec;
+  spec.budget.epsilon_g = 0.999;
+  spec.hierarchy.depth = 9;
+  spec.hierarchy.arity = 4;
+  spec.exec.include_group_counts = true;
+  auto session = core::DisclosureSession::Open(graph, spec, rng);
+  const core::MultiLevelRelease release = session.Release(rng);
 
   // The disclosed artifact per level: noisy total + per-group noisy counts.
   common::TextTable table({"level", "groups", "sensitivity", "noise_sigma",
                            "noisy_total", "RER_total"});
-  for (int lvl = 0; lvl < result.release.num_levels(); ++lvl) {
-    const auto& lr = result.release.level(lvl);
+  for (int lvl = 0; lvl < release.num_levels(); ++lvl) {
+    const auto& lr = release.level(lvl);
     table.AddRow({"L" + std::to_string(lvl),
-                  std::to_string(result.hierarchy.level(lvl).num_groups()),
+                  std::to_string(session.hierarchy().level(lvl).num_groups()),
                   common::FormatDouble(lr.sensitivity, 0),
                   common::FormatDouble(lr.noise_stddev, 1),
                   common::FormatDouble(lr.noisy_total, 0),
@@ -56,7 +59,7 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
 
   // What actually leaves the publisher: truth stripped.
-  const core::MultiLevelRelease published = result.release.StripTruth();
+  const core::MultiLevelRelease published = release.StripTruth();
   std::cout << "\npublished artifact (truth stripped):\n"
             << published.Summary() << '\n';
   return 0;

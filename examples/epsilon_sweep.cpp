@@ -1,0 +1,65 @@
+// ε-sweep through one DisclosureSession: compile once, release many.
+//
+// The paper's evaluation sweeps the per-level budget eps_g and re-reports
+// accuracy at every privilege level.  Pre-session code re-ran Phase 1 and
+// rebuilt the ReleasePlan for every ε; a session runs that prefix once —
+// the whole sweep below touches the node set exactly ONE time (the plan's
+// single scan), which the printed scan counter demonstrates.  The session
+// ledger accumulates one labelled charge per sweep point: a real audit
+// trail for the whole experiment.
+//
+// Build & run:  cmake --build build && ./build/epsilon_sweep
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/session.hpp"
+#include "graph/generators.hpp"
+#include "hier/partition.hpp"
+
+int main() {
+  using namespace gdp;
+  common::Rng rng(2026);
+
+  graph::DblpLikeParams params;
+  params.num_left = 8000;
+  params.num_right = 12000;
+  params.num_edges = 60000;
+  const graph::BipartiteGraph graph = GenerateDblpLike(params, rng);
+  std::cout << graph.Summary() << "\n\n";
+
+  const std::uint64_t scans_before = hier::Partition::DegreeSumScanCount();
+
+  // One session: Phase 1 (EM specialization, ε = 0.0999) and the plan's
+  // single node scan run here, never again.
+  core::SessionSpec spec;
+  spec.hierarchy.depth = 9;
+  spec.hierarchy.arity = 4;
+  spec.budget.epsilon_g = 0.999;  // opening budget; phase1_epsilon() = 0.0999
+  spec.exec.include_group_counts = false;
+  auto session = core::DisclosureSession::Open(graph, spec, rng);
+
+  // The sweep: five total budgets, one release each, zero graph re-scans.
+  std::vector<core::BudgetSpec> budgets;
+  for (const double eps : {0.2, 0.4, 0.6, 0.8, 0.999}) {
+    core::BudgetSpec b = spec.budget;
+    b.epsilon_g = eps;
+    budgets.push_back(b);
+  }
+  const auto releases = session.Sweep(budgets, rng);
+
+  common::TextTable table({"eps_g", "RER L1", "RER L4", "RER L7"});
+  for (std::size_t i = 0; i < releases.size(); ++i) {
+    table.AddRow({common::FormatDouble(budgets[i].epsilon_g, 3),
+                  common::FormatPercent(releases[i].level(1).TotalRer(), 3),
+                  common::FormatPercent(releases[i].level(4).TotalRer(), 3),
+                  common::FormatPercent(releases[i].level(7).TotalRer(), 3)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nnode scans for the whole sweep: "
+            << (hier::Partition::DegreeSumScanCount() - scans_before)
+            << " (the plan's one scan serves every release)\n\n";
+  std::cout << session.ledger().AuditReport();
+  return 0;
+}

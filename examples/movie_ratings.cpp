@@ -3,15 +3,16 @@
 // A ratings platform publishes engagement statistics at several granularities
 // (whole catalogue, genre clusters, niche communities, single titles).  The
 // per-group counts of the multi-level release power dashboards for partners
-// with different contracts, and the query workload layer answers standing
-// questions (catalogue total, per-group histogram, viewer-activity
-// histogram) at any level with automatically calibrated noise.
+// with different contracts, and the session's Answer() runs standing query
+// workloads (catalogue total, per-group histogram, viewer-activity
+// histogram) at any level with automatically calibrated noise — every
+// answer charged to the session's cumulative budget ledger, so the platform
+// can show an auditor exactly what the quarter's dashboards spent.
 #include <iostream>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
-#include "core/metrics.hpp"
-#include "core/pipeline.hpp"
+#include "core/session.hpp"
 #include "graph/generators.hpp"
 #include "query/workload.hpp"
 
@@ -29,11 +30,15 @@ int main() {
   const graph::BipartiteGraph ratings = GenerateDblpLike(params, rng);
   std::cout << "ratings graph: " << ratings.Summary() << "\n\n";
 
-  core::DisclosureConfig config;
-  config.epsilon_g = 0.8;
-  config.depth = 7;
-  config.arity = 4;
-  const core::DisclosureResult result = core::RunDisclosure(ratings, config, rng);
+  // One session for the catalogue: the hierarchy and plan serve the
+  // published release AND every workload answer below.
+  core::SessionSpec spec;
+  spec.budget.epsilon_g = 0.8;
+  spec.hierarchy.depth = 7;
+  spec.hierarchy.arity = 4;
+  auto session = core::DisclosureSession::Open(ratings, spec, rng);
+  const core::MultiLevelRelease release = session.Release(rng);
+  std::cout << "published release: " << release.num_levels() << " levels\n\n";
 
   // Standing query workload evaluated at two contract tiers.
   query::Workload workload;
@@ -47,9 +52,9 @@ int main() {
   common::TextTable table({"tier_level", "query", "sensitivity", "noise_sigma",
                            "total_RER", "MAE"});
   for (const int level : {5, 2}) {  // partner tier vs premium tier
-    const auto results =
-        workload.Run(ratings, result.hierarchy.level(level),
-                     core::NoiseKind::kGaussian, 0.8, 1e-5, rng);
+    const auto results = session.Answer(
+        workload, level, spec.budget, rng,
+        "workload at L" + std::to_string(level) + " (3 queries, sequential)");
     for (const auto& r : results) {
       const bool scalar = r.truth.size() == 1;
       table.AddRow({"L" + std::to_string(level), r.query_name,
@@ -61,6 +66,7 @@ int main() {
   }
   table.Print(std::cout);
 
+  std::cout << '\n' << session.ledger().AuditReport();
   std::cout
       << "\nReading the table: the premium tier (protection level 2) answers "
          "the catalogue\ntotal to within a few percent, the partner tier "

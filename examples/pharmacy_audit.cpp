@@ -13,7 +13,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/group_dp_engine.hpp"
-#include "core/pipeline.hpp"
+#include "core/session.hpp"
 #include "graph/generators.hpp"
 
 int main() {
@@ -33,24 +33,25 @@ int main() {
 
   // Group-DP disclosure with a depth-5 hierarchy (top, regions, ...,
   // individuals); level 3 roughly matches neighbourhood granularity.
-  core::DisclosureConfig config;
-  config.epsilon_g = kEps;
-  config.delta = kDelta;
-  config.depth = 5;
-  config.arity = 4;
-  const core::DisclosureResult result =
-      core::RunDisclosure(purchases, config, rng);
+  core::SessionSpec spec;
+  spec.budget.epsilon_g = kEps;
+  spec.budget.delta = kDelta;
+  spec.hierarchy.depth = 5;
+  spec.hierarchy.arity = 4;
+  auto session = core::DisclosureSession::Open(purchases, spec, rng);
+  const core::MultiLevelRelease release = session.Release(rng);
 
   const int kNeighbourhoodLevel = 3;
+  // The plan already holds every level's group weights — no rescan.
   const double neighbourhood_weight = static_cast<double>(
-      result.hierarchy.level(kNeighbourhoodLevel).MaxGroupDegreeSum(purchases));
+      session.plan().CountSensitivity(kNeighbourhoodLevel));
   std::cout << "largest neighbourhood-level group weight: "
             << neighbourhood_weight << " purchases\n\n";
 
   // Individual edge-DP comparator.
   const auto edge_release = baseline::ReleaseCountEdgeDp(
       purchases, core::NoiseKind::kLaplace, kEps, kDelta, rng);
-  const auto& group_release = result.release.level(kNeighbourhoodLevel);
+  const auto& group_release = release.level(kNeighbourhoodLevel);
 
   common::TextTable table(
       {"scheme", "noisy_total", "RER", "neighbourhood_disclosure_TV"});

@@ -2,12 +2,15 @@
 
 #include <ostream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/drilldown.hpp"
 #include "core/pipeline.hpp"
 #include "core/release_io.hpp"
+#include "core/session.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "hier/io.hpp"
@@ -22,6 +25,41 @@ std::string Require(const Args& args, const std::string& name) {
     throw std::invalid_argument("missing required flag '--" + name + "'");
   }
   return *value;
+}
+
+// Parse "--sweep 0.3,0.5,0.999" into (token, value) pairs.  The literal
+// token names the per-ε output file, so `r.tsv` + token "0.3" becomes
+// "r.tsv.eps0.3" with no float re-formatting surprises.
+std::vector<std::pair<std::string, double>> ParseSweepList(
+    const std::string& list) {
+  std::vector<std::pair<std::string, double>> points;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string token =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (token.empty()) {
+      throw std::invalid_argument("--sweep: empty epsilon in list '" + list +
+                                  "'");
+    }
+    std::size_t parsed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(token, &parsed);
+    } catch (const std::exception&) {
+      parsed = 0;
+    }
+    if (parsed != token.size()) {
+      throw std::invalid_argument("--sweep: bad epsilon '" + token + "'");
+    }
+    points.emplace_back(token, value);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return points;
 }
 
 }  // namespace
@@ -66,12 +104,58 @@ int RunDisclose(const Args& args, std::ostream& out) {
   }
   config.noise_chunk_grain = static_cast<std::size_t>(grain);
 
+  // --sweep ε1,ε2,…: parse before touching the filesystem.
+  std::vector<std::pair<std::string, double>> sweep;
+  if (const auto sweep_list = args.Get("sweep")) {
+    sweep = ParseSweepList(*sweep_list);
+  }
+
   const auto graph = gdp::graph::ReadEdgeListFile(graph_path);
-
   gdp::common::Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 42)));
-  const auto result = gdp::core::RunDisclosure(graph, config, rng);
-
   const bool strip = args.HasSwitch("strip-truth");
+
+  if (!sweep.empty()) {
+    // One session: Phase 1 and the plan's node scan run once; every swept ε
+    // is a plan-only release.  The session grant covers exactly the sweep
+    // (phase-1 spend + each point's phase-2 spend), so the audit report
+    // shows the whole spend against the whole grant.
+    std::vector<gdp::core::BudgetSpec> points;
+    points.reserve(sweep.size());
+    gdp::core::SessionSpec spec = config.ToSessionSpec();
+    spec.epsilon_cap = spec.budget.phase1_epsilon();
+    spec.delta_cap = config.delta * static_cast<double>(sweep.size()) * 2.0;
+    for (const auto& entry : sweep) {
+      gdp::core::BudgetSpec point = config.ToBudgetSpec();
+      point.epsilon_g = entry.second;
+      spec.epsilon_cap += point.phase2_epsilon();
+      points.push_back(point);
+    }
+    auto session = gdp::core::DisclosureSession::Open(graph, spec, rng);
+    // Validate every point before writing anything: a bad later ε must not
+    // leave a partial set of sweep artifacts on disk.
+    for (const auto& point : points) {
+      session.ValidateBudget(point);
+    }
+    out << "disclosed " << graph.Summary() << " (session sweep, "
+        << sweep.size() << " points)\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::string& token = sweep[i].first;
+      const auto release = session.Release(points[i], rng,
+                                           "sweep eps=" + token +
+                                               ": phase2 noise");
+      const std::string path = release_path + ".eps" + token;
+      gdp::core::WriteReleaseFile(strip ? release.StripTruth() : release, path);
+      out << "release (eps_g=" << token << ") written to " << path << '\n';
+    }
+    out << session.ledger().AuditReport();
+    if (const auto hier_path = args.Get("hierarchy")) {
+      gdp::hier::WriteHierarchyFile(session.hierarchy(), *hier_path);
+      out << "hierarchy written to " << *hier_path << '\n';
+    }
+    return 0;
+  }
+
+  const auto result = gdp::core::RunDisclosure(graph, config, rng);
   gdp::core::WriteReleaseFile(
       strip ? result.release.StripTruth() : result.release, release_path);
   out << "disclosed " << graph.Summary() << '\n';
@@ -141,6 +225,9 @@ std::string UsageText() {
          "            [--eps E] [--delta D] [--depth K] [--arity A] [--seed S]\n"
          "            [--threads T] [--noise-grain G] [--consistent]"
          " [--strip-truth]\n"
+         "            [--sweep E1,E2,...]  one DisclosureSession, one release\n"
+         "            file per swept eps (r.tsv.epsE1, ...); Phase 1 and the\n"
+         "            plan run once, --eps sets the Phase-1 budget\n"
          "  inspect   --release r.tsv\n"
          "  drilldown --release r.tsv --hierarchy h.tsv --side left|right"
          " --node V\n"
@@ -163,7 +250,7 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
     return RunDisclose(
         Args::Parse(rest,
                     {"graph", "release", "hierarchy", "eps", "delta", "depth",
-                     "arity", "seed", "threads", "noise-grain"},
+                     "arity", "seed", "threads", "noise-grain", "sweep"},
                     {"consistent", "strip-truth"}),
         out);
   }

@@ -20,6 +20,16 @@ class BudgetExhaustedError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+// Raised when a BudgetSpec cannot calibrate the requested mechanisms (bad
+// ε/δ, impossible phase split, calibration failure) — detected up front,
+// before any noise is drawn.  Derives from std::invalid_argument so callers
+// of the one-shot pipeline that predate the session API keep working.
+class InvalidBudgetError : public std::invalid_argument {
+ public:
+  explicit InvalidBudgetError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
 // Raised when an operation is invoked on an object in the wrong state
 // (e.g. querying a hierarchy level that was never built).
 class StateError : public std::logic_error {

@@ -79,7 +79,11 @@ std::size_t MechanismCache::size() const {
   return cache_.size();
 }
 
-GroupDpEngine::GroupDpEngine(ReleaseConfig config) : config_(config) {
+GroupDpEngine::GroupDpEngine(ReleaseConfig config)
+    : GroupDpEngine(config, nullptr) {}
+
+GroupDpEngine::GroupDpEngine(ReleaseConfig config, MechanismCache* shared_cache)
+    : config_(config), shared_cache_(shared_cache) {
   // Validate eagerly so a bad config fails at construction, not mid-release.
   (void)gdp::dp::Epsilon(config_.epsilon_g);
   (void)gdp::dp::Delta(config_.delta);
@@ -94,7 +98,7 @@ GroupDpEngine::GroupDpEngine(ReleaseConfig config) : config_(config) {
 }
 
 double GroupDpEngine::NoiseStddevFor(double sensitivity) const {
-  return mech_cache_
+  return cache()
       .Get(config_.noise, config_.epsilon_g, config_.delta, sensitivity)
       .NoiseStddev();
 }
@@ -134,7 +138,7 @@ LevelRelease GroupDpEngine::ReleaseLevelWithEpsilon(const BipartiteGraph& graph,
   }
 
   const auto& scalar_mechanism =
-      mech_cache_.Get(config_.noise, epsilon, config_.delta, out.sensitivity);
+      cache().Get(config_.noise, epsilon, config_.delta, out.sensitivity);
   out.noise_stddev = scalar_mechanism.NoiseStddev();
   out.noisy_total = scalar_mechanism.AddNoise(out.true_total, rng);
 
@@ -149,8 +153,8 @@ LevelRelease GroupDpEngine::ReleaseLevelWithEpsilon(const BipartiteGraph& graph,
     // sqrt(2)·Δℓ L2 bound (see group_sensitivity.hpp).  Served from the
     // same cache as the plan path — the calibration key is identical.
     const auto& vector_mechanism =
-        mech_cache_.Get(config_.noise, epsilon, config_.delta,
-                        VectorSensitivity(graph, level).value());
+        cache().Get(config_.noise, epsilon, config_.delta,
+                    VectorSensitivity(graph, level).value());
     out.group_noise_stddev = vector_mechanism.NoiseStddev();
     out.noisy_group_counts =
         vector_mechanism.AddNoise(out.true_group_counts, rng);
@@ -193,7 +197,7 @@ LevelRelease GroupDpEngine::ReleaseLevelFromPlan(
   }
 
   const auto& scalar_mechanism =
-      mech_cache_.Get(config_.noise, epsilon, config_.delta, out.sensitivity);
+      cache().Get(config_.noise, epsilon, config_.delta, out.sensitivity);
   out.noise_stddev = scalar_mechanism.NoiseStddev();
   out.noisy_total = scalar_mechanism.AddNoise(out.true_total, rng);
 
@@ -204,7 +208,7 @@ LevelRelease GroupDpEngine::ReleaseLevelFromPlan(
     }
     // Same sqrt(2)·Δℓ bound as the per-level path; Δℓ here is the computed
     // (not overridden) scalar, matching the legacy calibration exactly.
-    const auto& vector_mechanism = mech_cache_.Get(
+    const auto& vector_mechanism = cache().Get(
         config_.noise, epsilon, config_.delta, plan.VectorSensitivity(level_index));
     out.group_noise_stddev = vector_mechanism.NoiseStddev();
 

@@ -116,6 +116,13 @@ class GroupDpEngine {
  public:
   explicit GroupDpEngine(ReleaseConfig config);
 
+  // Engine sharing a caller-owned MechanismCache.  A DisclosureSession
+  // constructs one engine per release (the ReleaseConfig changes with every
+  // BudgetSpec) but keeps ONE cache for its whole lifetime, so re-releasing
+  // at an already-seen (kind, ε, δ, Δ) skips calibration entirely.  The
+  // cache must outlive the engine.
+  GroupDpEngine(ReleaseConfig config, MechanismCache* shared_cache);
+
   // The engine owns a mechanism cache (and a mutex): non-copyable by design.
   GroupDpEngine(const GroupDpEngine&) = delete;
   GroupDpEngine& operator=(const GroupDpEngine&) = delete;
@@ -195,7 +202,7 @@ class GroupDpEngine {
   // Number of distinct calibrations memoized so far (tests assert that the
   // legacy and plan paths share cache entries instead of re-deriving).
   [[nodiscard]] std::size_t MechanismCacheSize() const {
-    return mech_cache_.size();
+    return cache().size();
   }
 
  private:
@@ -207,8 +214,14 @@ class GroupDpEngine {
                                                      double epsilon,
                                                      gdp::common::Rng& rng) const;
 
+  // The shared cache when one was given, else the owned one.
+  [[nodiscard]] MechanismCache& cache() const noexcept {
+    return shared_cache_ != nullptr ? *shared_cache_ : owned_cache_;
+  }
+
   ReleaseConfig config_;
-  mutable MechanismCache mech_cache_;
+  mutable MechanismCache owned_cache_;
+  MechanismCache* shared_cache_{nullptr};
 };
 
 }  // namespace gdp::core

@@ -1,80 +1,67 @@
 #include "core/pipeline.hpp"
 
-#include <stdexcept>
-
-#include "common/thread_pool.hpp"
-#include "core/consistency.hpp"
+#include <utility>
 
 namespace gdp::core {
+
+HierarchySpec DisclosureConfig::ToHierarchySpec() const {
+  HierarchySpec spec;
+  spec.depth = depth;
+  spec.arity = arity;
+  spec.split_quality = split_quality;
+  spec.max_cut_candidates = max_cut_candidates;
+  spec.validate_hierarchy = validate_hierarchy;
+  return spec;
+}
+
+BudgetSpec DisclosureConfig::ToBudgetSpec() const {
+  BudgetSpec spec;
+  spec.epsilon_g = epsilon_g;
+  spec.delta = delta;
+  spec.phase1_fraction = phase1_fraction;
+  spec.noise = noise;
+  return spec;
+}
+
+ExecSpec DisclosureConfig::ToExecSpec() const {
+  ExecSpec spec;
+  spec.num_threads = num_threads;
+  spec.noise_chunk_grain = noise_chunk_grain;
+  spec.include_group_counts = include_group_counts;
+  spec.enforce_consistency = enforce_consistency;
+  spec.clamp_nonnegative = clamp_nonnegative;
+  return spec;
+}
+
+SessionSpec DisclosureConfig::ToSessionSpec() const {
+  SessionSpec spec;
+  spec.hierarchy = ToHierarchySpec();
+  spec.budget = ToBudgetSpec();
+  spec.exec = ToExecSpec();
+  spec.epsilon_cap = epsilon_g;
+  spec.delta_cap = delta * 2.0;  // per-level δ headroom
+  return spec;
+}
 
 DisclosureResult RunDisclosure(const gdp::graph::BipartiteGraph& graph,
                                const DisclosureConfig& config,
                                gdp::common::Rng& rng) {
-  if (!(config.phase1_fraction > 0.0) || !(config.phase1_fraction < 1.0)) {
-    throw std::invalid_argument(
-        "RunDisclosure: phase1_fraction must be in (0, 1)");
-  }
-  (void)gdp::dp::Epsilon(config.epsilon_g);
-
-  const double eps_phase1 = config.epsilon_g * config.phase1_fraction;
-  const double eps_phase2 = config.epsilon_g - eps_phase1;
-  const int transitions = config.depth - 1;
-
-  gdp::hier::SpecializationConfig spec;
-  spec.depth = config.depth;
-  spec.arity = config.arity;
-  spec.epsilon_per_level =
-      transitions > 0 ? eps_phase1 / static_cast<double>(transitions)
-                      : eps_phase1;
-  spec.quality = config.split_quality;
-  spec.max_cut_candidates = config.max_cut_candidates;
-  spec.validate_hierarchy = config.validate_hierarchy;
-
-  const gdp::hier::Specializer specializer(spec);
-  gdp::hier::SpecializationResult built = specializer.BuildHierarchy(graph, rng);
-
-  ReleaseConfig rel;
-  rel.epsilon_g = eps_phase2;
-  rel.delta = config.delta;
-  rel.noise = config.noise;
-  rel.include_group_counts = config.include_group_counts;
-  rel.clamp_nonnegative = config.clamp_nonnegative;
-  rel.noise_chunk_grain = config.noise_chunk_grain;
-
-  const GroupDpEngine engine(rel);
-  // One plan = one node scan for every level's sensitivities and counts.
-  // On the parallel path the same pool shards that scan AND splits each
-  // large level's vector noise into per-chunk RNG substreams.
-  MultiLevelRelease release = [&] {
-    if (config.num_threads == 1) {
-      const ReleasePlan plan = ReleasePlan::Build(graph, built.hierarchy);
-      return engine.ReleaseAll(plan, rng);
-    }
-    gdp::common::ThreadPool pool(config.num_threads);
-    const ReleasePlan plan = ReleasePlan::Build(graph, built.hierarchy, pool);
-    return engine.ParallelReleaseAll(plan, rng, pool);
-  }();
-
-  if (config.enforce_consistency) {
-    if (!config.include_group_counts) {
-      throw std::invalid_argument(
-          "RunDisclosure: enforce_consistency requires include_group_counts");
-    }
-    release = EnforceHierarchicalConsistency(built.hierarchy, release);
-  }
-
-  gdp::dp::BudgetLedger ledger(config.epsilon_g,
-                               config.delta * 2.0 /* per-level δ headroom */);
-  ledger.Charge(built.epsilon_spent, 0.0, "phase1: EM specialization");
+  // Open-release-close: Phase 1 + plan once, one release, ledger out.
+  // Open validates the cheap knobs (fraction, ε, consistency flags) before
+  // Phase 1 touches the graph.
   // Phase 2: one (ε, δ) mechanism per level; within a level the scalar and
   // the group vector are charged sequentially by the engine's construction,
   // but across levels each level protects a *different* adjacency relation —
   // the per-level guarantee is εg-group-DP at that level's granularity
   // (matching the paper's statement), so the ledger records the max.
-  ledger.Charge(eps_phase2, config.delta, "phase2: per-level noise (max over levels)");
-
-  return DisclosureResult{std::move(built.hierarchy), std::move(release),
-                          std::move(ledger)};
+  DisclosureSession session =
+      DisclosureSession::Open(graph, config.ToSessionSpec(), rng);
+  MultiLevelRelease release =
+      session.Release(config.ToBudgetSpec(), rng,
+                      "phase2: per-level noise (max over levels)");
+  gdp::dp::BudgetLedger ledger = session.ledger();
+  return DisclosureResult{std::move(session).TakeHierarchy(),
+                          std::move(release), std::move(ledger)};
 }
 
 }  // namespace gdp::core

@@ -60,6 +60,16 @@ BudgetLedger::BudgetLedger(double epsilon_cap, double delta_cap)
   }
 }
 
+namespace {
+// Absorb floating-point accumulation error in cap comparisons.
+constexpr double kCapSlack = 1e-12;
+}  // namespace
+
+bool BudgetLedger::WouldExceed(double epsilon, double delta) const noexcept {
+  return eps_spent_ + epsilon > eps_cap_ * (1.0 + kCapSlack) + kCapSlack ||
+         delta_spent_ + delta > delta_cap_ * (1.0 + kCapSlack) + kCapSlack;
+}
+
 void BudgetLedger::Charge(double epsilon, double delta, std::string label) {
   if (!(epsilon >= 0.0) || !std::isfinite(epsilon)) {
     throw std::invalid_argument("BudgetLedger::Charge: bad epsilon");
@@ -67,12 +77,11 @@ void BudgetLedger::Charge(double epsilon, double delta, std::string label) {
   if (!(delta >= 0.0) || !(delta < 1.0)) {
     throw std::invalid_argument("BudgetLedger::Charge: bad delta");
   }
-  constexpr double kSlack = 1e-12;  // absorb floating-point accumulation error
-  if (eps_spent_ + epsilon > eps_cap_ * (1.0 + kSlack) + kSlack) {
+  if (eps_spent_ + epsilon > eps_cap_ * (1.0 + kCapSlack) + kCapSlack) {
     throw gdp::common::BudgetExhaustedError(
         "BudgetLedger: epsilon cap exceeded by charge '" + label + "'");
   }
-  if (delta_spent_ + delta > delta_cap_ * (1.0 + kSlack) + kSlack) {
+  if (delta_spent_ + delta > delta_cap_ * (1.0 + kCapSlack) + kCapSlack) {
     throw gdp::common::BudgetExhaustedError(
         "BudgetLedger: delta cap exceeded by charge '" + label + "'");
   }

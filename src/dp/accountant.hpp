@@ -56,6 +56,11 @@ class BudgetLedger {
   // parallel composition charge the ledger once per parallel block.)
   void Charge(double epsilon, double delta, std::string label);
 
+  // True iff a Charge(epsilon, delta, ...) would throw BudgetExhaustedError
+  // right now (same slack arithmetic).  Lets batch callers pre-check a whole
+  // sequence of charges atomically instead of failing mid-batch.
+  [[nodiscard]] bool WouldExceed(double epsilon, double delta) const noexcept;
+
   [[nodiscard]] double epsilon_spent() const noexcept { return eps_spent_; }
   [[nodiscard]] double delta_spent() const noexcept { return delta_spent_; }
   [[nodiscard]] double epsilon_remaining() const noexcept {

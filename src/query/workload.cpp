@@ -42,4 +42,11 @@ std::vector<QueryRunResult> Workload::Run(const BipartiteGraph& graph,
   return results;
 }
 
+gdp::dp::BudgetCharge Workload::RunCost(double epsilon, double delta) const {
+  const auto k = static_cast<double>(queries_.size());
+  return gdp::dp::BudgetCharge{
+      k * epsilon, k * delta,
+      std::to_string(queries_.size()) + " queries, sequential"};
+}
+
 }  // namespace gdp::query

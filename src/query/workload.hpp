@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "core/group_dp_engine.hpp"
+#include "dp/accountant.hpp"
 #include "query/query.hpp"
 
 namespace gdp::query {
@@ -39,6 +40,12 @@ class Workload {
       const BipartiteGraph& graph, const Partition& level,
       gdp::core::NoiseKind noise, double epsilon, double delta,
       gdp::common::Rng& rng) const;
+
+  // Privacy cost of one Run call at (epsilon, delta): the queries all read
+  // the same graph, so k queries compose sequentially into (k·ε, k·δ).
+  // Used by DisclosureSession::Answer to charge its ledger.
+  [[nodiscard]] gdp::dp::BudgetCharge RunCost(double epsilon,
+                                              double delta) const;
 
  private:
   std::vector<std::unique_ptr<Query>> queries_;

@@ -109,6 +109,45 @@ TEST_F(CliRoundTripTest, GenerateDiscloseInspectDrilldown) {
   EXPECT_NE(out.str().find("L5"), std::string::npos);
 }
 
+TEST_F(CliRoundTripTest, DiscloseSweepWritesOneReleasePerEpsilon) {
+  std::ostringstream out;
+  ASSERT_EQ(Dispatch({"generate", "--out", graph_path_, "--left", "400",
+                      "--right", "500", "--edges", "2500", "--seed", "5"},
+                     out),
+            0);
+  out.str("");
+  ASSERT_EQ(Dispatch({"disclose", "--graph", graph_path_, "--release",
+                      release_path_, "--depth", "4", "--seed", "11", "--sweep",
+                      "0.3,0.999"},
+                     out),
+            0);
+  // One artifact per swept ε, readable, with sweep-labelled ledger entries.
+  const std::string path_a = release_path_ + ".eps0.3";
+  const std::string path_b = release_path_ + ".eps0.999";
+  const auto release_a = gdp::core::ReadReleaseFile(path_a);
+  const auto release_b = gdp::core::ReadReleaseFile(path_b);
+  EXPECT_EQ(release_a.num_levels(), 5);
+  EXPECT_EQ(release_b.num_levels(), 5);
+  EXPECT_NE(release_a.level(1).noisy_total, release_b.level(1).noisy_total);
+  EXPECT_NE(out.str().find("sweep eps=0.3"), std::string::npos);
+  EXPECT_NE(out.str().find("sweep eps=0.999"), std::string::npos);
+  EXPECT_NE(out.str().find("phase1"), std::string::npos);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(CliDispatchTest, DiscloseRejectsMalformedSweepList) {
+  std::ostringstream out;
+  EXPECT_THROW((void)Dispatch({"disclose", "--graph", "g", "--release", "r",
+                               "--sweep", "0.3,,0.5"},
+                              out),
+               std::invalid_argument);
+  EXPECT_THROW((void)Dispatch({"disclose", "--graph", "g", "--release", "r",
+                               "--sweep", "0.3x"},
+                              out),
+               std::invalid_argument);
+}
+
 TEST_F(CliRoundTripTest, ThreadedDiscloseMatchesAnyThreadCount) {
   // --threads T with a fixed seed and grain: the artifact is identical for
   // every T (the within-level chunk layout is thread-count independent).
