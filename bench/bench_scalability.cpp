@@ -12,6 +12,7 @@
 #include "core/session.hpp"
 #include "graph/generators.hpp"
 #include "hier/specialization.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
@@ -280,6 +281,75 @@ void BM_SessionSweep(benchmark::State& state) {
                           static_cast<std::int64_t>(SweepEpsilons().size()));
 }
 BENCHMARK(BM_SessionSweep)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RegistryHitVsCompile(benchmark::State& state) {
+  // The serving layer's core amortization: a registry HIT (range(1) == 1)
+  // attaches a tenant and releases from the cached CompiledDisclosure; a
+  // MISS (range(1) == 0, fresh registry each iteration) pays the Phase-1 EM
+  // build and the plan's node scan first.  The gap is what every tenant
+  // after the first saves.
+  const auto g = MakeGraph(state.range(0));
+  core::SessionSpec spec;
+  spec.hierarchy.depth = 9;
+  spec.hierarchy.validate_hierarchy = false;
+  const bool hit = state.range(1) == 1;
+  serve::SessionRegistry warm(1);
+  if (hit) {
+    benchmark::DoNotOptimize(warm.GetOrCompile("ds", g, spec, 7));
+  }
+  std::uint64_t seed = 500;
+  for (auto _ : state) {
+    common::Rng rng(++seed);
+    if (hit) {
+      auto compiled = warm.GetOrCompile("ds", g, spec, 7);
+      auto session = core::DisclosureSession::Attach(std::move(compiled));
+      benchmark::DoNotOptimize(session.Release(rng).num_levels());
+    } else {
+      serve::SessionRegistry cold(1);
+      auto compiled = cold.GetOrCompile("ds", g, spec, 7);
+      auto session = core::DisclosureSession::Attach(std::move(compiled));
+      benchmark::DoNotOptimize(session.Release(rng).num_levels());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RegistryHitVsCompile)
+    ->Args({10'000, 0})->Args({10'000, 1})
+    ->Args({100'000, 0})->Args({100'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiTenantServe(benchmark::State& state) {
+  // N-tenant throughput through the full service path (broker lookup,
+  // registry hit, per-tenant ledger, policy view): one dataset, range(1)
+  // tenants spread over the privilege tiers, one request per tenant per
+  // iteration.
+  const std::int64_t num_tenants = state.range(1);
+  serve::DisclosureService service(4);
+  core::SessionSpec publication;
+  publication.hierarchy.depth = 9;
+  publication.hierarchy.validate_hierarchy = false;
+  service.catalog().Register(
+      "ds", serve::Dataset{MakeGraph(state.range(0)), publication, 7, {}});
+  for (std::int64_t t = 0; t < num_tenants; ++t) {
+    serve::TenantProfile profile;
+    profile.privilege = static_cast<int>(t % 9);
+    service.broker().Register("tenant" + std::to_string(t), profile);
+  }
+  const core::BudgetSpec budget;
+  common::Rng rng(900);
+  for (auto _ : state) {
+    for (std::int64_t t = 0; t < num_tenants; ++t) {
+      auto result =
+          service.Serve("tenant" + std::to_string(t), "ds", budget, rng);
+      benchmark::DoNotOptimize(result.granted);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * num_tenants);
+}
+BENCHMARK(BM_MultiTenantServe)
+    ->Args({10'000, 1})->Args({10'000, 8})->Args({10'000, 64})
+    ->Args({100'000, 8})
     ->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndDisclosure(benchmark::State& state) {

@@ -1,10 +1,14 @@
 #include "cli/commands.hpp"
 
+#include <cctype>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/drilldown.hpp"
@@ -14,6 +18,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "hier/io.hpp"
+#include "serve/service.hpp"
 
 namespace gdp::cli {
 
@@ -60,6 +65,106 @@ std::vector<std::pair<std::string, double>> ParseSweepList(
     start = comma + 1;
   }
   return points;
+}
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') {
+      return true;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// tenants.tsv: one tenant per line, `tenant_id epsilon_cap delta_cap
+// privilege` (whitespace-separated; # comments and blank lines skipped).
+std::vector<std::pair<std::string, gdp::serve::TenantProfile>> ReadTenantSpecs(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw gdp::common::IoError("cannot open tenant spec file '" + path + "'");
+  }
+  std::vector<std::pair<std::string, gdp::serve::TenantProfile>> tenants;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) {
+      continue;
+    }
+    std::istringstream ss(line);
+    std::string id;
+    gdp::serve::TenantProfile profile;
+    if (!(ss >> id >> profile.epsilon_cap >> profile.delta_cap >>
+          profile.privilege)) {
+      throw gdp::common::IoError(
+          "tenant spec line " + std::to_string(line_no) +
+          ": expected 'tenant_id epsilon_cap delta_cap privilege'");
+    }
+    tenants.emplace_back(std::move(id), profile);
+  }
+  if (tenants.empty()) {
+    throw gdp::common::IoError("tenant spec '" + path + "': no tenants");
+  }
+  return tenants;
+}
+
+struct ServeRequest {
+  std::string tenant;
+  double epsilon_g{0.0};
+  double delta{0.0};  // 0 = use the publication default
+};
+
+// reqs.tsv: one request per line, `tenant_id epsilon_g [delta]`.
+std::vector<ServeRequest> ReadServeRequests(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw gdp::common::IoError("cannot open request file '" + path + "'");
+  }
+  std::vector<ServeRequest> requests;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) {
+      continue;
+    }
+    std::istringstream ss(line);
+    ServeRequest req;
+    if (!(ss >> req.tenant >> req.epsilon_g)) {
+      throw gdp::common::IoError("request line " + std::to_string(line_no) +
+                                 ": expected 'tenant_id epsilon_g [delta]'");
+    }
+    // The optional delta must parse FULLY or error loudly — a typo'd delta
+    // silently falling back to the publication default would run the
+    // request at the wrong privacy parameter.
+    if (std::string token; ss >> token) {
+      std::size_t parsed = 0;
+      try {
+        req.delta = std::stod(token, &parsed);
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed != token.size() || !(req.delta > 0.0)) {
+        throw gdp::common::IoError("request line " + std::to_string(line_no) +
+                                   ": bad delta '" + token + "'");
+      }
+      std::string extra;
+      if (ss >> extra) {
+        throw gdp::common::IoError("request line " + std::to_string(line_no) +
+                                   ": unexpected trailing field '" + extra +
+                                   "'");
+      }
+    }
+    requests.push_back(std::move(req));
+  }
+  if (requests.empty()) {
+    throw gdp::common::IoError("request file '" + path + "': no requests");
+  }
+  return requests;
 }
 
 }  // namespace
@@ -216,6 +321,98 @@ int RunDrilldown(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int RunServe(const Args& args, std::ostream& out) {
+  // Validate cheap flags before touching the filesystem.
+  const std::string graph_path = Require(args, "graph");
+  const std::string tenants_path = Require(args, "tenants");
+  const std::string requests_path = Require(args, "requests");
+  const std::int64_t capacity = args.GetInt("registry-capacity", 8);
+  if (capacity <= 0) {
+    throw std::invalid_argument("--registry-capacity must be > 0");
+  }
+
+  gdp::core::DisclosureConfig config;
+  config.epsilon_g = args.GetDouble("eps", 0.999);
+  config.delta = args.GetDouble("delta", 1e-5);
+  config.depth = static_cast<int>(args.GetInt("depth", 9));
+  config.arity = static_cast<int>(args.GetInt("arity", 4));
+  config.num_threads = static_cast<int>(args.GetInt("threads", 1));
+  const std::int64_t grain = args.GetInt(
+      "noise-grain",
+      static_cast<std::int64_t>(gdp::core::DisclosureConfig{}.noise_chunk_grain));
+  if (grain <= 0) {
+    throw std::invalid_argument("--noise-grain must be > 0");
+  }
+  config.noise_chunk_grain = static_cast<std::size_t>(grain);
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
+
+  const auto tenants = ReadTenantSpecs(tenants_path);
+  const auto requests = ReadServeRequests(requests_path);
+
+  gdp::serve::DisclosureService service(static_cast<std::size_t>(capacity));
+  gdp::serve::Dataset dataset{gdp::graph::ReadEdgeListFile(graph_path),
+                              config.ToSessionSpec(), seed, {}};
+  const std::string dataset_name = args.GetOr("dataset", "default");
+  out << "serving " << dataset.graph.Summary() << " as dataset '"
+      << dataset_name << "' to " << tenants.size() << " tenants ("
+      << requests.size() << " requests)\n";
+  service.catalog().Register(dataset_name, std::move(dataset));
+  for (const auto& [id, profile] : tenants) {
+    service.broker().Register(id, profile);
+  }
+
+  // Request noise comes from a stream forked off the compile seed, so one
+  // --seed reproduces the whole batch (compile AND draws) bit-for-bit.
+  gdp::common::Rng request_rng = gdp::common::Rng(seed).Fork(1);
+
+  gdp::common::TextTable table({"req", "tenant", "tier", "level", "status",
+                                "noisy_total", "eps_spent", "eps_left"});
+  std::ofstream results_file;
+  if (const auto out_path = args.Get("out")) {
+    results_file.open(*out_path);
+    if (!results_file) {
+      throw gdp::common::IoError("cannot open results file '" + *out_path +
+                                 "'");
+    }
+    results_file << "# req\ttenant\ttier\tlevel\tstatus\tnoisy_total\t"
+                    "eps_spent\teps_left\n";
+  }
+  std::size_t granted = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ServeRequest& req = requests[i];
+    gdp::core::BudgetSpec budget = config.ToBudgetSpec();
+    budget.epsilon_g = req.epsilon_g;
+    if (req.delta > 0.0) {
+      budget.delta = req.delta;
+    }
+    const gdp::serve::ServeResult result =
+        service.Serve(req.tenant, dataset_name, budget, request_rng);
+    granted += result.granted ? 1 : 0;
+    const std::string status = result.granted ? "served" : "denied";
+    const std::string noisy = result.granted
+                                  ? gdp::common::FormatDouble(
+                                        result.view.noisy_total, 1)
+                                  : "-";
+    table.AddRow({std::to_string(i), req.tenant,
+                  std::to_string(result.privilege),
+                  "L" + std::to_string(result.level), status, noisy,
+                  gdp::common::FormatDouble(result.epsilon_spent, 4),
+                  gdp::common::FormatDouble(result.epsilon_remaining, 4)});
+    if (results_file.is_open()) {
+      results_file << i << '\t' << req.tenant << '\t' << result.privilege
+                   << '\t' << result.level << '\t' << status << '\t' << noisy
+                   << '\t' << result.epsilon_spent << '\t'
+                   << result.epsilon_remaining << '\n';
+    }
+  }
+  table.Print(out);
+  const auto stats = service.registry().stats();
+  out << "served " << granted << "/" << requests.size() << " requests; "
+      << "registry: " << stats.hits << " hits, " << stats.misses
+      << " misses, " << stats.evictions << " evictions\n";
+  return 0;
+}
+
 std::string UsageText() {
   return "usage: gdp_tool <command> [flags]\n"
          "commands:\n"
@@ -231,7 +428,17 @@ std::string UsageText() {
          "  inspect   --release r.tsv\n"
          "  drilldown --release r.tsv --hierarchy h.tsv --side left|right"
          " --node V\n"
-         "            [--max-level L] [--min-level l]\n";
+         "            [--max-level L] [--min-level l]\n"
+         "  serve     --graph g.tsv --tenants tenants.tsv --requests"
+         " reqs.tsv\n"
+         "            [--dataset NAME] [--eps E] [--delta D] [--depth K]\n"
+         "            [--arity A] [--seed S] [--threads T] [--noise-grain G]\n"
+         "            [--registry-capacity C] [--out results.tsv]\n"
+         "            multi-tenant batch driver: compile once per dataset\n"
+         "            (SessionRegistry), per-tenant ledgers + privilege-tier\n"
+         "            level views.  tenants.tsv: 'id eps_cap delta_cap"
+         " tier';\n"
+         "            reqs.tsv: 'id eps_g [delta]'\n";
 }
 
 int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
@@ -261,6 +468,13 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
     return RunDrilldown(
         Args::Parse(rest, {"release", "hierarchy", "side", "node", "max-level",
                            "min-level"}),
+        out);
+  }
+  if (command == "serve") {
+    return RunServe(
+        Args::Parse(rest, {"graph", "tenants", "requests", "dataset", "eps",
+                           "delta", "depth", "arity", "seed", "threads",
+                           "noise-grain", "registry-capacity", "out"}),
         out);
   }
   out << UsageText();

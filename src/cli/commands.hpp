@@ -11,6 +11,10 @@
 //   inspect   --release r.tsv
 //   drilldown --release r.tsv --hierarchy h.tsv --side left|right --node V
 //             [--max-level L] [--min-level l]
+//   serve     --graph g.tsv --tenants tenants.tsv --requests reqs.tsv
+//             [--eps 0.999] [--delta 1e-5] [--depth 9] [--arity 4]
+//             [--seed S] [--threads T] [--noise-grain G]
+//             [--registry-capacity C] [--out results.tsv]
 #pragma once
 
 #include <iosfwd>
@@ -27,6 +31,7 @@ int RunGenerate(const Args& args, std::ostream& out);
 int RunDisclose(const Args& args, std::ostream& out);
 int RunInspect(const Args& args, std::ostream& out);
 int RunDrilldown(const Args& args, std::ostream& out);
+int RunServe(const Args& args, std::ostream& out);
 
 // Dispatch a full command line (tokens exclude the program name).
 // Unknown/missing command prints usage to `out` and returns 2.

@@ -37,4 +37,23 @@ class StateError : public std::logic_error {
   explicit StateError(const std::string& what) : std::logic_error(what) {}
 };
 
+// Raised when an AccessPolicy cannot map a privilege tier to a view: the
+// tier is outside the policy, or the policy references a hierarchy level the
+// release does not contain.  Derives from std::out_of_range so callers that
+// predate the typed error keep working.
+class AccessPolicyError : public std::out_of_range {
+ public:
+  explicit AccessPolicyError(const std::string& what)
+      : std::out_of_range(what) {}
+};
+
+// Raised by the serving layer when a name does not resolve: an unregistered
+// dataset, an unknown tenant, or a (tenant, dataset) pair that has never
+// been served.  A configuration error, distinct from the expected
+// budget-denial path (which returns a value, not an exception).
+class NotFoundError : public std::runtime_error {
+ public:
+  explicit NotFoundError(const std::string& what) : std::runtime_error(what) {}
+};
+
 }  // namespace gdp::common

@@ -3,6 +3,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/error.hpp"
+
 namespace gdp::core {
 
 AccessPolicy::AccessPolicy(std::vector<int> level_for_privilege)
@@ -35,14 +37,25 @@ AccessPolicy AccessPolicy::Uniform(int num_tiers) {
 
 int AccessPolicy::LevelForPrivilege(int privilege) const {
   if (privilege < 0 || privilege >= num_tiers()) {
-    throw std::out_of_range("AccessPolicy::LevelForPrivilege: bad tier");
+    throw gdp::common::AccessPolicyError(
+        "AccessPolicy::LevelForPrivilege: privilege tier " +
+        std::to_string(privilege) + " outside [0, " +
+        std::to_string(num_tiers()) + ")");
   }
   return level_for_privilege_[static_cast<std::size_t>(privilege)];
 }
 
 const LevelRelease& AccessPolicy::ViewFor(const MultiLevelRelease& release,
                                           int privilege) const {
-  return release.level(LevelForPrivilege(privilege));
+  const int level = LevelForPrivilege(privilege);
+  if (level >= release.num_levels()) {
+    throw gdp::common::AccessPolicyError(
+        "AccessPolicy::ViewFor: tier " + std::to_string(privilege) +
+        " maps to level " + std::to_string(level) +
+        " but the release has levels [0, " +
+        std::to_string(release.num_levels()) + ")");
+  }
+  return release.level(level);
 }
 
 }  // namespace gdp::core

@@ -29,10 +29,13 @@ class AccessPolicy {
   [[nodiscard]] int num_tiers() const noexcept {
     return static_cast<int>(level_for_privilege_.size());
   }
+  // Throws gdp::common::AccessPolicyError (a std::out_of_range) when
+  // `privilege` is outside [0, num_tiers()).
   [[nodiscard]] int LevelForPrivilege(int privilege) const;
 
-  // The level view a tier receives.  Throws std::out_of_range if the policy
-  // references a level the release does not contain.
+  // The level view a tier receives.  Throws gdp::common::AccessPolicyError
+  // (a std::out_of_range) when the tier is bad or the policy references a
+  // level the release does not contain.
   [[nodiscard]] const LevelRelease& ViewFor(const MultiLevelRelease& release,
                                             int privilege) const;
 

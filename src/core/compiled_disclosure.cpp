@@ -1,0 +1,195 @@
+#include "core/compiled_disclosure.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/consistency.hpp"
+
+namespace gdp::core {
+
+void ValidateBudgetShape(const BudgetSpec& budget) {
+  if (!(budget.phase1_fraction >= 0.0) || !(budget.phase1_fraction < 1.0)) {
+    throw gdp::common::InvalidBudgetError(
+        "BudgetSpec: phase1_fraction must be in [0, 1), got " +
+        std::to_string(budget.phase1_fraction));
+  }
+  try {
+    (void)gdp::dp::Epsilon(budget.epsilon_g);
+    (void)gdp::dp::Epsilon(budget.phase2_epsilon());
+    // Every engine config validates δ regardless of noise kind (pure-ε
+    // mechanisms simply ignore it), so the artifact does too.
+    (void)gdp::dp::Delta(budget.delta);
+  } catch (const std::invalid_argument& e) {
+    throw gdp::common::InvalidBudgetError(std::string("BudgetSpec: ") +
+                                          e.what());
+  }
+}
+
+CompiledDisclosure::~CompiledDisclosure() = default;
+
+std::shared_ptr<const CompiledDisclosure> CompiledDisclosure::Compile(
+    const gdp::graph::BipartiteGraph& graph, const SessionSpec& spec,
+    gdp::common::Rng& rng) {
+  // Opening budget: Phase 1 must receive a usable EM budget, and the
+  // remainder must be a releasable Phase-2 budget (same constraint the
+  // one-shot pipeline enforced as phase1_fraction in (0, 1)).
+  if (!(spec.budget.phase1_fraction > 0.0) ||
+      !(spec.budget.phase1_fraction < 1.0)) {
+    throw std::invalid_argument(
+        "CompiledDisclosure::Compile: opening phase1_fraction must be in "
+        "(0, 1)");
+  }
+  (void)gdp::dp::Epsilon(spec.budget.epsilon_g);
+  if (spec.exec.enforce_consistency && !spec.exec.include_group_counts) {
+    throw std::invalid_argument(
+        "CompiledDisclosure::Compile: enforce_consistency requires "
+        "include_group_counts");
+  }
+  if (spec.exec.noise_chunk_grain == 0) {
+    throw std::invalid_argument(
+        "CompiledDisclosure::Compile: noise_chunk_grain must be > 0");
+  }
+  // Cap shape (the tenant ledger constructor enforces the same rules, but
+  // that runs AFTER Phase 1 — a bad default grant must not cost an EM build
+  // and a node scan on a large graph first).
+  if (!(spec.epsilon_cap > 0.0) || !std::isfinite(spec.epsilon_cap)) {
+    throw std::invalid_argument(
+        "CompiledDisclosure::Compile: epsilon_cap must be finite and > 0");
+  }
+  if (!(spec.delta_cap >= 0.0) || !(spec.delta_cap < 1.0)) {
+    throw std::invalid_argument(
+        "CompiledDisclosure::Compile: delta_cap must be in [0, 1)");
+  }
+
+  const double eps_phase1 = spec.budget.phase1_epsilon();
+  const int transitions = spec.hierarchy.depth - 1;
+
+  gdp::hier::SpecializationConfig em;
+  em.depth = spec.hierarchy.depth;
+  em.arity = spec.hierarchy.arity;
+  em.epsilon_per_level =
+      transitions > 0 ? eps_phase1 / static_cast<double>(transitions)
+                      : eps_phase1;
+  em.quality = spec.hierarchy.split_quality;
+  em.max_cut_candidates = spec.hierarchy.max_cut_candidates;
+  em.validate_hierarchy = spec.hierarchy.validate_hierarchy;
+
+  const gdp::hier::Specializer specializer(em);
+  gdp::hier::SpecializationResult built =
+      specializer.BuildHierarchy(graph, rng);
+
+  // ONE node scan for every release this artifact will ever serve, for every
+  // tenant.  The parallel path shards the scan across the pool the releases
+  // will reuse; either way the plan is bit-identical (pinned by
+  // release_plan_test).
+  std::unique_ptr<gdp::common::ThreadPool> pool;
+  if (spec.exec.num_threads != 1) {
+    pool = std::make_unique<gdp::common::ThreadPool>(spec.exec.num_threads);
+  }
+  ReleasePlan plan = pool != nullptr
+                         ? ReleasePlan::Build(graph, built.hierarchy, *pool)
+                         : ReleasePlan::Build(graph, built.hierarchy);
+
+  // Not make_shared: the constructor is private and the control block
+  // indirection is irrelevant next to the artifact's payload.
+  return std::shared_ptr<const CompiledDisclosure>(new CompiledDisclosure(
+      graph, spec, std::move(built.hierarchy), std::move(plan),
+      std::move(pool), built.epsilon_spent));
+}
+
+CompiledDisclosure::CompiledDisclosure(
+    const gdp::graph::BipartiteGraph& graph, SessionSpec spec,
+    gdp::hier::GroupHierarchy hierarchy, ReleasePlan plan,
+    std::unique_ptr<gdp::common::ThreadPool> pool, double phase1_spent)
+    : graph_(&graph),
+      spec_(std::move(spec)),
+      hierarchy_(std::move(hierarchy)),
+      plan_(std::move(plan)),
+      pool_(std::move(pool)),
+      phase1_epsilon_spent_(phase1_spent) {}
+
+void CompiledDisclosure::ValidateBudget(const BudgetSpec& budget) const {
+  ValidateBudgetShape(budget);
+  // Dry-run every calibration this budget will need, against the plan's
+  // actual sensitivities, without drawing.  Successful calibrations land in
+  // the shared cache, so Release re-uses rather than re-derives them.
+  const double eps2 = budget.phase2_epsilon();
+  try {
+    for (int level = 0; level < plan_.num_levels(); ++level) {
+      if (plan_.CountSensitivity(level) == 0) {
+        continue;  // released exactly; nothing to calibrate
+      }
+      (void)mech_cache_.Get(
+          budget.noise, eps2, budget.delta,
+          static_cast<double>(plan_.CountSensitivity(level)));
+      if (spec_.exec.include_group_counts) {
+        (void)mech_cache_.Get(budget.noise, eps2, budget.delta,
+                              plan_.VectorSensitivity(level));
+      }
+    }
+  } catch (const std::exception& e) {
+    throw gdp::common::InvalidBudgetError(
+        std::string("BudgetSpec: mechanism calibration failed: ") + e.what());
+  }
+}
+
+void CompiledDisclosure::CheckLevel(int level, const char* where) const {
+  if (level < 0 || level >= hierarchy_.num_levels()) {
+    throw std::out_of_range(std::string(where) + ": level " +
+                            std::to_string(level) + " outside [0, " +
+                            std::to_string(hierarchy_.num_levels()) + ")");
+  }
+}
+
+MultiLevelRelease CompiledDisclosure::Release(const BudgetSpec& budget,
+                                              gdp::common::Rng& rng) const {
+  ValidateBudget(budget);
+  return DrawRelease(budget, rng);
+}
+
+MultiLevelRelease CompiledDisclosure::DrawRelease(const BudgetSpec& budget,
+                                                  gdp::common::Rng& rng) const {
+  ReleaseConfig rel;
+  rel.epsilon_g = budget.phase2_epsilon();
+  rel.delta = budget.delta;
+  rel.noise = budget.noise;
+  rel.include_group_counts = spec_.exec.include_group_counts;
+  rel.clamp_nonnegative = spec_.exec.clamp_nonnegative;
+  rel.noise_chunk_grain = spec_.exec.noise_chunk_grain;
+
+  const GroupDpEngine engine(rel, &mech_cache_);
+  MultiLevelRelease release =
+      pool_ != nullptr ? engine.ParallelReleaseAll(plan_, rng, *pool_)
+                       : engine.ReleaseAll(plan_, rng);
+  if (spec_.exec.enforce_consistency) {
+    release = EnforceHierarchicalConsistency(hierarchy_, release);
+  }
+  return release;
+}
+
+const gdp::hier::HierarchyIndex& CompiledDisclosure::index() const {
+  std::call_once(index_once_, [this] {
+    index_ = std::make_unique<gdp::hier::HierarchyIndex>(hierarchy_);
+  });
+  return *index_;
+}
+
+std::vector<DrillDownEntry> CompiledDisclosure::Drilldown(
+    const MultiLevelRelease& release, gdp::hier::Side side,
+    gdp::hier::NodeIndex v, int max_level, int min_level) const {
+  return DrillDown(release, index(), side, v, max_level, min_level);
+}
+
+std::vector<gdp::query::QueryRunResult> CompiledDisclosure::Answer(
+    const gdp::query::Workload& workload, int level, const BudgetSpec& budget,
+    gdp::common::Rng& rng) const {
+  ValidateBudgetShape(budget);
+  CheckLevel(level, "CompiledDisclosure::Answer");
+  return workload.Run(*graph_, hierarchy_.level(level), budget.noise,
+                      budget.phase2_epsilon(), budget.delta, rng);
+}
+
+}  // namespace gdp::core

@@ -1,0 +1,231 @@
+// CompiledDisclosure: the shared immutable artifact a multi-tenant service
+// caches, extracted from DisclosureSession.
+//
+// The expensive prefix of the two-phase disclosure — Phase-1 EM
+// specialization and the ReleasePlan's single node scan — depends only on
+// (graph, hierarchy spec, opening budget, seed), never on who is asking.
+// CompiledDisclosure is exactly that prefix, compiled once and frozen:
+// hierarchy, plan, a thread-safe mechanism cache, and a race-free lazy
+// HierarchyIndex.  One artifact serves every tenant of a dataset; the
+// per-tenant state (ledger, counters) lives in DisclosureSession, which is
+// now a thin view over a shared_ptr<const CompiledDisclosure>.
+//
+// THREAD SAFETY: every public const method is safe to call concurrently from
+// any number of threads.  Mutation is confined to (a) the caller's per-call
+// Rng — never shared between concurrent callers — and (b) two internally
+// synchronized caches: the MechanismCache (mutex-guarded) and the lazily
+// materialised HierarchyIndex (std::call_once).  The owned ThreadPool, when
+// the exec spec requests one, accepts concurrent ParallelForChunked calls by
+// design (each call carries its own completion state).  Concurrent releases
+// are bit-identical to sequential ones under the same per-call Rng states —
+// scheduling can never leak into results because no randomness flows through
+// shared state.
+//
+// OWNERSHIP: Compile returns a shared_ptr; tenants, registries, and in-flight
+// requests share it.  A registry evicting its reference never invalidates a
+// tenant mid-request — the artifact lives until the last handle drops.  The
+// graph must outlive the artifact (Answer reads it; releases never do).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/drilldown.hpp"
+#include "core/group_dp_engine.hpp"
+#include "core/release.hpp"
+#include "core/release_plan.hpp"
+#include "hier/navigation.hpp"
+#include "hier/specialization.hpp"
+#include "query/workload.hpp"
+
+namespace gdp::common {
+class ThreadPool;
+}  // namespace gdp::common
+
+namespace gdp::core {
+
+// What Phase 1 builds.  Fixed for the artifact's lifetime.
+struct HierarchySpec {
+  // Hierarchy shape (paper: depth 9, arity 4).
+  int depth{9};
+  int arity{4};
+  gdp::hier::SplitQuality split_quality{gdp::hier::SplitQuality::kEdgeBalance};
+  int max_cut_candidates{63};
+  // Skip the O(V·depth) refinement re-validation (huge-graph benches only).
+  bool validate_hierarchy{true};
+};
+
+// What one release spends.  Reusable across arbitrary ε/δ/noise settings;
+// every Release call takes its own.
+struct BudgetSpec {
+  // Total per-level privacy target εg for the release this spec describes.
+  double epsilon_g{0.999};
+  double delta{1e-5};
+  // Fraction of εg attributed to Phase-1 specialization.  At Compile the
+  // artifact spends phase1_epsilon() of its opening budget on the EM build;
+  // a later Release's own fraction merely apportions that release's εg
+  // (phase2_epsilon() is what its noise consumes).  0 means "this εg is all
+  // Phase 2"; must be < 1 so a release always has noise budget.
+  double phase1_fraction{0.1};
+  NoiseKind noise{NoiseKind::kGaussian};
+
+  [[nodiscard]] double phase1_epsilon() const noexcept {
+    return epsilon_g * phase1_fraction;
+  }
+  [[nodiscard]] double phase2_epsilon() const noexcept {
+    return epsilon_g - phase1_epsilon();
+  }
+};
+
+// How work is executed and post-processed.  Fixed for the artifact's
+// lifetime; none of it is privacy-relevant (threads and grain change the
+// draw order contract, consistency/clamping are post-processing).
+struct ExecSpec {
+  // Phase-2 worker threads.  1 (default) releases levels sequentially —
+  // bit-identical to the pre-plan pipeline.  Any other value builds an
+  // owned ThreadPool at Compile: the plan's node scan is sharded across it
+  // and releases use ParallelReleaseAll (per-level forked RNG streams plus
+  // chunked within-level vector noise) — seed-deterministic for ANY thread
+  // count, but a different (documented) draw order; 0 selects the hardware
+  // concurrency.
+  int num_threads{1};
+  // Groups per chunk for the within-level noise draw on the parallel path.
+  // Part of the reproducibility contract (one RNG substream per chunk):
+  // changing it changes the released values; thread count never does.
+  std::size_t noise_chunk_grain{8192};
+  // Also release per-group noisy counts at every level.
+  bool include_group_counts{true};
+  // Post-process the release so parent counts equal their children's sums
+  // (GLS tree consistency; requires include_group_counts).
+  bool enforce_consistency{false};
+  // Post-processing: clamp noisy counts at 0.
+  bool clamp_nonnegative{false};
+};
+
+// Everything a compile/open needs: the one-time specs plus the opening
+// budget (whose phase1_epsilon() the EM build spends) and the default ledger
+// caps a tenant handle receives when none are supplied.
+struct SessionSpec {
+  HierarchySpec hierarchy;
+  // Opening budget: phase1_epsilon() is spent at Compile; the remainder is
+  // the default Release budget for callers that don't pass their own.
+  BudgetSpec budget;
+  ExecSpec exec;
+  // Cumulative per-tenant grant enforced by each handle's ledger
+  // (BudgetExhaustedError on overrun).  Defaults are effectively "audit
+  // only"; a deployment sets the real grant.  epsilon_cap must be finite and
+  // > 0, delta_cap in [0, 1).
+  double epsilon_cap{1e6};
+  double delta_cap{0.5};
+};
+
+// Shape validation of the (ε, δ, fraction) triple alone, independent of any
+// plan's sensitivities.  Throws gdp::common::InvalidBudgetError.  Shared by
+// every budget-consuming entry point.
+void ValidateBudgetShape(const BudgetSpec& budget);
+
+class CompiledDisclosure {
+ public:
+  // Run Phase 1 once (EM specialization under spec.budget.phase1_epsilon()),
+  // build the ReleasePlan once (sharded across the owned pool when
+  // spec.exec.num_threads != 1), and freeze the result.  `graph` must
+  // outlive the artifact.  Deterministic given `rng` state — consumes
+  // exactly the draws the one-shot pipeline's Phase 1 consumed.  The
+  // spec's caps are validated here (they are the default tenant grant) even
+  // though the artifact itself holds no ledger, so a bad grant cannot cost
+  // an EM build first.
+  [[nodiscard]] static std::shared_ptr<const CompiledDisclosure> Compile(
+      const gdp::graph::BipartiteGraph& graph, const SessionSpec& spec,
+      gdp::common::Rng& rng);
+
+  // Pinned by shared_ptr; never copied or moved (it owns a mutex-guarded
+  // cache and a once_flag).
+  CompiledDisclosure(const CompiledDisclosure&) = delete;
+  CompiledDisclosure& operator=(const CompiledDisclosure&) = delete;
+  ~CompiledDisclosure();
+
+  // One multi-level release under `budget`, drawn from `rng`, with zero
+  // graph scans.  Validates the budget (InvalidBudgetError) before any noise
+  // is drawn.  No ledger is touched — budget accounting is the tenant
+  // handle's job.  Safe to call concurrently (each caller brings its own
+  // Rng).
+  [[nodiscard]] MultiLevelRelease Release(const BudgetSpec& budget,
+                                          gdp::common::Rng& rng) const;
+
+  // Drill-down over a release produced by (or shaped like) this artifact's
+  // hierarchy.  Pure post-processing — no privacy cost.  The HierarchyIndex
+  // is materialised on first use under std::call_once, so concurrent first
+  // calls race-freely build it exactly once.
+  [[nodiscard]] std::vector<DrillDownEntry> Drilldown(
+      const MultiLevelRelease& release, gdp::hier::Side side,
+      gdp::hier::NodeIndex v, int max_level, int min_level) const;
+
+  // Evaluate a query workload at one hierarchy level under `budget` (no
+  // ledger charge — see DisclosureSession::Answer).  Reads the graph the
+  // artifact was compiled on.
+  [[nodiscard]] std::vector<gdp::query::QueryRunResult> Answer(
+      const gdp::query::Workload& workload, int level, const BudgetSpec& budget,
+      gdp::common::Rng& rng) const;
+
+  // Reject a budget that cannot calibrate its mechanisms: phase fraction
+  // outside [0, 1), non-positive phase-2 ε, δ outside (0, 1), or a
+  // calibration failure at any level's sensitivity.  Throws
+  // InvalidBudgetError; successful validations warm the shared mechanism
+  // cache, so Release pays nothing extra for the check.
+  void ValidateBudget(const BudgetSpec& budget) const;
+
+  // Throws std::out_of_range when `level` is not a level of this hierarchy.
+  void CheckLevel(int level, const char* where) const;
+
+  [[nodiscard]] const SessionSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const gdp::graph::BipartiteGraph& graph() const noexcept {
+    return *graph_;
+  }
+  [[nodiscard]] const gdp::hier::GroupHierarchy& hierarchy() const noexcept {
+    return hierarchy_;
+  }
+  [[nodiscard]] const ReleasePlan& plan() const noexcept { return plan_; }
+  // The navigation index, built on first use (thread-safe).
+  [[nodiscard]] const gdp::hier::HierarchyIndex& index() const;
+  // Actual Phase-1 ε consumed at Compile ((depth-1)·ε-per-transition; may
+  // differ from phase1_epsilon() in the last bit of fp rounding).  Tenant
+  // handles charge this to their ledgers at Attach.
+  [[nodiscard]] double phase1_epsilon_spent() const noexcept {
+    return phase1_epsilon_spent_;
+  }
+
+ private:
+  // DisclosureSession is the trusted handle: it uses the pre-validated draw
+  // path below (it has already run ValidateBudget before charging its
+  // ledger) and TakeHierarchy's sole-owner move-out.
+  friend class DisclosureSession;
+
+  // Release body without the validation pass.  Callers must have validated
+  // `budget` against this artifact first.
+  [[nodiscard]] MultiLevelRelease DrawRelease(const BudgetSpec& budget,
+                                              gdp::common::Rng& rng) const;
+
+  CompiledDisclosure(const gdp::graph::BipartiteGraph& graph, SessionSpec spec,
+                     gdp::hier::GroupHierarchy hierarchy, ReleasePlan plan,
+                     std::unique_ptr<gdp::common::ThreadPool> pool,
+                     double phase1_spent);
+
+  const gdp::graph::BipartiteGraph* graph_;
+  SessionSpec spec_;
+  gdp::hier::GroupHierarchy hierarchy_;
+  ReleasePlan plan_;
+  std::unique_ptr<gdp::common::ThreadPool> pool_;  // null on sequential path
+  // One calibration cache for the artifact's lifetime, shared by every
+  // tenant: repeated releases at an already-seen (kind, ε, δ, Δ) skip
+  // calibration.  Internally mutex-guarded.
+  mutable MechanismCache mech_cache_;
+  // Lazy drilldown index; call_once makes the first concurrent builds race
+  // a single construction.
+  mutable std::once_flag index_once_;
+  mutable std::unique_ptr<gdp::hier::HierarchyIndex> index_;
+  double phase1_epsilon_spent_{0.0};
+};
+
+}  // namespace gdp::core

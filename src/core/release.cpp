@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/metrics.hpp"
 
@@ -35,6 +36,13 @@ const LevelRelease& MultiLevelRelease::level(int i) const {
     throw std::out_of_range("MultiLevelRelease::level: index out of range");
   }
   return levels_[static_cast<std::size_t>(i)];
+}
+
+LevelRelease MultiLevelRelease::TakeLevel(int i) && {
+  if (i < 0 || i >= num_levels()) {
+    throw std::out_of_range("MultiLevelRelease::TakeLevel: index out of range");
+  }
+  return std::move(levels_[static_cast<std::size_t>(i)]);
 }
 
 MultiLevelRelease MultiLevelRelease::StripTruth() const {

@@ -1,190 +1,87 @@
 #include "core/session.hpp"
 
-#include <cmath>
-#include <stdexcept>
 #include <utility>
 
 #include "common/error.hpp"
-#include "common/thread_pool.hpp"
-#include "core/consistency.hpp"
 
 namespace gdp::core {
-
-namespace {
-
-// The validation shared by every budget-consuming entry point: shape of the
-// (ε, δ, fraction) triple, independent of the plan's sensitivities.  Throws
-// gdp::common::InvalidBudgetError.
-void ValidateBudgetParams(const BudgetSpec& budget) {
-  if (!(budget.phase1_fraction >= 0.0) || !(budget.phase1_fraction < 1.0)) {
-    throw gdp::common::InvalidBudgetError(
-        "BudgetSpec: phase1_fraction must be in [0, 1), got " +
-        std::to_string(budget.phase1_fraction));
-  }
-  try {
-    (void)gdp::dp::Epsilon(budget.epsilon_g);
-    (void)gdp::dp::Epsilon(budget.phase2_epsilon());
-    // Every engine config validates δ regardless of noise kind (pure-ε
-    // mechanisms simply ignore it), so the session does too.
-    (void)gdp::dp::Delta(budget.delta);
-  } catch (const std::invalid_argument& e) {
-    throw gdp::common::InvalidBudgetError(std::string("BudgetSpec: ") +
-                                          e.what());
-  }
-}
-
-}  // namespace
-
-DisclosureSession::DisclosureSession(DisclosureSession&&) noexcept = default;
-DisclosureSession& DisclosureSession::operator=(DisclosureSession&&) noexcept =
-    default;
-DisclosureSession::~DisclosureSession() = default;
 
 DisclosureSession DisclosureSession::Open(
     const gdp::graph::BipartiteGraph& graph, const SessionSpec& spec,
     gdp::common::Rng& rng) {
-  // Opening budget: Phase 1 must receive a usable EM budget, and the
-  // remainder must be a releasable Phase-2 budget (same constraint the
-  // one-shot pipeline enforced as phase1_fraction in (0, 1)).
-  if (!(spec.budget.phase1_fraction > 0.0) ||
-      !(spec.budget.phase1_fraction < 1.0)) {
-    throw std::invalid_argument(
-        "DisclosureSession::Open: opening phase1_fraction must be in (0, 1)");
-  }
-  (void)gdp::dp::Epsilon(spec.budget.epsilon_g);
-  if (spec.exec.enforce_consistency && !spec.exec.include_group_counts) {
-    throw std::invalid_argument(
-        "DisclosureSession::Open: enforce_consistency requires "
-        "include_group_counts");
-  }
-  if (spec.exec.noise_chunk_grain == 0) {
-    throw std::invalid_argument(
-        "DisclosureSession::Open: noise_chunk_grain must be > 0");
-  }
-  // Cap shape (the ledger constructor enforces the same rules, but that
-  // runs AFTER Phase 1 — a bad grant must not cost an EM build and a node
-  // scan on a large graph first).
-  if (!(spec.epsilon_cap > 0.0) || !std::isfinite(spec.epsilon_cap)) {
-    throw std::invalid_argument(
-        "DisclosureSession::Open: epsilon_cap must be finite and > 0");
-  }
-  if (!(spec.delta_cap >= 0.0) || !(spec.delta_cap < 1.0)) {
-    throw std::invalid_argument(
-        "DisclosureSession::Open: delta_cap must be in [0, 1)");
-  }
+  return Attach(CompiledDisclosure::Compile(graph, spec, rng),
+                spec.epsilon_cap, spec.delta_cap);
+}
 
-  const double eps_phase1 = spec.budget.phase1_epsilon();
-  const int transitions = spec.hierarchy.depth - 1;
-
-  gdp::hier::SpecializationConfig em;
-  em.depth = spec.hierarchy.depth;
-  em.arity = spec.hierarchy.arity;
-  em.epsilon_per_level =
-      transitions > 0 ? eps_phase1 / static_cast<double>(transitions)
-                      : eps_phase1;
-  em.quality = spec.hierarchy.split_quality;
-  em.max_cut_candidates = spec.hierarchy.max_cut_candidates;
-  em.validate_hierarchy = spec.hierarchy.validate_hierarchy;
-
-  const gdp::hier::Specializer specializer(em);
-  gdp::hier::SpecializationResult built = specializer.BuildHierarchy(graph, rng);
-
-  // ONE node scan for every release this session will ever serve.  The
-  // parallel path shards the scan across the pool the releases will reuse;
-  // either way the plan is bit-identical (pinned by release_plan_test).
-  std::unique_ptr<gdp::common::ThreadPool> pool;
-  if (spec.exec.num_threads != 1) {
-    pool = std::make_unique<gdp::common::ThreadPool>(spec.exec.num_threads);
+DisclosureSession DisclosureSession::Attach(
+    std::shared_ptr<const CompiledDisclosure> compiled, double epsilon_cap,
+    double delta_cap) {
+  if (compiled == nullptr) {
+    throw std::invalid_argument("DisclosureSession::Attach: null artifact");
   }
-  ReleasePlan plan = pool != nullptr
-                         ? ReleasePlan::Build(graph, built.hierarchy, *pool)
-                         : ReleasePlan::Build(graph, built.hierarchy);
+  return DisclosureSession(std::move(compiled), epsilon_cap, delta_cap);
+}
 
-  return DisclosureSession(graph, spec, std::move(built.hierarchy),
-                           std::move(plan), std::move(pool),
-                           built.epsilon_spent);
+DisclosureSession DisclosureSession::Attach(
+    std::shared_ptr<const CompiledDisclosure> compiled) {
+  if (compiled == nullptr) {
+    throw std::invalid_argument("DisclosureSession::Attach: null artifact");
+  }
+  const SessionSpec& spec = compiled->spec();
+  return Attach(std::move(compiled), spec.epsilon_cap, spec.delta_cap);
 }
 
 DisclosureSession::DisclosureSession(
-    const gdp::graph::BipartiteGraph& graph, SessionSpec spec,
-    gdp::hier::GroupHierarchy hierarchy, ReleasePlan plan,
-    std::unique_ptr<gdp::common::ThreadPool> pool, double phase1_spent)
-    : graph_(&graph),
-      spec_(std::move(spec)),
-      hierarchy_(std::move(hierarchy)),
-      plan_(std::move(plan)),
-      pool_(std::move(pool)),
-      mech_cache_(std::make_unique<MechanismCache>()),
-      ledger_(spec_.epsilon_cap, spec_.delta_cap),
-      phase1_epsilon_spent_(phase1_spent) {
-  ledger_.Charge(phase1_epsilon_spent_, 0.0, "phase1: EM specialization");
+    std::shared_ptr<const CompiledDisclosure> compiled, double epsilon_cap,
+    double delta_cap)
+    : compiled_(std::move(compiled)), ledger_(epsilon_cap, delta_cap) {
+  ledger_.Charge(compiled_->phase1_epsilon_spent(), 0.0,
+                 "phase1: EM specialization");
 }
 
-void DisclosureSession::ValidateBudget(const BudgetSpec& budget) const {
-  ValidateBudgetParams(budget);
-  // Dry-run every calibration this budget will need, against the plan's
-  // actual sensitivities, without drawing.  Successful calibrations land in
-  // the session cache, so Release re-uses rather than re-derives them.
-  const double eps2 = budget.phase2_epsilon();
-  try {
-    for (int level = 0; level < plan_.num_levels(); ++level) {
-      if (plan_.CountSensitivity(level) == 0) {
-        continue;  // released exactly; nothing to calibrate
-      }
-      (void)mech_cache_->Get(
-          budget.noise, eps2, budget.delta,
-          static_cast<double>(plan_.CountSensitivity(level)));
-      if (spec_.exec.include_group_counts) {
-        (void)mech_cache_->Get(budget.noise, eps2, budget.delta,
-                               plan_.VectorSensitivity(level));
-      }
-    }
-  } catch (const std::exception& e) {
-    throw gdp::common::InvalidBudgetError(
-        std::string("BudgetSpec: mechanism calibration failed: ") + e.what());
-  }
+namespace {
+
+std::string DefaultReleaseLabel(int release_index, const BudgetSpec& budget) {
+  return "release[" + std::to_string(release_index) +
+         "]: phase2 noise eps_g=" + std::to_string(budget.phase2_epsilon()) +
+         " (" + NoiseKindName(budget.noise) + ")";
 }
 
-MultiLevelRelease DisclosureSession::DrawRelease(const BudgetSpec& budget,
-                                                 gdp::common::Rng& rng) const {
-  ReleaseConfig rel;
-  rel.epsilon_g = budget.phase2_epsilon();
-  rel.delta = budget.delta;
-  rel.noise = budget.noise;
-  rel.include_group_counts = spec_.exec.include_group_counts;
-  rel.clamp_nonnegative = spec_.exec.clamp_nonnegative;
-  rel.noise_chunk_grain = spec_.exec.noise_chunk_grain;
-
-  const GroupDpEngine engine(rel, mech_cache_.get());
-  MultiLevelRelease release = pool_ != nullptr
-                                  ? engine.ParallelReleaseAll(plan_, rng, *pool_)
-                                  : engine.ReleaseAll(plan_, rng);
-  if (spec_.exec.enforce_consistency) {
-    release = EnforceHierarchicalConsistency(hierarchy_, release);
-  }
-  return release;
-}
+}  // namespace
 
 MultiLevelRelease DisclosureSession::Release(const BudgetSpec& budget,
                                              gdp::common::Rng& rng,
                                              std::string label) {
   ValidateBudget(budget);
   if (label.empty()) {
-    label = "release[" + std::to_string(num_releases_) +
-            "]: phase2 noise eps_g=" + std::to_string(budget.phase2_epsilon()) +
-            " (" + NoiseKindName(budget.noise) + ")";
+    label = DefaultReleaseLabel(num_releases_, budget);
   }
   // Charge before drawing: a cap overrun rejects the release while the rng
   // is still untouched, and the audit trail never misses a draw.
   ledger_.Charge(budget.phase2_epsilon(), budget.delta, std::move(label));
-  MultiLevelRelease release = DrawRelease(budget, rng);
+  MultiLevelRelease release = compiled_->DrawRelease(budget, rng);
   ++num_releases_;
   return release;
 }
 
 MultiLevelRelease DisclosureSession::Release(gdp::common::Rng& rng,
                                              std::string label) {
-  return Release(spec_.budget, rng, std::move(label));
+  return Release(spec().budget, rng, std::move(label));
+}
+
+std::optional<MultiLevelRelease> DisclosureSession::TryRelease(
+    const BudgetSpec& budget, gdp::common::Rng& rng, std::string label) {
+  ValidateBudget(budget);
+  if (label.empty()) {
+    label = DefaultReleaseLabel(num_releases_, budget);
+  }
+  if (!ledger_.TryCharge(budget.phase2_epsilon(), budget.delta,
+                         std::move(label))) {
+    return std::nullopt;
+  }
+  MultiLevelRelease release = compiled_->DrawRelease(budget, rng);
+  ++num_releases_;
+  return release;
 }
 
 std::vector<MultiLevelRelease> DisclosureSession::Sweep(
@@ -226,24 +123,17 @@ std::vector<MultiLevelRelease> DisclosureSession::Sweep(
 
 std::vector<DrillDownEntry> DisclosureSession::Drilldown(
     const MultiLevelRelease& release, gdp::hier::Side side,
-    gdp::hier::NodeIndex v, int max_level, int min_level) {
-  if (index_ == nullptr) {
-    index_ = std::make_unique<gdp::hier::HierarchyIndex>(hierarchy_);
-  }
-  return DrillDown(release, *index_, side, v, max_level, min_level);
+    gdp::hier::NodeIndex v, int max_level, int min_level) const {
+  return compiled_->Drilldown(release, side, v, max_level, min_level);
 }
 
 std::vector<gdp::query::QueryRunResult> DisclosureSession::Answer(
     const gdp::query::Workload& workload, int level, const BudgetSpec& budget,
     gdp::common::Rng& rng, std::string label) {
-  ValidateBudgetParams(budget);
+  ValidateBudgetShape(budget);
   // Everything that can fail must fail BEFORE the charge below: a rejected
   // call must not leave phantom spend on the ledger.
-  if (level < 0 || level >= hierarchy_.num_levels()) {
-    throw std::out_of_range(
-        "DisclosureSession::Answer: level " + std::to_string(level) +
-        " outside [0, " + std::to_string(hierarchy_.num_levels()) + ")");
-  }
+  compiled_->CheckLevel(level, "DisclosureSession::Answer");
   const gdp::dp::BudgetCharge cost =
       workload.RunCost(budget.phase2_epsilon(), budget.delta);
   if (label.empty()) {
@@ -253,11 +143,22 @@ std::vector<gdp::query::QueryRunResult> DisclosureSession::Answer(
             ", eps=" + std::to_string(budget.phase2_epsilon()) + " each (" +
             NoiseKindName(budget.noise) + ")";
   }
-  // Same order as Release: commit the spend, then draw.
+  // Same order as Release: commit the spend, then draw (the artifact
+  // re-checks the already-validated shape and level, both O(1)).
   ledger_.Charge(cost.epsilon, cost.delta, std::move(label));
   ++num_answers_;
-  return workload.Run(*graph_, hierarchy_.level(level), budget.noise,
-                      budget.phase2_epsilon(), budget.delta, rng);
+  return compiled_->Answer(workload, level, budget, rng);
+}
+
+gdp::hier::GroupHierarchy DisclosureSession::TakeHierarchy() && {
+  // Sole owner: the artifact dies when compiled_ resets below, so moving its
+  // hierarchy out is unobservable (this is the one-shot wrapper's exit path,
+  // where copying a depth-9 label set would dominate small-graph runs).  The
+  // const_cast is confined to this provably-unshared case.
+  if (compiled_.use_count() == 1) {
+    return std::move(const_cast<CompiledDisclosure&>(*compiled_).hierarchy_);
+  }
+  return compiled_->hierarchy();
 }
 
 }  // namespace gdp::core

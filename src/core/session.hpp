@@ -1,24 +1,17 @@
-// DisclosureSession: compile once, release many.
+// DisclosureSession: a per-tenant view over a shared CompiledDisclosure.
 //
-// The two-phase disclosure is a pipeline whose expensive prefix — Phase-1
-// specialization and the ReleasePlan's single node scan — depends only on
-// (graph, hierarchy spec), never on the noise budget.  A session runs that
-// prefix exactly once at Open and then serves any number of releases from
-// the cached plan: ε-sweeps, drilldowns, query workloads, and budget
-// re-plans all reuse one plan with ZERO further graph scans (pinned by a
-// DegreeSumScanCount test).  This is the cacheable artifact a many-tenant
-// query service keys on a (graph, hierarchy) pair.
+// The expensive immutable artifact — hierarchy, ReleasePlan, mechanism
+// cache, drilldown index — lives in core::CompiledDisclosure (see
+// compiled_disclosure.hpp) and is compiled once per (graph, spec, seed).  A
+// session is the thin mutable handle one tenant holds over it:
 //
-// The monolithic DisclosureConfig is split into the three orthogonal specs a
-// session actually distinguishes:
+//   shared_ptr<const CompiledDisclosure>  +  own BudgetLedger  +  counters.
 //
-//   HierarchySpec — what Phase 1 builds (depth, arity, split quality).
-//                   Fixed per session; changing it means a new session.
-//   BudgetSpec    — what one release spends (ε, δ, phase-1 fraction, noise
-//                   kind).  Varies per Release call.
-//   ExecSpec      — how work is executed and post-processed (threads, noise
-//                   chunk grain, group counts, consistency, clamping).
-//                   Fixed per session; never privacy-relevant.
+// N tenants on one dataset mean ONE Phase-1 build and ONE node scan total
+// (pinned by compiled_disclosure_test): each tenant Attaches its own session
+// to the shared artifact with its own grant, and their releases proceed
+// concurrently — all mutation is confined to the per-call Rng, the handle's
+// own ledger, and the artifact's internally synchronized caches.
 //
 // DETERMINISM: a session adds no randomness of its own.  Open consumes the
 // caller's Rng exactly as the one-shot pipeline's Phase 1 did, and each
@@ -26,139 +19,70 @@
 // to the corresponding one-shot RunDisclosure under the same seed — on the
 // sequential path and, with ExecSpec::num_threads != 1, on the parallel path
 // for ANY thread count (ExecSpec::noise_chunk_grain is part of the output
-// contract; thread count never is).
+// contract; thread count never is).  A tenant served from a registry-cached
+// artifact is bit-identical to a fresh session at the same seeds.
 //
-// BUDGET AUDIT: the session owns a cumulative BudgetLedger.  Open charges
-// the Phase-1 EM spend once; every Release / Sweep / Answer charges its own
-// Phase-2 spend with a labelled entry, so the ledger is a real audit trail
-// across the session's lifetime and a release that would exceed the session
-// caps throws BudgetExhaustedError BEFORE any noise is drawn.  A BudgetSpec
-// that cannot calibrate its mechanisms at all (bad ε/δ, impossible split) is
-// rejected up front with InvalidBudgetError, likewise before any draw.
+// BUDGET AUDIT: the session owns a cumulative BudgetLedger.  Attach charges
+// the artifact's Phase-1 EM spend once (the hierarchy is part of what the
+// tenant sees); every Release / Sweep / Answer charges its own Phase-2 spend
+// with a labelled entry, so the ledger is a real audit trail across the
+// session's lifetime and a release that would exceed the session caps throws
+// BudgetExhaustedError BEFORE any noise is drawn.  TryRelease is the
+// serving layer's admission path: same guarantees, but an exhausted grant
+// returns nullopt instead of throwing.  A BudgetSpec that cannot calibrate
+// its mechanisms at all (bad ε/δ, impossible split) is rejected up front
+// with InvalidBudgetError, likewise before any draw.
 //
-// THREADING: the session hands out immutable state (plan, hierarchy) that is
-// safe to read concurrently, but the handle itself (ledger, lazy index) is
-// externally synchronized — one caller at a time, like an iostream.
+// THREADING: the shared artifact is safe for concurrent use from any number
+// of sessions; the session handle itself (ledger, counters) is externally
+// synchronized — one caller at a time per handle, like an iostream.  One
+// handle per tenant thread needs no locking at all.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
-#include "core/drilldown.hpp"
-#include "core/group_dp_engine.hpp"
-#include "core/release.hpp"
-#include "core/release_plan.hpp"
+#include "core/compiled_disclosure.hpp"
 #include "dp/accountant.hpp"
-#include "hier/navigation.hpp"
-#include "hier/specialization.hpp"
-#include "query/workload.hpp"
-
-namespace gdp::common {
-class ThreadPool;
-}  // namespace gdp::common
 
 namespace gdp::core {
 
-// What Phase 1 builds.  Fixed for the session's lifetime.
-struct HierarchySpec {
-  // Hierarchy shape (paper: depth 9, arity 4).
-  int depth{9};
-  int arity{4};
-  gdp::hier::SplitQuality split_quality{gdp::hier::SplitQuality::kEdgeBalance};
-  int max_cut_candidates{63};
-  // Skip the O(V·depth) refinement re-validation (huge-graph benches only).
-  bool validate_hierarchy{true};
-};
-
-// What one release spends.  Reusable across arbitrary ε/δ/noise settings;
-// every Release call takes its own.
-struct BudgetSpec {
-  // Total per-level privacy target εg for the release this spec describes.
-  double epsilon_g{0.999};
-  double delta{1e-5};
-  // Fraction of εg attributed to Phase-1 specialization.  At Open the
-  // session spends phase1_epsilon() of its opening budget on the EM build;
-  // a later Release's own fraction merely apportions that release's εg
-  // (phase2_epsilon() is what its noise consumes).  0 means "this εg is all
-  // Phase 2"; must be < 1 so a release always has noise budget.
-  double phase1_fraction{0.1};
-  NoiseKind noise{NoiseKind::kGaussian};
-
-  [[nodiscard]] double phase1_epsilon() const noexcept {
-    return epsilon_g * phase1_fraction;
-  }
-  [[nodiscard]] double phase2_epsilon() const noexcept {
-    return epsilon_g - phase1_epsilon();
-  }
-};
-
-// How work is executed and post-processed.  Fixed for the session's
-// lifetime; none of it is privacy-relevant (threads and grain change the
-// draw order contract, consistency/clamping are post-processing).
-struct ExecSpec {
-  // Phase-2 worker threads.  1 (default) releases levels sequentially —
-  // bit-identical to the pre-plan pipeline.  Any other value builds an
-  // owned ThreadPool at Open: the plan's node scan is sharded across it and
-  // releases use ParallelReleaseAll (per-level forked RNG streams plus
-  // chunked within-level vector noise) — seed-deterministic for ANY thread
-  // count, but a different (documented) draw order; 0 selects the hardware
-  // concurrency.
-  int num_threads{1};
-  // Groups per chunk for the within-level noise draw on the parallel path.
-  // Part of the reproducibility contract (one RNG substream per chunk):
-  // changing it changes the released values; thread count never does.
-  std::size_t noise_chunk_grain{8192};
-  // Also release per-group noisy counts at every level.
-  bool include_group_counts{true};
-  // Post-process the release so parent counts equal their children's sums
-  // (GLS tree consistency; requires include_group_counts).
-  bool enforce_consistency{false};
-  // Post-processing: clamp noisy counts at 0.
-  bool clamp_nonnegative{false};
-};
-
-// Everything Open needs: the one-time specs plus the session's opening
-// budget (whose phase1_epsilon() the EM build spends) and the ledger caps
-// the whole session may consume.
-struct SessionSpec {
-  HierarchySpec hierarchy;
-  // Opening budget: phase1_epsilon() is spent at Open; the remainder is the
-  // default Release budget for callers that don't pass their own.
-  BudgetSpec budget;
-  ExecSpec exec;
-  // Cumulative session grant enforced by the ledger (BudgetExhaustedError on
-  // overrun).  Defaults are effectively "audit only"; a deployment sets the
-  // real grant.  epsilon_cap must be finite and > 0, delta_cap in [0, 1).
-  double epsilon_cap{1e6};
-  double delta_cap{0.5};
-};
-
 class DisclosureSession {
  public:
-  // Run Phase 1 once (EM specialization under spec.budget.phase1_epsilon()),
-  // build the ReleasePlan once (sharded across the owned pool when
-  // spec.exec.num_threads != 1), charge the ledger's phase-1 entry, and
-  // return the handle.  `graph` must outlive the session (Answer evaluates
-  // query truth against it); the plan itself never re-reads it.
-  // Deterministic given `rng` state — consumes exactly the draws the
-  // one-shot pipeline's Phase 1 consumed.
+  // Compile the artifact (Phase 1 + plan build, once) and attach a session
+  // with the spec's caps — the single-tenant convenience path, bit-identical
+  // to the pre-split DisclosureSession::Open.  `graph` must outlive the
+  // session.
   [[nodiscard]] static DisclosureSession Open(
       const gdp::graph::BipartiteGraph& graph, const SessionSpec& spec,
       gdp::common::Rng& rng);
 
-  // Movable, not copyable.  Special members live in session.cpp, where the
-  // owned ThreadPool's type is complete.
-  DisclosureSession(DisclosureSession&&) noexcept;
-  DisclosureSession& operator=(DisclosureSession&&) noexcept;
+  // Attach a tenant handle to an existing shared artifact with this tenant's
+  // own grant.  Charges the artifact's Phase-1 spend to the fresh ledger
+  // (the hierarchy is part of what this tenant receives), so a grant that
+  // cannot cover even Phase 1 fails here with BudgetExhaustedError.
+  // Cheap: no graph work, no randomness.
+  [[nodiscard]] static DisclosureSession Attach(
+      std::shared_ptr<const CompiledDisclosure> compiled, double epsilon_cap,
+      double delta_cap);
+
+  // Attach with the artifact's default caps (spec().epsilon_cap/delta_cap).
+  [[nodiscard]] static DisclosureSession Attach(
+      std::shared_ptr<const CompiledDisclosure> compiled);
+
+  // Movable, not copyable (the ledger is an audit trail, not a value).
+  DisclosureSession(DisclosureSession&&) noexcept = default;
+  DisclosureSession& operator=(DisclosureSession&&) noexcept = default;
   DisclosureSession(const DisclosureSession&) = delete;
   DisclosureSession& operator=(const DisclosureSession&) = delete;
-  ~DisclosureSession();
+  ~DisclosureSession() = default;
 
   // One multi-level release under `budget`, drawn from `rng`, with zero
-  // graph scans (all statistics come from the cached plan).  Validates the
+  // graph scans (all statistics come from the shared plan).  Validates the
   // budget (InvalidBudgetError) and charges the ledger
   // (BudgetExhaustedError) BEFORE any noise is drawn: a rejected call
   // consumes neither randomness nor budget, and the audit trail never
@@ -170,6 +94,14 @@ class DisclosureSession {
   // Release with the session's default budget (spec().budget).
   [[nodiscard]] MultiLevelRelease Release(gdp::common::Rng& rng,
                                           std::string label = {});
+
+  // Check-and-release for the serving layer: identical to Release except
+  // that a grant the ledger cannot cover returns nullopt (ledger and rng
+  // untouched) instead of throwing — admission control is an expected
+  // outcome, not exception-driven control flow.  An uncalibratable budget
+  // still throws InvalidBudgetError (a configuration error).
+  [[nodiscard]] std::optional<MultiLevelRelease> TryRelease(
+      const BudgetSpec& budget, gdp::common::Rng& rng, std::string label = {});
 
   // One release per budget — the ε-sweep primitive.  ALL budgets are
   // validated before any noise is drawn (a bad third point rejects the
@@ -187,72 +119,63 @@ class DisclosureSession {
   // Drill-down over a release produced by (or shaped like) this session's
   // hierarchy: the enclosing-group chain of node (side, v) with its
   // released counts, from max_level down to min_level.  Pure
-  // post-processing — no privacy cost, no ledger charge.  The
-  // HierarchyIndex is materialised lazily on first use.
+  // post-processing — no privacy cost, no ledger charge.  Delegates to the
+  // shared artifact's race-free lazy HierarchyIndex; safe concurrently with
+  // other tenants' calls.
   [[nodiscard]] std::vector<DrillDownEntry> Drilldown(
       const MultiLevelRelease& release, gdp::hier::Side side,
-      gdp::hier::NodeIndex v, int max_level, int min_level);
+      gdp::hier::NodeIndex v, int max_level, int min_level) const;
 
   // Evaluate a query workload at one hierarchy level under `budget`,
   // charging the ledger with the sequential-composition cost of the
   // workload's queries (k queries at (ε₂, δ) → (k·ε₂, k·δ)).  Reads the
-  // graph the session was opened on (the one operation that still needs
+  // graph the artifact was compiled on (the one operation that still needs
   // it — query truth is not in the plan).
   [[nodiscard]] std::vector<gdp::query::QueryRunResult> Answer(
       const gdp::query::Workload& workload, int level,
       const BudgetSpec& budget, gdp::common::Rng& rng, std::string label = {});
 
-  // Reject a budget that cannot calibrate its mechanisms: phase fraction
-  // outside [0, 1), non-positive phase-2 ε, δ outside (0, 1), or a
-  // calibration failure at any level's sensitivity.  Throws
-  // InvalidBudgetError; successful validations warm the session's mechanism
-  // cache, so Release pays nothing extra for the check.
-  void ValidateBudget(const BudgetSpec& budget) const;
-
-  [[nodiscard]] const SessionSpec& spec() const noexcept { return spec_; }
-  [[nodiscard]] const gdp::hier::GroupHierarchy& hierarchy() const noexcept {
-    return hierarchy_;
+  // See CompiledDisclosure::ValidateBudget.
+  void ValidateBudget(const BudgetSpec& budget) const {
+    compiled_->ValidateBudget(budget);
   }
-  [[nodiscard]] const ReleasePlan& plan() const noexcept { return plan_; }
+
+  // The shared artifact this session views (attach further tenants to it).
+  [[nodiscard]] const std::shared_ptr<const CompiledDisclosure>& compiled()
+      const noexcept {
+    return compiled_;
+  }
+  // The artifact's publication spec.  NOTE: its epsilon_cap/delta_cap are
+  // the DEFAULT grant; this session's actual caps live on ledger().
+  [[nodiscard]] const SessionSpec& spec() const noexcept {
+    return compiled_->spec();
+  }
+  [[nodiscard]] const gdp::hier::GroupHierarchy& hierarchy() const noexcept {
+    return compiled_->hierarchy();
+  }
+  [[nodiscard]] const ReleasePlan& plan() const noexcept {
+    return compiled_->plan();
+  }
   [[nodiscard]] const gdp::dp::BudgetLedger& ledger() const noexcept {
     return ledger_;
   }
-  // Actual Phase-1 ε consumed at Open ((depth-1)·ε-per-transition; may
-  // differ from phase1_epsilon() in the last bit of fp rounding).
   [[nodiscard]] double phase1_epsilon_spent() const noexcept {
-    return phase1_epsilon_spent_;
+    return compiled_->phase1_epsilon_spent();
   }
   [[nodiscard]] int num_releases() const noexcept { return num_releases_; }
 
-  // Consume the session, yielding its hierarchy without a copy (the
-  // open-release-close wrapper's exit path).
-  [[nodiscard]] gdp::hier::GroupHierarchy TakeHierarchy() && {
-    return std::move(hierarchy_);
-  }
+  // Consume the session, yielding its hierarchy (the open-release-close
+  // wrapper's exit path).  Moves the hierarchy out of the artifact when this
+  // session is its sole owner — the artifact is dying with the session, so
+  // the move is unobservable; copies when the artifact is shared.
+  [[nodiscard]] gdp::hier::GroupHierarchy TakeHierarchy() &&;
 
  private:
-  DisclosureSession(const gdp::graph::BipartiteGraph& graph, SessionSpec spec,
-                    gdp::hier::GroupHierarchy hierarchy, ReleasePlan plan,
-                    std::unique_ptr<gdp::common::ThreadPool> pool,
-                    double phase1_spent);
+  DisclosureSession(std::shared_ptr<const CompiledDisclosure> compiled,
+                    double epsilon_cap, double delta_cap);
 
-  // Shared body of Release/Sweep: assumes the budget is validated and the
-  // ledger charged; draws the release and applies post-processing.
-  [[nodiscard]] MultiLevelRelease DrawRelease(const BudgetSpec& budget,
-                                              gdp::common::Rng& rng) const;
-
-  const gdp::graph::BipartiteGraph* graph_;
-  SessionSpec spec_;
-  gdp::hier::GroupHierarchy hierarchy_;
-  ReleasePlan plan_;
-  std::unique_ptr<gdp::common::ThreadPool> pool_;  // null on sequential path
-  // One calibration cache for the session's lifetime: repeated releases at
-  // an already-seen (kind, ε, δ, Δ) skip calibration (unique_ptr because
-  // the cache owns a mutex and the session must stay movable).
-  std::unique_ptr<MechanismCache> mech_cache_;
-  std::unique_ptr<gdp::hier::HierarchyIndex> index_;  // lazy, for Drilldown
+  std::shared_ptr<const CompiledDisclosure> compiled_;
   gdp::dp::BudgetLedger ledger_;
-  double phase1_epsilon_spent_{0.0};
   int num_releases_{0};
   int num_answers_{0};  // keeps default Answer audit labels unique
 };

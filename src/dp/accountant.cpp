@@ -90,6 +90,23 @@ void BudgetLedger::Charge(double epsilon, double delta, std::string label) {
   charges_.push_back(BudgetCharge{epsilon, delta, std::move(label)});
 }
 
+bool BudgetLedger::TryCharge(double epsilon, double delta, std::string label) {
+  // Malformed spends are still programming errors, not admission decisions.
+  if (!(epsilon >= 0.0) || !std::isfinite(epsilon)) {
+    throw std::invalid_argument("BudgetLedger::TryCharge: bad epsilon");
+  }
+  if (!(delta >= 0.0) || !(delta < 1.0)) {
+    throw std::invalid_argument("BudgetLedger::TryCharge: bad delta");
+  }
+  if (WouldExceed(epsilon, delta)) {
+    return false;
+  }
+  eps_spent_ += epsilon;
+  delta_spent_ += delta;
+  charges_.push_back(BudgetCharge{epsilon, delta, std::move(label)});
+  return true;
+}
+
 std::string BudgetLedger::AuditReport() const {
   std::ostringstream os;
   os << "budget ledger (cap eps=" << eps_cap_ << ", delta=" << delta_cap_ << ")\n";

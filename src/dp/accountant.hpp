@@ -61,6 +61,28 @@ class BudgetLedger {
   // sequence of charges atomically instead of failing mid-batch.
   [[nodiscard]] bool WouldExceed(double epsilon, double delta) const noexcept;
 
+  // Check-and-charge in one call: records the spend and returns true when it
+  // fits the caps, returns false and leaves the ledger untouched otherwise.
+  // The serving layer's admission path — rejecting a tenant request is an
+  // expected outcome there, not exception-worthy.  The check and the record
+  // are one operation, so a caller holding the ledger cannot interleave a
+  // WouldExceed/Charge pair incorrectly.
+  //
+  // TENANT COMPOSITION: per-tenant ledgers are independent admission and
+  // audit boundaries — each bounds what ITS tenant's view of the data can
+  // leak, and ledgers never need to consult one another.  Two distinct
+  // regimes, stated honestly:
+  //  * Mechanisms over genuinely DISJOINT data (per-level splits, per-group
+  //    counts within a level, tenants querying disjoint partitions) enjoy
+  //    parallel composition: the effective spend is the max, not the sum.
+  //  * Tenants served independently-noised releases of the SAME dataset do
+  //    NOT: against an adversary observing (or tenants pooling) several
+  //    views, the dataset-level loss composes sequentially (~Σ per-tenant
+  //    spends).  Per-tenant ledgers deliberately do not track that global
+  //    quantity; a deployment that needs it adds a dataset-level ledger (or
+  //    an rdp_accountant) charged once per release, across tenants.
+  [[nodiscard]] bool TryCharge(double epsilon, double delta, std::string label);
+
   [[nodiscard]] double epsilon_spent() const noexcept { return eps_spent_; }
   [[nodiscard]] double delta_spent() const noexcept { return delta_spent_; }
   [[nodiscard]] double epsilon_remaining() const noexcept {

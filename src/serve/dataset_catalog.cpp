@@ -1,0 +1,49 @@
+#include "serve/dataset_catalog.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gdp::serve {
+
+void DatasetCatalog::Register(std::string name, Dataset dataset) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = datasets_.try_emplace(
+      std::move(name), std::make_unique<const Dataset>(std::move(dataset)));
+  if (!inserted) {
+    throw gdp::common::StateError("DatasetCatalog: dataset '" + it->first +
+                                  "' is already registered");
+  }
+}
+
+const Dataset& DatasetCatalog::Get(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    throw gdp::common::NotFoundError("DatasetCatalog: unknown dataset '" +
+                                     name + "'");
+  }
+  return *it->second;
+}
+
+bool DatasetCatalog::Contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return datasets_.find(name) != datasets_.end();
+}
+
+std::size_t DatasetCatalog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return datasets_.size();
+}
+
+std::vector<std::string> DatasetCatalog::Names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, dataset] : datasets_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace gdp::serve

@@ -1,0 +1,62 @@
+// DatasetCatalog: named, published datasets.
+//
+// The paper's deployment (Fig. 1) publishes ONE dataset to MANY users at
+// different privilege tiers.  The catalog is the service's source of truth
+// for what is published: a graph, the publication spec every tenant of that
+// dataset shares (hierarchy shape, exec policy, opening budget), the
+// deterministic compile seed, and optionally an explicit privilege→level
+// access mapping.
+//
+// Entries are registered once and never removed (a published dataset cannot
+// be unpublished out from under live compiled artifacts, which hold raw
+// references to the graph), so Get's reference stays valid for the catalog's
+// lifetime.  Thread-safe: Register/Get/Contains may race freely.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/compiled_disclosure.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace gdp::serve {
+
+struct Dataset {
+  gdp::graph::BipartiteGraph graph;
+  // The spec all tenants of this dataset share.  Its epsilon_cap/delta_cap
+  // are only the default grant for tenants without a broker profile.
+  gdp::core::SessionSpec publication;
+  // Seed of the Rng that drives the Phase-1 EM build on compile (and
+  // recompile after eviction): the artifact is a deterministic function of
+  // (graph, publication, compile_seed).
+  std::uint64_t compile_seed{42};
+  // Explicit AccessPolicy mapping (tier → level).  Empty selects
+  // AccessPolicy::Uniform over the compiled hierarchy's levels: the lowest
+  // tier gets the coarsest view, the highest tier level 0.
+  std::vector<int> access_levels;
+};
+
+class DatasetCatalog {
+ public:
+  // Throws gdp::common::StateError when `name` is already registered.
+  void Register(std::string name, Dataset dataset);
+
+  // Throws gdp::common::NotFoundError for an unknown name.  The reference
+  // stays valid for the catalog's lifetime.
+  [[nodiscard]] const Dataset& Get(const std::string& name) const;
+
+  [[nodiscard]] bool Contains(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // unique_ptr keeps each Dataset's address stable across map growth.
+  std::map<std::string, std::unique_ptr<const Dataset>> datasets_;
+};
+
+}  // namespace gdp::serve

@@ -1,0 +1,135 @@
+#include "serve/service.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/access_policy.hpp"
+
+namespace gdp::serve {
+
+DisclosureService::DisclosureService(std::size_t registry_capacity)
+    : registry_(registry_capacity) {}
+
+DisclosureService::TenantEntry* DisclosureService::FindEntry(
+    const std::string& tenant, const std::string& dataset) {
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const auto it = sessions_.find(std::make_pair(tenant, dataset));
+  return it != sessions_.end() ? it->second.get() : nullptr;
+}
+
+DisclosureService::TenantEntry& DisclosureService::EntryFor(
+    const std::string& tenant, const std::string& dataset,
+    const TenantProfile& profile,
+    const std::shared_ptr<const gdp::core::CompiledDisclosure>& compiled) {
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const auto key = std::make_pair(tenant, dataset);
+  if (const auto it = sessions_.find(key); it != sessions_.end()) {
+    return *it->second;
+  }
+  // First touch: attach the tenant's handle under its own grant.  Attach
+  // charges the artifact's Phase-1 spend; a grant too small for even that
+  // throws BudgetExhaustedError here (handled by Serve).
+  auto entry = std::make_unique<TenantEntry>(gdp::core::DisclosureSession::Attach(
+      compiled, profile.epsilon_cap, profile.delta_cap));
+  return *sessions_.emplace(key, std::move(entry)).first->second;
+}
+
+ServeResult DisclosureService::Serve(const std::string& tenant,
+                                     const std::string& dataset,
+                                     const gdp::core::BudgetSpec& budget,
+                                     gdp::common::Rng& rng) {
+  const TenantProfile profile = broker_.Profile(tenant);  // NotFoundError
+  const Dataset& ds = catalog_.Get(dataset);              // NotFoundError
+  // An already-attached tenant serves from the artifact its session pins —
+  // no registry touch, so a registry eviction never forces a recompile for
+  // a request the entry can already serve.
+  TenantEntry* entry = FindEntry(tenant, dataset);
+  const std::shared_ptr<const gdp::core::CompiledDisclosure> compiled =
+      entry != nullptr ? entry->session.compiled()
+                       : registry_.GetOrCompile(dataset, ds.graph,
+                                                ds.publication,
+                                                ds.compile_seed);
+
+  // Resolve the entitled level BEFORE any charge or draw: a tier the policy
+  // cannot map — including an explicit access_levels entry pointing past
+  // the compiled hierarchy — must not cost the tenant anything
+  // (AccessPolicyError).
+  const gdp::core::AccessPolicy policy =
+      ds.access_levels.empty()
+          ? gdp::core::AccessPolicy::Uniform(compiled->hierarchy().num_levels())
+          : gdp::core::AccessPolicy(ds.access_levels);
+  const int level = policy.LevelForPrivilege(profile.privilege);
+  if (level >= compiled->hierarchy().num_levels()) {
+    throw gdp::common::AccessPolicyError(
+        "DisclosureService: dataset '" + dataset + "' maps tier " +
+        std::to_string(profile.privilege) + " to level " +
+        std::to_string(level) + " but the compiled hierarchy has levels [0, " +
+        std::to_string(compiled->hierarchy().num_levels()) + ")");
+  }
+
+  ServeResult result;
+  result.privilege = profile.privilege;
+  result.level = level;
+
+  if (entry == nullptr) {
+    try {
+      entry = &EntryFor(tenant, dataset, profile, compiled);
+    } catch (const gdp::common::BudgetExhaustedError& e) {
+      // The grant cannot cover even the Phase-1 spend: an admission
+      // decision, not a server error.  Nothing was cached, drawn, or
+      // charged — the whole grant is still unspent, and the result says so.
+      result.denial_reason = e.what();
+      result.epsilon_spent = 0.0;
+      result.epsilon_remaining = profile.epsilon_cap;
+      return result;
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(entry->mutex);
+  std::optional<gdp::core::MultiLevelRelease> release =
+      entry->session.TryRelease(
+          budget, rng,
+          "serve dataset=" + dataset +
+              ": phase2 noise eps_g=" + std::to_string(budget.phase2_epsilon()) +
+              " (" + gdp::core::NoiseKindName(budget.noise) + ")");
+  const gdp::dp::BudgetLedger& ledger = entry->session.ledger();
+  result.epsilon_spent = ledger.epsilon_spent();
+  result.epsilon_remaining = ledger.epsilon_remaining();
+  if (!release.has_value()) {
+    // Name the cap that tripped: an epsilon-only message is misleading when
+    // the delta cap was the binding one.
+    const bool eps_binding =
+        ledger.WouldExceed(budget.phase2_epsilon(), 0.0);
+    result.denial_reason =
+        std::string("tenant grant exhausted (") +
+        (eps_binding ? "epsilon" : "delta") + " cap): request needs eps=" +
+        std::to_string(budget.phase2_epsilon()) +
+        ", delta=" + std::to_string(budget.delta) + " but eps=" +
+        std::to_string(ledger.epsilon_remaining()) + ", delta=" +
+        std::to_string(ledger.delta_remaining()) + " remains";
+    return result;
+  }
+  result.granted = true;
+  // The release is ours and about to die: move the entitled level out
+  // instead of deep-copying its per-group vectors.  `level` was bounds-
+  // checked against the hierarchy above.
+  result.view = std::move(*release).TakeLevel(level);
+  return result;
+}
+
+gdp::dp::BudgetLedger DisclosureService::Ledger(
+    const std::string& tenant, const std::string& dataset) const {
+  std::unique_lock<std::mutex> map_lock(sessions_mutex_);
+  const auto it = sessions_.find(std::make_pair(tenant, dataset));
+  if (it == sessions_.end()) {
+    throw gdp::common::NotFoundError("DisclosureService: tenant '" + tenant +
+                                     "' has never been served dataset '" +
+                                     dataset + "'");
+  }
+  TenantEntry& entry = *it->second;
+  map_lock.unlock();
+  const std::lock_guard<std::mutex> lock(entry.mutex);
+  return entry.session.ledger();
+}
+
+}  // namespace gdp::serve

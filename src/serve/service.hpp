@@ -1,0 +1,122 @@
+// DisclosureService: the paper's Fig.-1 deployment as one object.
+//
+// One published dataset serves many users at different privilege tiers,
+// each receiving a differently-protected level view.  The service composes
+// the three serving pieces around the CompiledDisclosure seam:
+//
+//   DatasetCatalog   — what is published (graph + publication spec + seed),
+//   SessionRegistry  — compile once per (dataset, spec, seed), LRU-bounded,
+//   TenantBroker     — who may ask, under what grant, at which tier,
+//
+// plus the live per-tenant state: one DisclosureSession handle per
+// (tenant, artifact), holding that tenant's ledger.  Serve(tenant, dataset,
+// budget, rng) draws a full multi-level release against the tenant's grant
+// and returns ONLY the level view the tenant's tier is entitled to.
+//
+// Failure taxonomy: unknown names throw NotFoundError and a tier the policy
+// cannot map throws AccessPolicyError (configuration errors); an exhausted
+// grant is an EXPECTED outcome and comes back as granted == false with the
+// ledger and rng untouched (BudgetLedger::TryCharge, no exceptions).
+//
+// Thread-safe: catalog, registry, and broker have their own locks; each
+// tenant session is guarded by a per-entry mutex, so distinct tenants are
+// served concurrently (sharing the artifact's internally synchronized
+// caches) while requests from ONE tenant serialise on that tenant's ledger.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "core/session.hpp"
+#include "serve/dataset_catalog.hpp"
+#include "serve/session_registry.hpp"
+#include "serve/tenant_broker.hpp"
+
+namespace gdp::serve {
+
+struct ServeResult {
+  // False iff the tenant's grant could not cover the request (the only
+  // non-throwing denial); denial_reason says why, view is empty.
+  bool granted{false};
+  std::string denial_reason;
+  // The tier the tenant was served at and the hierarchy level of its view.
+  int privilege{0};
+  int level{0};
+  // The entitled level view of the drawn release (true_* fields included;
+  // callers publishing externally strip them).
+  gdp::core::LevelRelease view;
+  // Tenant ledger state after the call (audit convenience).
+  double epsilon_spent{0.0};
+  double epsilon_remaining{0.0};
+};
+
+class DisclosureService {
+ public:
+  // `registry_capacity` bounds the number of live compiled artifacts the
+  // registry retains (LRU beyond that).
+  explicit DisclosureService(std::size_t registry_capacity = 8);
+
+  [[nodiscard]] DatasetCatalog& catalog() noexcept { return catalog_; }
+  [[nodiscard]] const DatasetCatalog& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] TenantBroker& broker() noexcept { return broker_; }
+  [[nodiscard]] const TenantBroker& broker() const noexcept { return broker_; }
+  [[nodiscard]] SessionRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const SessionRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+  // Serve tenant `tenant` its entitled view of `dataset` under `budget`,
+  // drawing noise from `rng`.  Compiles the artifact on first touch of the
+  // dataset (registry miss) and attaches the tenant's session (charging the
+  // Phase-1 spend to its ledger) on first touch by this tenant; both are
+  // cached thereafter.  Deterministic: a tenant served via the registry is
+  // bit-identical to a fresh DisclosureSession at the same seeds
+  // (serve_test pins this).
+  [[nodiscard]] ServeResult Serve(const std::string& tenant,
+                                  const std::string& dataset,
+                                  const gdp::core::BudgetSpec& budget,
+                                  gdp::common::Rng& rng);
+
+  // The tenant's cumulative ledger for `dataset` (audit).  Throws
+  // NotFoundError when this (tenant, dataset) pair has never been served.
+  [[nodiscard]] gdp::dp::BudgetLedger Ledger(const std::string& tenant,
+                                             const std::string& dataset) const;
+
+ private:
+  // A tenant's live handle plus its lock (sessions are externally
+  // synchronized; the service is the one doing the synchronizing).
+  struct TenantEntry {
+    std::mutex mutex;
+    gdp::core::DisclosureSession session;
+    explicit TenantEntry(gdp::core::DisclosureSession s)
+        : session(std::move(s)) {}
+  };
+
+  // The tenant's existing entry, or nullptr (never creates).
+  [[nodiscard]] TenantEntry* FindEntry(const std::string& tenant,
+                                       const std::string& dataset);
+
+  [[nodiscard]] TenantEntry& EntryFor(
+      const std::string& tenant, const std::string& dataset,
+      const TenantProfile& profile,
+      const std::shared_ptr<const gdp::core::CompiledDisclosure>& compiled);
+
+  DatasetCatalog catalog_;
+  TenantBroker broker_;
+  SessionRegistry registry_;
+  mutable std::mutex sessions_mutex_;
+  // Keyed by (tenant, dataset): a tenant's spend on a dataset survives
+  // registry eviction and recompile (the entry pins the artifact it was
+  // attached to via its session's shared_ptr).
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<TenantEntry>>
+      sessions_;
+};
+
+}  // namespace gdp::serve

@@ -1,0 +1,65 @@
+#include "serve/tenant_broker.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gdp::serve {
+
+void TenantBroker::Register(std::string tenant_id, TenantProfile profile) {
+  if (!(profile.epsilon_cap > 0.0) || !std::isfinite(profile.epsilon_cap)) {
+    throw std::invalid_argument(
+        "TenantBroker: epsilon_cap must be finite and > 0 for tenant '" +
+        tenant_id + "'");
+  }
+  if (!(profile.delta_cap >= 0.0) || !(profile.delta_cap < 1.0)) {
+    throw std::invalid_argument(
+        "TenantBroker: delta_cap must be in [0, 1) for tenant '" + tenant_id +
+        "'");
+  }
+  if (profile.privilege < 0) {
+    throw std::invalid_argument(
+        "TenantBroker: privilege must be >= 0 for tenant '" + tenant_id + "'");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      profiles_.try_emplace(std::move(tenant_id), profile);
+  if (!inserted) {
+    throw gdp::common::StateError("TenantBroker: tenant '" + it->first +
+                                  "' is already registered");
+  }
+}
+
+TenantProfile TenantBroker::Profile(const std::string& tenant_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = profiles_.find(tenant_id);
+  if (it == profiles_.end()) {
+    throw gdp::common::NotFoundError("TenantBroker: unknown tenant '" +
+                                     tenant_id + "'");
+  }
+  return it->second;
+}
+
+bool TenantBroker::Contains(const std::string& tenant_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return profiles_.find(tenant_id) != profiles_.end();
+}
+
+std::size_t TenantBroker::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return profiles_.size();
+}
+
+std::vector<std::string> TenantBroker::TenantIds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(profiles_.size());
+  for (const auto& [id, profile] : profiles_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace gdp::serve

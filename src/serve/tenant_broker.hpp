@@ -1,0 +1,52 @@
+// TenantBroker: who may ask for what.
+//
+// Maps a tenant id to its grant (per-tenant ledger caps) and its privilege
+// tier in the dataset's AccessPolicy.  The broker holds only the static
+// entitlements; the live per-tenant state (ledger, session handle) lives in
+// DisclosureService, keyed by (tenant, artifact).
+//
+// Per-tenant ledgers are independent admission/audit boundaries: each
+// tenant's grant bounds that tenant's own view and never consults another's.
+// NOTE the scope honestly — against colluding tenants (or one observer of
+// many views) the dataset-level loss composes sequentially across tenants;
+// see BudgetLedger::TryCharge for the full statement.  Thread-safe.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gdp::serve {
+
+struct TenantProfile {
+  // Cumulative grant enforced by this tenant's ledger (which also absorbs
+  // the artifact's one-time Phase-1 spend at first touch).
+  double epsilon_cap{1e6};
+  double delta_cap{0.5};
+  // Tier into the dataset's AccessPolicy; 0 is the LOWEST privilege
+  // (coarsest view).
+  int privilege{0};
+};
+
+class TenantBroker {
+ public:
+  // Throws gdp::common::StateError when `tenant_id` is already registered,
+  // std::invalid_argument when the profile's caps are malformed
+  // (epsilon_cap must be finite and > 0, delta_cap in [0, 1), privilege
+  // >= 0).
+  void Register(std::string tenant_id, TenantProfile profile);
+
+  // Throws gdp::common::NotFoundError for an unknown tenant.
+  [[nodiscard]] TenantProfile Profile(const std::string& tenant_id) const;
+
+  [[nodiscard]] bool Contains(const std::string& tenant_id) const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> TenantIds() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, TenantProfile> profiles_;
+};
+
+}  // namespace gdp::serve

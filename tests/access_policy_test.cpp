@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 namespace gdp::core {
 namespace {
 
@@ -53,6 +55,23 @@ TEST(AccessPolicyTest, ViewForThrowsWhenLevelMissing) {
   const MultiLevelRelease r = ThreeLevelRelease();
   const AccessPolicy policy({5});  // references level 5, release has 0..2
   EXPECT_THROW((void)policy.ViewFor(r, 0), std::out_of_range);
+}
+
+TEST(AccessPolicyTest, TypedErrorOnBothFailurePaths) {
+  // Path 1: the privilege tier is outside the policy.
+  const AccessPolicy uniform = AccessPolicy::Uniform(3);
+  const MultiLevelRelease r = ThreeLevelRelease();
+  EXPECT_THROW((void)uniform.LevelForPrivilege(7),
+               gdp::common::AccessPolicyError);
+  EXPECT_THROW((void)uniform.ViewFor(r, -1), gdp::common::AccessPolicyError);
+  // Path 2: the tier is fine but the policy maps it to a level the release
+  // does not contain.
+  const AccessPolicy missing({5});
+  EXPECT_THROW((void)missing.ViewFor(r, 0), gdp::common::AccessPolicyError);
+  // The typed error stays catchable as the pre-typed std::out_of_range.
+  const gdp::common::AccessPolicyError err("x");
+  const std::out_of_range* base = &err;
+  EXPECT_NE(base, nullptr);
 }
 
 TEST(AccessPolicyTest, HigherPrivilegeNeverCoarser) {

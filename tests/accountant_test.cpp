@@ -113,6 +113,37 @@ TEST(BudgetLedgerTest, RejectsNegativeCharge) {
   EXPECT_THROW(ledger.Charge(-0.1, 0.0, "negative"), std::invalid_argument);
 }
 
+TEST(BudgetLedgerTest, TryChargeRecordsWhenItFits) {
+  BudgetLedger ledger(1.0, 1e-4);
+  EXPECT_TRUE(ledger.TryCharge(0.6, 1e-5, "first"));
+  EXPECT_NEAR(ledger.epsilon_spent(), 0.6, 1e-12);
+  ASSERT_EQ(ledger.charges().size(), 1u);
+  EXPECT_EQ(ledger.charges()[0].label, "first");
+}
+
+TEST(BudgetLedgerTest, TryChargeDeniesWithoutMutating) {
+  BudgetLedger ledger(1.0, 1e-4);
+  EXPECT_TRUE(ledger.TryCharge(0.6, 1e-5, "first"));
+  EXPECT_FALSE(ledger.TryCharge(0.6, 1e-5, "overrun"));
+  EXPECT_NEAR(ledger.epsilon_spent(), 0.6, 1e-12);
+  EXPECT_EQ(ledger.charges().size(), 1u)
+      << "a denied TryCharge must leave the ledger untouched";
+  // Denial is exactly WouldExceed's answer; a fitting charge still lands.
+  EXPECT_TRUE(ledger.WouldExceed(0.6, 0.0));
+  EXPECT_FALSE(ledger.WouldExceed(0.4, 0.0));
+  EXPECT_TRUE(ledger.TryCharge(0.4, 0.0, "exact fill"));
+  EXPECT_FALSE(ledger.TryCharge(1e-6, 0.0, "past the cap"));
+}
+
+TEST(BudgetLedgerTest, TryChargeStillThrowsOnMalformedSpend) {
+  // A malformed spend is a programming error, not an admission decision.
+  BudgetLedger ledger(1.0, 0.0);
+  EXPECT_THROW((void)ledger.TryCharge(-0.1, 0.0, "negative"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ledger.TryCharge(0.1, 1.5, "bad delta"),
+               std::invalid_argument);
+}
+
 TEST(BudgetLedgerTest, AuditReportListsCharges) {
   BudgetLedger ledger(2.0, 1e-4);
   ledger.Charge(0.5, 1e-5, "specialization");

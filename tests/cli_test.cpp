@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "cli/args.hpp"
+#include "common/error.hpp"
 
 namespace gdp::cli {
 namespace {
@@ -170,6 +171,100 @@ TEST_F(CliRoundTripTest, ThreadedDiscloseMatchesAnyThreadCount) {
   }
   EXPECT_EQ(artifacts[0], artifacts[1]);
   EXPECT_FALSE(artifacts[0].empty());
+}
+
+TEST_F(CliRoundTripTest, ServeBatchDriverServesTenantsByTier) {
+  std::ostringstream out;
+  ASSERT_EQ(Dispatch({"generate", "--out", graph_path_, "--left", "400",
+                      "--right", "500", "--edges", "2500", "--seed", "5"},
+                     out),
+            0);
+  const std::string tenants_path = dir_ + "/cli_tenants.tsv";
+  const std::string requests_path = dir_ + "/cli_requests.tsv";
+  const std::string results_path = dir_ + "/cli_results.tsv";
+  {
+    std::ofstream tenants(tenants_path);
+    tenants << "# id eps_cap delta_cap tier\n"
+            << "alice 10.0 0.4 0\n"
+            << "bob 10.0 0.4 4\n"
+            << "carol 0.95 0.4 2\n";  // phase1 + one release, then exhausted
+    std::ofstream requests(requests_path);
+    requests << "# id eps_g [delta]\n"
+             << "alice 0.9\n"
+             << "bob 0.9 1e-6\n"
+             << "carol 0.9\n"
+             << "carol 0.9\n";  // second request exceeds carol's grant
+  }
+  out.str("");
+  ASSERT_EQ(Dispatch({"serve", "--graph", graph_path_, "--tenants",
+                      tenants_path, "--requests", requests_path, "--depth",
+                      "5", "--seed", "11", "--out", results_path},
+                     out),
+            0);
+  // Tier 0 gets the coarsest level (depth 5 => L5), tier 4 gets L1.
+  EXPECT_NE(out.str().find("alice"), std::string::npos);
+  EXPECT_NE(out.str().find("L5"), std::string::npos);
+  EXPECT_NE(out.str().find("L1"), std::string::npos);
+  EXPECT_NE(out.str().find("served 3/4"), std::string::npos);
+  EXPECT_NE(out.str().find("denied"), std::string::npos);
+  // One dataset, four requests: 1 compile, 2 registry hits (bob's and
+  // carol's first touch); carol's second request serves from her attached
+  // session without consulting the registry at all.
+  EXPECT_NE(out.str().find("2 hits, 1 misses"), std::string::npos);
+  // The results file mirrors the table.
+  std::ifstream results(results_path);
+  const std::string body((std::istreambuf_iterator<char>(results)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(body.find("carol"), std::string::npos);
+  EXPECT_NE(body.find("denied"), std::string::npos);
+  std::remove(tenants_path.c_str());
+  std::remove(requests_path.c_str());
+  std::remove(results_path.c_str());
+}
+
+TEST(CliDispatchTest, ServeRejectsMalformedTenantSpec) {
+  const std::string dir = ::testing::TempDir();
+  const std::string tenants_path = dir + "/bad_tenants.tsv";
+  const std::string requests_path = dir + "/ok_requests.tsv";
+  {
+    std::ofstream tenants(tenants_path);
+    tenants << "alice 10.0\n";  // missing delta_cap + tier
+    std::ofstream requests(requests_path);
+    requests << "alice 0.9\n";
+  }
+  std::ostringstream out;
+  EXPECT_THROW((void)Dispatch({"serve", "--graph", "g", "--tenants",
+                               tenants_path, "--requests", requests_path},
+                              out),
+               gdp::common::IoError);
+  std::remove(tenants_path.c_str());
+  std::remove(requests_path.c_str());
+}
+
+TEST(CliDispatchTest, ServeRejectsMalformedRequestDelta) {
+  // A typo'd optional delta must error loudly, never silently fall back to
+  // the publication default.
+  const std::string dir = ::testing::TempDir();
+  const std::string tenants_path = dir + "/ok_tenants.tsv";
+  const std::string requests_path = dir + "/bad_requests.tsv";
+  {
+    std::ofstream tenants(tenants_path);
+    tenants << "alice 10.0 0.4 0\n";
+  }
+  std::ostringstream out;
+  for (const char* bad_line :
+       {"alice 0.9 1e-6x7", "alice 0.9 -1e-6", "alice 0.9 1e-6 extra"}) {
+    std::ofstream requests(requests_path);
+    requests << bad_line << "\n";
+    requests.close();
+    EXPECT_THROW((void)Dispatch({"serve", "--graph", "g", "--tenants",
+                                 tenants_path, "--requests", requests_path},
+                                out),
+                 gdp::common::IoError)
+        << bad_line;
+  }
+  std::remove(tenants_path.c_str());
+  std::remove(requests_path.c_str());
 }
 
 TEST(CliDispatchTest, DiscloseRejectsNonPositiveNoiseGrain) {
