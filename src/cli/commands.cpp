@@ -15,6 +15,7 @@
 #include "core/pipeline.hpp"
 #include "core/release_io.hpp"
 #include "core/session.hpp"
+#include "dp/privacy_accountant.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "hier/io.hpp"
@@ -80,9 +81,11 @@ bool IsCommentOrBlank(const std::string& line) {
 }
 
 // tenants.tsv: one tenant per line, `tenant_id epsilon_cap delta_cap
-// privilege` (whitespace-separated; # comments and blank lines skipped).
+// privilege [accounting]` (whitespace-separated; # comments and blank lines
+// skipped).  The optional 5th field overrides `default_accounting` (the
+// --accounting flag) per tenant.
 std::vector<std::pair<std::string, gdp::serve::TenantProfile>> ReadTenantSpecs(
-    const std::string& path) {
+    const std::string& path, gdp::dp::AccountingPolicy default_accounting) {
   std::ifstream in(path);
   if (!in) {
     throw gdp::common::IoError("cannot open tenant spec file '" + path + "'");
@@ -98,11 +101,28 @@ std::vector<std::pair<std::string, gdp::serve::TenantProfile>> ReadTenantSpecs(
     std::istringstream ss(line);
     std::string id;
     gdp::serve::TenantProfile profile;
+    profile.accounting = default_accounting;
     if (!(ss >> id >> profile.epsilon_cap >> profile.delta_cap >>
           profile.privilege)) {
       throw gdp::common::IoError(
           "tenant spec line " + std::to_string(line_no) +
-          ": expected 'tenant_id epsilon_cap delta_cap privilege'");
+          ": expected 'tenant_id epsilon_cap delta_cap privilege "
+          "[accounting]'");
+    }
+    if (std::string policy_token; ss >> policy_token) {
+      try {
+        profile.accounting = gdp::dp::ParseAccountingPolicy(policy_token);
+      } catch (const std::invalid_argument& e) {
+        throw gdp::common::IoError("tenant spec line " +
+                                   std::to_string(line_no) + ": " + e.what());
+      }
+      std::string extra;
+      if (ss >> extra) {
+        throw gdp::common::IoError("tenant spec line " +
+                                   std::to_string(line_no) +
+                                   ": unexpected trailing field '" + extra +
+                                   "'");
+      }
     }
     tenants.emplace_back(std::move(id), profile);
   }
@@ -201,6 +221,8 @@ int RunDisclose(const Args& args, std::ostream& out) {
   config.arity = static_cast<int>(args.GetInt("arity", 4));
   config.enforce_consistency = args.HasSwitch("consistent");
   config.num_threads = static_cast<int>(args.GetInt("threads", 1));
+  config.accounting =
+      gdp::dp::ParseAccountingPolicy(args.GetOr("accounting", "sequential"));
   const std::int64_t grain = args.GetInt(
       "noise-grain",
       static_cast<std::int64_t>(gdp::core::DisclosureConfig{}.noise_chunk_grain));
@@ -345,8 +367,10 @@ int RunServe(const Args& args, std::ostream& out) {
   }
   config.noise_chunk_grain = static_cast<std::size_t>(grain);
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
+  const gdp::dp::AccountingPolicy default_accounting =
+      gdp::dp::ParseAccountingPolicy(args.GetOr("accounting", "sequential"));
 
-  const auto tenants = ReadTenantSpecs(tenants_path);
+  const auto tenants = ReadTenantSpecs(tenants_path, default_accounting);
   const auto requests = ReadServeRequests(requests_path);
 
   gdp::serve::DisclosureService service(static_cast<std::size_t>(capacity));
@@ -366,7 +390,8 @@ int RunServe(const Args& args, std::ostream& out) {
   gdp::common::Rng request_rng = gdp::common::Rng(seed).Fork(1);
 
   gdp::common::TextTable table({"req", "tenant", "tier", "level", "status",
-                                "noisy_total", "eps_spent", "eps_left"});
+                                "noisy_total", "eps_spent", "eps_left",
+                                "accounting", "acct_eps"});
   std::ofstream results_file;
   if (const auto out_path = args.Get("out")) {
     results_file.open(*out_path);
@@ -375,7 +400,7 @@ int RunServe(const Args& args, std::ostream& out) {
                                  "'");
     }
     results_file << "# req\ttenant\ttier\tlevel\tstatus\tnoisy_total\t"
-                    "eps_spent\teps_left\n";
+                    "eps_spent\teps_left\taccounting\tacct_eps\n";
   }
   std::size_t granted = 0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -397,12 +422,16 @@ int RunServe(const Args& args, std::ostream& out) {
                   std::to_string(result.privilege),
                   "L" + std::to_string(result.level), status, noisy,
                   gdp::common::FormatDouble(result.epsilon_spent, 4),
-                  gdp::common::FormatDouble(result.epsilon_remaining, 4)});
+                  gdp::common::FormatDouble(result.epsilon_remaining, 4),
+                  gdp::dp::AccountingPolicyName(result.accounting),
+                  gdp::common::FormatDouble(result.accounted_epsilon, 4)});
     if (results_file.is_open()) {
       results_file << i << '\t' << req.tenant << '\t' << result.privilege
                    << '\t' << result.level << '\t' << status << '\t' << noisy
                    << '\t' << result.epsilon_spent << '\t'
-                   << result.epsilon_remaining << '\n';
+                   << result.epsilon_remaining << '\t'
+                   << gdp::dp::AccountingPolicyName(result.accounting) << '\t'
+                   << result.accounted_epsilon << '\n';
     }
   }
   table.Print(out);
@@ -422,6 +451,9 @@ std::string UsageText() {
          "            [--eps E] [--delta D] [--depth K] [--arity A] [--seed S]\n"
          "            [--threads T] [--noise-grain G] [--consistent]"
          " [--strip-truth]\n"
+         "            [--accounting sequential|advanced|rdp]  ledger policy\n"
+         "            (released values identical; the audit's cumulative\n"
+         "            (eps, delta) tightens for multi-release sessions)\n"
          "            [--sweep E1,E2,...]  one DisclosureSession, one release\n"
          "            file per swept eps (r.tsv.epsE1, ...); Phase 1 and the\n"
          "            plan run once, --eps sets the Phase-1 budget\n"
@@ -434,10 +466,13 @@ std::string UsageText() {
          "            [--dataset NAME] [--eps E] [--delta D] [--depth K]\n"
          "            [--arity A] [--seed S] [--threads T] [--noise-grain G]\n"
          "            [--registry-capacity C] [--out results.tsv]\n"
+         "            [--accounting sequential|advanced|rdp]  default tenant\n"
+         "            ledger policy (an rdp tenant composes Gaussian\n"
+         "            releases tighter and outlasts a sequential one)\n"
          "            multi-tenant batch driver: compile once per dataset\n"
          "            (SessionRegistry), per-tenant ledgers + privilege-tier\n"
-         "            level views.  tenants.tsv: 'id eps_cap delta_cap"
-         " tier';\n"
+         "            level views.  tenants.tsv: 'id eps_cap delta_cap tier"
+         " [accounting]';\n"
          "            reqs.tsv: 'id eps_g [delta]'\n";
 }
 
@@ -457,7 +492,8 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
     return RunDisclose(
         Args::Parse(rest,
                     {"graph", "release", "hierarchy", "eps", "delta", "depth",
-                     "arity", "seed", "threads", "noise-grain", "sweep"},
+                     "arity", "seed", "threads", "noise-grain", "sweep",
+                     "accounting"},
                     {"consistent", "strip-truth"}),
         out);
   }
@@ -474,7 +510,8 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
     return RunServe(
         Args::Parse(rest, {"graph", "tenants", "requests", "dataset", "eps",
                            "delta", "depth", "arity", "seed", "threads",
-                           "noise-grain", "registry-capacity", "out"}),
+                           "noise-grain", "registry-capacity", "out",
+                           "accounting"}),
         out);
   }
   out << UsageText();

@@ -8,6 +8,7 @@
 //   disclose  --graph g.tsv --release r.tsv [--hierarchy h.tsv]
 //             [--eps 0.999] [--delta 1e-5] [--depth 9] [--arity 4]
 //             [--seed S] [--consistent] [--strip-truth]
+//             [--accounting sequential|advanced|rdp]
 //   inspect   --release r.tsv
 //   drilldown --release r.tsv --hierarchy h.tsv --side left|right --node V
 //             [--max-level L] [--min-level l]
@@ -15,6 +16,7 @@
 //             [--eps 0.999] [--delta 1e-5] [--depth 9] [--arity 4]
 //             [--seed S] [--threads T] [--noise-grain G]
 //             [--registry-capacity C] [--out results.tsv]
+//             [--accounting sequential|advanced|rdp]
 #pragma once
 
 #include <iosfwd>

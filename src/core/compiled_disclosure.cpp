@@ -63,6 +63,13 @@ std::shared_ptr<const CompiledDisclosure> CompiledDisclosure::Compile(
     throw std::invalid_argument(
         "CompiledDisclosure::Compile: delta_cap must be in [0, 1)");
   }
+  if (spec.accounting != gdp::dp::AccountingPolicy::kSequential &&
+      !(spec.delta_cap > 0.0)) {
+    throw std::invalid_argument(
+        std::string("CompiledDisclosure::Compile: the ") +
+        gdp::dp::AccountingPolicyName(spec.accounting) +
+        " accounting policy requires delta_cap > 0");
+  }
 
   const double eps_phase1 = spec.budget.phase1_epsilon();
   const int transitions = spec.hierarchy.depth - 1;
@@ -134,6 +141,27 @@ void CompiledDisclosure::ValidateBudget(const BudgetSpec& budget) const {
     throw gdp::common::InvalidBudgetError(
         std::string("BudgetSpec: mechanism calibration failed: ") + e.what());
   }
+}
+
+gdp::dp::MechanismEvent CompiledDisclosure::ChargeEventFor(
+    const BudgetSpec& budget) const {
+  ValidateBudgetShape(budget);
+  const double eps2 = budget.phase2_epsilon();
+  const int width = hierarchy_.num_levels();
+  // Gaussian kinds: take σ/Δ from the shared mechanism cache at Δ = 1
+  // (σ scales linearly with Δ for both calibrations, so σ(ε, δ, 1) IS the
+  // multiplier).  The analytic calibration's bisection then runs once per
+  // distinct (kind, ε, δ) for the artifact's lifetime — the admission path
+  // of every tenant's every request reuses it, exactly like DrawRelease
+  // reuses the per-level calibrations.
+  if (budget.noise == NoiseKind::kGaussian ||
+      budget.noise == NoiseKind::kAnalyticGaussian) {
+    const double multiplier =
+        mech_cache_.Get(budget.noise, eps2, budget.delta, 1.0).NoiseStddev();
+    return gdp::dp::MechanismEvent::Gaussian(eps2, budget.delta, multiplier, 1,
+                                             width);
+  }
+  return MechanismEventFor(budget.noise, eps2, budget.delta, width);
 }
 
 void CompiledDisclosure::CheckLevel(int level, const char* where) const {

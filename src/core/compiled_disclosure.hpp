@@ -119,6 +119,13 @@ struct SessionSpec {
   // > 0, delta_cap in [0, 1).
   double epsilon_cap{1e6};
   double delta_cap{0.5};
+  // How each tenant handle's ledger composes its charges (the DEFAULT for
+  // handles attached without their own policy): kSequential is the
+  // historical (Σε, Σδ) bound, bit-identical to the pre-accountant ledger;
+  // kAdvanced / kRdp compose tighter from the mechanism-level events the
+  // session threads through (see docs/ACCOUNTING.md) and require
+  // delta_cap > 0.
+  gdp::dp::AccountingPolicy accounting{gdp::dp::AccountingPolicy::kSequential};
 };
 
 // Shape validation of the (ε, δ, fraction) triple alone, independent of any
@@ -178,6 +185,14 @@ class CompiledDisclosure {
 
   // Throws std::out_of_range when `level` is not a level of this hierarchy.
   void CheckLevel(int level, const char* where) const;
+
+  // The mechanism-level accounting event ONE Release under `budget` charges:
+  // kind and noise multiplier from the budget's noise configuration, the
+  // claimed (ε, δ) = (phase2_epsilon, delta), parallel_width = the number of
+  // hierarchy levels the charge spans.  Requires a shape-valid budget (same
+  // InvalidBudgetError taxonomy as ValidateBudget).
+  [[nodiscard]] gdp::dp::MechanismEvent ChargeEventFor(
+      const BudgetSpec& budget) const;
 
   [[nodiscard]] const SessionSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const gdp::graph::BipartiteGraph& graph() const noexcept {

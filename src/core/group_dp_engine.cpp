@@ -60,6 +60,37 @@ std::unique_ptr<gdp::dp::NumericMechanism> MakeMechanism(NoiseKind kind,
   throw std::invalid_argument("MakeMechanism: unknown noise kind");
 }
 
+gdp::dp::MechanismEvent MechanismEventFor(NoiseKind kind, double epsilon,
+                                          double delta, int parallel_width) {
+  using namespace gdp::dp;
+  const Epsilon eps(epsilon);  // validates
+  switch (kind) {
+    case NoiseKind::kGaussian: {
+      // Same validity switch as MakeMechanism: classic calibration for
+      // ε <= 1, analytic above.  σ at Δ = 1 IS the noise multiplier.
+      const double m =
+          epsilon <= 1.0
+              ? ClassicGaussianSigma(eps, Delta(delta), L2Sensitivity(1.0))
+              : AnalyticGaussianSigma(eps, Delta(delta), L2Sensitivity(1.0));
+      return MechanismEvent::Gaussian(epsilon, delta, m, 1, parallel_width);
+    }
+    case NoiseKind::kAnalyticGaussian: {
+      const double m =
+          AnalyticGaussianSigma(eps, Delta(delta), L2Sensitivity(1.0));
+      return MechanismEvent::Gaussian(epsilon, delta, m, 1, parallel_width);
+    }
+    case NoiseKind::kLaplace:
+    case NoiseKind::kGeometric:
+      return MechanismEvent::PureEps(epsilon, delta, 1, parallel_width);
+    case NoiseKind::kDiscreteGaussian: {
+      MechanismEvent event = MechanismEvent::Opaque(epsilon, delta);
+      event.parallel_width = parallel_width;
+      return event;
+    }
+  }
+  throw std::invalid_argument("MechanismEventFor: unknown noise kind");
+}
+
 const gdp::dp::NumericMechanism& MechanismCache::Get(NoiseKind kind,
                                                      double epsilon,
                                                      double delta,

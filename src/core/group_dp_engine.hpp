@@ -40,6 +40,7 @@
 #include "core/release.hpp"
 #include "core/release_plan.hpp"
 #include "dp/mechanism.hpp"
+#include "dp/privacy_accountant.hpp"
 #include "dp/privacy_params.hpp"
 #include "hier/hierarchy.hpp"
 
@@ -91,6 +92,24 @@ struct ReleaseConfig {
 // mechanism for the given noise kind.
 [[nodiscard]] std::unique_ptr<gdp::dp::NumericMechanism> MakeMechanism(
     NoiseKind kind, double epsilon, double delta, double sensitivity);
+
+// The accounting event a release charge at (kind, epsilon, delta) claims —
+// the mechanism-level fact the ledger's PrivacyAccountant composes from.
+// Gaussian kinds carry the noise multiplier σ/Δ their calibration implies
+// (scale-free: both the classic and the analytic calibration scale σ
+// linearly with Δ, so the multiplier depends only on (ε, δ), never on which
+// level's Δℓ is being perturbed).  Laplace/geometric are pure-ε; the δ the
+// caller claims stays in the books but an RDP backend knows the mechanism
+// itself spends none.  The discrete-Gaussian comparator stays opaque — its
+// integer calibration is not σ = m·Δ, so no multiplier is claimed for it.
+// `parallel_width` records how many hierarchy levels (disjoint adjacency
+// relations) the one charge spans; see docs/ACCOUNTING.md for the
+// composition caveat.  Uses the same calibration validity switch as
+// MakeMechanism, and the same Epsilon/Delta validation.
+[[nodiscard]] gdp::dp::MechanismEvent MechanismEventFor(NoiseKind kind,
+                                                        double epsilon,
+                                                        double delta,
+                                                        int parallel_width = 1);
 
 // Memoized mechanism calibration, keyed by (kind, ε, δ, Δ).  A 9-level
 // release with repeated ε touches only a handful of distinct calibrations;

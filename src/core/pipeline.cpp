@@ -40,6 +40,7 @@ SessionSpec DisclosureConfig::ToSessionSpec() const {
   spec.exec = ToExecSpec();
   spec.epsilon_cap = epsilon_g;
   spec.delta_cap = delta * 2.0;  // per-level δ headroom
+  spec.accounting = accounting;
   return spec;
 }
 

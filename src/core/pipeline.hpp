@@ -54,6 +54,11 @@ struct DisclosureConfig {
   // Part of the reproducibility contract (one RNG substream per chunk):
   // changing it changes the released values; thread count never does.
   std::size_t noise_chunk_grain{8192};
+  // Ledger composition policy (`disclose --accounting`): kSequential is the
+  // historical Σε bound; kAdvanced / kRdp tighten the cumulative (ε, δ) for
+  // multi-release sessions.  Accounting is post-hoc arithmetic over the
+  // charges — the released values are bit-identical across policies.
+  gdp::dp::AccountingPolicy accounting{gdp::dp::AccountingPolicy::kSequential};
 
   // The orthogonal-spec views of this flat config (the migration path).
   [[nodiscard]] HierarchySpec ToHierarchySpec() const;

@@ -1,5 +1,6 @@
 #include "core/session.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
@@ -19,7 +20,19 @@ DisclosureSession DisclosureSession::Attach(
   if (compiled == nullptr) {
     throw std::invalid_argument("DisclosureSession::Attach: null artifact");
   }
-  return DisclosureSession(std::move(compiled), epsilon_cap, delta_cap);
+  const gdp::dp::AccountingPolicy accounting = compiled->spec().accounting;
+  return DisclosureSession(std::move(compiled), epsilon_cap, delta_cap,
+                           accounting);
+}
+
+DisclosureSession DisclosureSession::Attach(
+    std::shared_ptr<const CompiledDisclosure> compiled, double epsilon_cap,
+    double delta_cap, gdp::dp::AccountingPolicy accounting) {
+  if (compiled == nullptr) {
+    throw std::invalid_argument("DisclosureSession::Attach: null artifact");
+  }
+  return DisclosureSession(std::move(compiled), epsilon_cap, delta_cap,
+                           accounting);
 }
 
 DisclosureSession DisclosureSession::Attach(
@@ -33,10 +46,14 @@ DisclosureSession DisclosureSession::Attach(
 
 DisclosureSession::DisclosureSession(
     std::shared_ptr<const CompiledDisclosure> compiled, double epsilon_cap,
-    double delta_cap)
-    : compiled_(std::move(compiled)), ledger_(epsilon_cap, delta_cap) {
-  ledger_.Charge(compiled_->phase1_epsilon_spent(), 0.0,
-                 "phase1: EM specialization");
+    double delta_cap, gdp::dp::AccountingPolicy accounting)
+    : compiled_(std::move(compiled)),
+      ledger_(epsilon_cap, delta_cap, accounting) {
+  // The EM specialization is a pure-ε mechanism; saying so (instead of an
+  // opaque charge) lets an RDP-backed ledger keep it on the Rényi curve.
+  ledger_.Charge(
+      gdp::dp::MechanismEvent::PureEps(compiled_->phase1_epsilon_spent()),
+      "phase1: EM specialization");
 }
 
 namespace {
@@ -57,8 +74,10 @@ MultiLevelRelease DisclosureSession::Release(const BudgetSpec& budget,
     label = DefaultReleaseLabel(num_releases_, budget);
   }
   // Charge before drawing: a cap overrun rejects the release while the rng
-  // is still untouched, and the audit trail never misses a draw.
-  ledger_.Charge(budget.phase2_epsilon(), budget.delta, std::move(label));
+  // is still untouched, and the audit trail never misses a draw.  The charge
+  // is a mechanism-level event (noise kind + multiplier), so a non-
+  // sequential accountant can compose it tighter than the (ε, δ) claim.
+  ledger_.Charge(compiled_->ChargeEventFor(budget), std::move(label));
   MultiLevelRelease release = compiled_->DrawRelease(budget, rng);
   ++num_releases_;
   return release;
@@ -75,8 +94,7 @@ std::optional<MultiLevelRelease> DisclosureSession::TryRelease(
   if (label.empty()) {
     label = DefaultReleaseLabel(num_releases_, budget);
   }
-  if (!ledger_.TryCharge(budget.phase2_epsilon(), budget.delta,
-                         std::move(label))) {
+  if (!ledger_.TryCharge(compiled_->ChargeEventFor(budget), std::move(label))) {
     return std::nullopt;
   }
   MultiLevelRelease release = compiled_->DrawRelease(budget, rng);
@@ -90,15 +108,21 @@ std::vector<MultiLevelRelease> DisclosureSession::Sweep(
   // rng and ledger exactly as they were.
   double total_eps = 0.0;
   double total_delta = 0.0;
+  std::vector<gdp::dp::MechanismEvent> events;
+  events.reserve(budgets.size());
   for (const BudgetSpec& budget : budgets) {
     ValidateBudget(budget);
+    events.push_back(compiled_->ChargeEventFor(budget));
     total_eps += budget.phase2_epsilon();
     total_delta += budget.delta;
   }
   // Cap check for the whole batch, so a sweep the grant cannot cover is
   // rejected as atomically as a bad point — not mid-batch with some points
-  // already drawn and charged.
-  if (ledger_.WouldExceed(total_eps, total_delta)) {
+  // already drawn and charged.  The check replays the batch's EVENTS through
+  // the ledger's accountant: under a non-sequential policy, per-point
+  // guarantees do not simply add, so a Σε pre-check would not be the check
+  // the per-point charges later run.
+  if (ledger_.WouldExceedAll(events)) {
     throw gdp::common::BudgetExhaustedError(
         "DisclosureSession::Sweep: the batch would exceed the session grant "
         "(needs eps=" +
@@ -134,8 +158,6 @@ std::vector<gdp::query::QueryRunResult> DisclosureSession::Answer(
   // Everything that can fail must fail BEFORE the charge below: a rejected
   // call must not leave phantom spend on the ledger.
   compiled_->CheckLevel(level, "DisclosureSession::Answer");
-  const gdp::dp::BudgetCharge cost =
-      workload.RunCost(budget.phase2_epsilon(), budget.delta);
   if (label.empty()) {
     label = "answer[" + std::to_string(num_answers_) + "]: " +
             std::to_string(workload.size()) + " queries at L" +
@@ -144,8 +166,18 @@ std::vector<gdp::query::QueryRunResult> DisclosureSession::Answer(
             NoiseKindName(budget.noise) + ")";
   }
   // Same order as Release: commit the spend, then draw (the artifact
-  // re-checks the already-validated shape and level, both O(1)).
-  ledger_.Charge(cost.epsilon, cost.delta, std::move(label));
+  // re-checks the already-validated shape and level, both O(1)).  One event
+  // with count = k carries the workload's sequential cost (Workload::RunCost
+  // semantics): k identical mechanisms at (ε₂, δ), each against its own
+  // query sensitivity but — both Gaussian calibrations being scale-free —
+  // all at the same noise multiplier.  An empty workload claims nothing.
+  gdp::dp::MechanismEvent event =
+      workload.size() == 0
+          ? gdp::dp::MechanismEvent::Opaque(0.0, 0.0)
+          : MechanismEventFor(budget.noise, budget.phase2_epsilon(),
+                              budget.delta);
+  event.count = std::max<int>(1, static_cast<int>(workload.size()));
+  ledger_.Charge(event, std::move(label));
   ++num_answers_;
   return compiled_->Answer(workload, level, budget, rng);
 }

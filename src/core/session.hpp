@@ -65,10 +65,19 @@ class DisclosureSession {
   // own grant.  Charges the artifact's Phase-1 spend to the fresh ledger
   // (the hierarchy is part of what this tenant receives), so a grant that
   // cannot cover even Phase 1 fails here with BudgetExhaustedError.
-  // Cheap: no graph work, no randomness.
+  // Cheap: no graph work, no randomness.  The ledger composes under the
+  // artifact's spec().accounting policy unless the tenant brings its own
+  // (the serving layer's per-tenant knob): kSequential is the historical
+  // Σε bound; kAdvanced / kRdp compose the mechanism-level events Release /
+  // Sweep / Answer thread through, so a long-lived tenant's cumulative
+  // (ε, δ) at its δ is tighter than the naive totals (docs/ACCOUNTING.md).
   [[nodiscard]] static DisclosureSession Attach(
       std::shared_ptr<const CompiledDisclosure> compiled, double epsilon_cap,
       double delta_cap);
+
+  [[nodiscard]] static DisclosureSession Attach(
+      std::shared_ptr<const CompiledDisclosure> compiled, double epsilon_cap,
+      double delta_cap, gdp::dp::AccountingPolicy accounting);
 
   // Attach with the artifact's default caps (spec().epsilon_cap/delta_cap).
   [[nodiscard]] static DisclosureSession Attach(
@@ -172,7 +181,8 @@ class DisclosureSession {
 
  private:
   DisclosureSession(std::shared_ptr<const CompiledDisclosure> compiled,
-                    double epsilon_cap, double delta_cap);
+                    double epsilon_cap, double delta_cap,
+                    gdp::dp::AccountingPolicy accounting);
 
   std::shared_ptr<const CompiledDisclosure> compiled_;
   gdp::dp::BudgetLedger ledger_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace gdp::dp {
 
@@ -51,70 +52,132 @@ BudgetCharge ComposeAdvanced(Epsilon eps, double delta, int k, double delta_slac
 }
 
 BudgetLedger::BudgetLedger(double epsilon_cap, double delta_cap)
-    : eps_cap_(epsilon_cap), delta_cap_(delta_cap) {
+    : BudgetLedger(epsilon_cap, delta_cap, AccountingPolicy::kSequential) {}
+
+BudgetLedger::BudgetLedger(double epsilon_cap, double delta_cap,
+                           AccountingPolicy policy)
+    : eps_cap_(epsilon_cap),
+      delta_cap_(delta_cap),
+      policy_(policy),
+      accountant_(MakeAccountant(policy)) {
   if (!(epsilon_cap > 0.0) || !std::isfinite(epsilon_cap)) {
     throw std::invalid_argument("BudgetLedger: epsilon_cap must be > 0");
   }
   if (!(delta_cap >= 0.0) || !(delta_cap < 1.0)) {
     throw std::invalid_argument("BudgetLedger: delta_cap must be in [0, 1)");
   }
+  if (policy != AccountingPolicy::kSequential && !(delta_cap > 0.0)) {
+    throw std::invalid_argument(
+        std::string("BudgetLedger: the ") + AccountingPolicyName(policy) +
+        " policy converts through a delta slack and requires delta_cap > 0");
+  }
 }
 
-namespace {
-// Absorb floating-point accumulation error in cap comparisons.
-constexpr double kCapSlack = 1e-12;
-}  // namespace
+BudgetLedger::BudgetLedger(const BudgetLedger& other)
+    : eps_cap_(other.eps_cap_),
+      delta_cap_(other.delta_cap_),
+      eps_spent_(other.eps_spent_),
+      delta_spent_(other.delta_spent_),
+      policy_(other.policy_),
+      accountant_(other.accountant_->Clone()),
+      charges_(other.charges_),
+      events_(other.events_) {}
 
-bool BudgetLedger::WouldExceed(double epsilon, double delta) const noexcept {
-  return eps_spent_ + epsilon > eps_cap_ * (1.0 + kCapSlack) + kCapSlack ||
-         delta_spent_ + delta > delta_cap_ * (1.0 + kCapSlack) + kCapSlack;
+BudgetLedger& BudgetLedger::operator=(const BudgetLedger& other) {
+  if (this != &other) {
+    BudgetLedger copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+bool BudgetLedger::WouldExceed(double epsilon, double delta) const {
+  return WouldExceed(MechanismEvent::Opaque(epsilon, delta));
+}
+
+bool BudgetLedger::WouldExceed(const MechanismEvent& event) const {
+  return accountant_->WouldExceed(event, eps_cap_, delta_cap_);
+}
+
+bool BudgetLedger::WouldExceedAll(
+    std::span<const MechanismEvent> events) const {
+  const std::unique_ptr<PrivacyAccountant> probe = accountant_->Clone();
+  for (const MechanismEvent& event : events) {
+    probe->Spend(event);
+  }
+  const BudgetCharge guarantee = probe->AdmissionGuarantee(delta_cap_);
+  return ExceedsBudgetCaps(guarantee.epsilon, guarantee.delta, eps_cap_,
+                           delta_cap_);
+}
+
+void BudgetLedger::CommitCharge(const MechanismEvent& event,
+                                std::string label) {
+  accountant_->Spend(event);
+  eps_spent_ += event.TotalEpsilon();
+  delta_spent_ += event.TotalDelta();
+  charges_.push_back(
+      BudgetCharge{event.TotalEpsilon(), event.TotalDelta(), std::move(label)});
+  events_.push_back(event);
 }
 
 void BudgetLedger::Charge(double epsilon, double delta, std::string label) {
-  if (!(epsilon >= 0.0) || !std::isfinite(epsilon)) {
-    throw std::invalid_argument("BudgetLedger::Charge: bad epsilon");
-  }
-  if (!(delta >= 0.0) || !(delta < 1.0)) {
-    throw std::invalid_argument("BudgetLedger::Charge: bad delta");
-  }
-  if (eps_spent_ + epsilon > eps_cap_ * (1.0 + kCapSlack) + kCapSlack) {
+  Charge(MechanismEvent::Opaque(epsilon, delta), std::move(label));
+}
+
+void BudgetLedger::Charge(const MechanismEvent& event, std::string label) {
+  ValidateMechanismEvent(event);
+  if (WouldExceed(event)) {
+    // Name the cap that tripped: re-check with the δ claim zeroed, matching
+    // the historical epsilon-first check order.
+    MechanismEvent eps_only = event;
+    eps_only.delta = 0.0;
+    const bool eps_binding =
+        accountant_->WouldExceed(eps_only, eps_cap_, delta_cap_);
     throw gdp::common::BudgetExhaustedError(
-        "BudgetLedger: epsilon cap exceeded by charge '" + label + "'");
+        std::string("BudgetLedger: ") + (eps_binding ? "epsilon" : "delta") +
+        " cap exceeded by charge '" + label + "'");
   }
-  if (delta_spent_ + delta > delta_cap_ * (1.0 + kCapSlack) + kCapSlack) {
-    throw gdp::common::BudgetExhaustedError(
-        "BudgetLedger: delta cap exceeded by charge '" + label + "'");
-  }
-  eps_spent_ += epsilon;
-  delta_spent_ += delta;
-  charges_.push_back(BudgetCharge{epsilon, delta, std::move(label)});
+  CommitCharge(event, std::move(label));
 }
 
 bool BudgetLedger::TryCharge(double epsilon, double delta, std::string label) {
+  return TryCharge(MechanismEvent::Opaque(epsilon, delta), std::move(label));
+}
+
+bool BudgetLedger::TryCharge(const MechanismEvent& event, std::string label) {
   // Malformed spends are still programming errors, not admission decisions.
-  if (!(epsilon >= 0.0) || !std::isfinite(epsilon)) {
-    throw std::invalid_argument("BudgetLedger::TryCharge: bad epsilon");
-  }
-  if (!(delta >= 0.0) || !(delta < 1.0)) {
-    throw std::invalid_argument("BudgetLedger::TryCharge: bad delta");
-  }
-  if (WouldExceed(epsilon, delta)) {
+  ValidateMechanismEvent(event);
+  if (WouldExceed(event)) {
     return false;
   }
-  eps_spent_ += epsilon;
-  delta_spent_ += delta;
-  charges_.push_back(BudgetCharge{epsilon, delta, std::move(label)});
+  CommitCharge(event, std::move(label));
   return true;
+}
+
+BudgetCharge BudgetLedger::AccountedGuarantee(double target_delta) const {
+  return accountant_->CumulativeGuarantee(target_delta);
+}
+
+BudgetCharge BudgetLedger::AccountedSpend() const {
+  return accountant_->AdmissionGuarantee(delta_cap_);
 }
 
 std::string BudgetLedger::AuditReport() const {
   std::ostringstream os;
-  os << "budget ledger (cap eps=" << eps_cap_ << ", delta=" << delta_cap_ << ")\n";
+  os << "budget ledger (cap eps=" << eps_cap_ << ", delta=" << delta_cap_
+     << ", accounting=" << AccountingPolicyName(policy_) << ")\n";
   for (const auto& c : charges_) {
     os << "  charge eps=" << c.epsilon << " delta=" << c.delta << "  [" << c.label
        << "]\n";
   }
   os << "  total  eps=" << eps_spent_ << " delta=" << delta_spent_ << '\n';
+  if (policy_ != AccountingPolicy::kSequential) {
+    const BudgetCharge tightened = AccountedSpend();
+    os << "  " << AccountingPolicyName(policy_)
+       << "-accounted eps=" << tightened.epsilon
+       << " delta=" << tightened.delta << " (naive eps=" << eps_spent_
+       << ", delta=" << delta_spent_ << ")\n";
+  }
   return os.str();
 }
 

@@ -9,10 +9,19 @@
 //  * Advanced composition (Dwork–Rothblum–Vadhan): k-fold adaptive
 //    composition of (ε, δ) gives (ε', kδ + δ') with
 //    ε' = ε·sqrt(2k·ln(1/δ')) + k·ε·(e^ε − 1).
+//  * Rényi composition (Mironov'17): Gaussian mechanisms compose exactly on
+//    the Rényi curve; see dp/rdp_accountant.hpp.
 //
 // BudgetLedger enforces a hard cap: Charge throws BudgetExhaustedError when
 // the requested spend would exceed the cap (Core Guidelines I.5: state
-// preconditions; we make over-spend unrepresentable at runtime).
+// preconditions; we make over-spend unrepresentable at runtime).  The cap
+// arithmetic is delegated to a pluggable PrivacyAccountant (see
+// dp/privacy_accountant.hpp): the default AccountingPolicy::kSequential is
+// bit-identical to the historical inlined Σε ledger, while kAdvanced / kRdp
+// admit more mechanism-level charges against the same caps by composing
+// tighter.  The ledger always ALSO keeps the naive sequential totals
+// (epsilon_spent / delta_spent) as the audit baseline, so reports can show
+// both the naive and the accountant-tightened cumulative.
 #pragma once
 
 #include <span>
@@ -20,16 +29,10 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "dp/privacy_accountant.hpp"
 #include "dp/privacy_params.hpp"
 
 namespace gdp::dp {
-
-// A single (ε, δ) spend, tagged for audit output.
-struct BudgetCharge {
-  double epsilon{0.0};
-  double delta{0.0};
-  std::string label;
-};
 
 // --- stateless composition arithmetic -------------------------------------
 
@@ -40,6 +43,7 @@ struct BudgetCharge {
 [[nodiscard]] BudgetCharge ComposeParallel(std::span<const BudgetCharge> charges);
 
 // Advanced composition bound for k-fold use of one (ε, δ) with slack δ'.
+// Requires k > 0, delta in [0, 1), delta_slack in (0, 1).
 [[nodiscard]] BudgetCharge ComposeAdvanced(Epsilon eps, double delta, int k,
                                            double delta_slack);
 
@@ -47,19 +51,40 @@ struct BudgetCharge {
 
 class BudgetLedger {
  public:
-  // Pure-ε cap: delta_cap == 0 means no δ spend is permitted.
+  // Pure-ε cap: delta_cap == 0 means no δ spend is permitted.  The two-arg
+  // form is the historical sequential ledger.
   BudgetLedger(double epsilon_cap, double delta_cap);
 
-  // Record a spend; throws gdp::common::BudgetExhaustedError if the running
-  // sequential composition would exceed either cap.  (The ledger is
-  // conservative: it always composes sequentially; callers exploiting
-  // parallel composition charge the ledger once per parallel block.)
-  void Charge(double epsilon, double delta, std::string label);
+  // Ledger with an explicit accounting policy.  kAdvanced / kRdp need δ
+  // headroom for their conversion slack, so they require delta_cap > 0
+  // (std::invalid_argument otherwise).
+  BudgetLedger(double epsilon_cap, double delta_cap, AccountingPolicy policy);
 
-  // True iff a Charge(epsilon, delta, ...) would throw BudgetExhaustedError
-  // right now (same slack arithmetic).  Lets batch callers pre-check a whole
-  // sequence of charges atomically instead of failing mid-batch.
-  [[nodiscard]] bool WouldExceed(double epsilon, double delta) const noexcept;
+  // Copyable: a ledger is returned by value on audit paths.  The accountant
+  // is deep-cloned.
+  BudgetLedger(const BudgetLedger& other);
+  BudgetLedger& operator=(const BudgetLedger& other);
+  BudgetLedger(BudgetLedger&&) noexcept = default;
+  BudgetLedger& operator=(BudgetLedger&&) noexcept = default;
+  ~BudgetLedger() = default;
+
+  // Record a spend; throws gdp::common::BudgetExhaustedError if the
+  // accountant's cumulative guarantee would exceed either cap.  The
+  // two-double form records an opaque (ε, δ) event — exactly the historical
+  // behavior; the event form lets a mechanism-aware policy compose tighter.
+  void Charge(double epsilon, double delta, std::string label);
+  void Charge(const MechanismEvent& event, std::string label);
+
+  // True iff a matching Charge would throw BudgetExhaustedError right now
+  // (same slack arithmetic).  Lets batch callers pre-check a whole sequence
+  // of charges atomically instead of failing mid-batch.
+  [[nodiscard]] bool WouldExceed(double epsilon, double delta) const;
+  [[nodiscard]] bool WouldExceed(const MechanismEvent& event) const;
+
+  // Batch pre-check: would recording ALL of `events`, in order, exceed the
+  // caps?  This is the only correct whole-batch check for a non-sequential
+  // policy, where per-event guarantees do not simply add.
+  [[nodiscard]] bool WouldExceedAll(std::span<const MechanismEvent> events) const;
 
   // Check-and-charge in one call: records the spend and returns true when it
   // fits the caps, returns false and leaves the ledger untouched otherwise.
@@ -79,10 +104,16 @@ class BudgetLedger {
   //    NOT: against an adversary observing (or tenants pooling) several
   //    views, the dataset-level loss composes sequentially (~Σ per-tenant
   //    spends).  Per-tenant ledgers deliberately do not track that global
-  //    quantity; a deployment that needs it adds a dataset-level ledger (or
-  //    an rdp_accountant) charged once per release, across tenants.
+  //    quantity; a deployment that needs it adds a dataset-level ledger
+  //    (or accountant) charged once per release, across tenants.
   [[nodiscard]] bool TryCharge(double epsilon, double delta, std::string label);
+  [[nodiscard]] bool TryCharge(const MechanismEvent& event, std::string label);
 
+  // Naive sequential totals (Σε, Σδ over charges) — the audit baseline,
+  // maintained under every policy.  Under kSequential these ARE the
+  // admission quantities; under kAdvanced / kRdp the accountant's guarantee
+  // is what the caps bind, and epsilon_remaining can legitimately go
+  // negative while the tenant is still admissible.
   [[nodiscard]] double epsilon_spent() const noexcept { return eps_spent_; }
   [[nodiscard]] double delta_spent() const noexcept { return delta_spent_; }
   [[nodiscard]] double epsilon_remaining() const noexcept {
@@ -96,16 +127,37 @@ class BudgetLedger {
   [[nodiscard]] const std::vector<BudgetCharge>& charges() const noexcept {
     return charges_;
   }
+  // The mechanism-level events behind charges(), index-aligned with it.
+  [[nodiscard]] const std::vector<MechanismEvent>& events() const noexcept {
+    return events_;
+  }
 
-  // Multi-line audit trail: one line per charge plus totals.
+  [[nodiscard]] AccountingPolicy policy() const noexcept { return policy_; }
+
+  // The policy-tightened cumulative guarantee at failure probability
+  // `target_delta` (kSequential ignores the target and reports the naive
+  // totals).  This is what an RDP tenant shows at its own δ.
+  [[nodiscard]] BudgetCharge AccountedGuarantee(double target_delta) const;
+
+  // The guarantee the cap check binds — the accountant's admission basis at
+  // this ledger's δ cap.
+  [[nodiscard]] BudgetCharge AccountedSpend() const;
+
+  // Multi-line audit trail: one line per charge plus the naive totals, and —
+  // for a non-sequential policy — the accountant-tightened cumulative.
   [[nodiscard]] std::string AuditReport() const;
 
  private:
+  void CommitCharge(const MechanismEvent& event, std::string label);
+
   double eps_cap_;
   double delta_cap_;
   double eps_spent_{0.0};
   double delta_spent_{0.0};
+  AccountingPolicy policy_{AccountingPolicy::kSequential};
+  std::unique_ptr<PrivacyAccountant> accountant_;
   std::vector<BudgetCharge> charges_;
+  std::vector<MechanismEvent> events_;
 };
 
 }  // namespace gdp::dp

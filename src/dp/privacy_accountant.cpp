@@ -1,0 +1,376 @@
+#include "dp/privacy_accountant.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "dp/privacy_params.hpp"
+#include "dp/rdp_accountant.hpp"
+
+namespace gdp::dp {
+
+namespace {
+
+// Absorb floating-point accumulation error in cap comparisons.  Must stay
+// identical to the historical BudgetLedger arithmetic: many small charges
+// summing to exactly a cap are admitted, one ulp past it is not.
+constexpr double kCapSlack = 1e-12;
+
+void CheckTargetDelta(const char* where, double target_delta) {
+  if (!(target_delta > 0.0) || !(target_delta < 1.0)) {
+    throw std::invalid_argument(std::string(where) +
+                                ": target delta must be in (0, 1), got " +
+                                std::to_string(target_delta));
+  }
+}
+
+}  // namespace
+
+bool ExceedsBudgetCaps(double epsilon, double delta, double epsilon_cap,
+                       double delta_cap) noexcept {
+  return epsilon > epsilon_cap * (1.0 + kCapSlack) + kCapSlack ||
+         delta > delta_cap * (1.0 + kCapSlack) + kCapSlack;
+}
+
+const char* AccountingPolicyName(AccountingPolicy policy) noexcept {
+  switch (policy) {
+    case AccountingPolicy::kSequential:
+      return "sequential";
+    case AccountingPolicy::kAdvanced:
+      return "advanced";
+    case AccountingPolicy::kRdp:
+      return "rdp";
+  }
+  return "?";
+}
+
+AccountingPolicy ParseAccountingPolicy(const std::string& name) {
+  if (name == "sequential") {
+    return AccountingPolicy::kSequential;
+  }
+  if (name == "advanced") {
+    return AccountingPolicy::kAdvanced;
+  }
+  if (name == "rdp") {
+    return AccountingPolicy::kRdp;
+  }
+  throw std::invalid_argument(
+      "unknown accounting policy '" + name +
+      "' (expected sequential | advanced | rdp)");
+}
+
+MechanismEvent MechanismEvent::Gaussian(double epsilon, double delta,
+                                        double noise_multiplier, int count,
+                                        int parallel_width) {
+  MechanismEvent event;
+  event.kind = Kind::kGaussian;
+  event.epsilon = epsilon;
+  event.delta = delta;
+  event.noise_multiplier = noise_multiplier;
+  event.count = count;
+  event.parallel_width = parallel_width;
+  return event;
+}
+
+MechanismEvent MechanismEvent::PureEps(double epsilon, double delta, int count,
+                                       int parallel_width) {
+  MechanismEvent event;
+  event.kind = Kind::kPureEps;
+  event.epsilon = epsilon;
+  event.delta = delta;
+  event.count = count;
+  event.parallel_width = parallel_width;
+  return event;
+}
+
+MechanismEvent MechanismEvent::Opaque(double epsilon, double delta, int count) {
+  MechanismEvent event;
+  event.kind = Kind::kOpaque;
+  event.epsilon = epsilon;
+  event.delta = delta;
+  event.count = count;
+  return event;
+}
+
+void ValidateMechanismEvent(const MechanismEvent& event) {
+  if (!(event.epsilon >= 0.0) || !std::isfinite(event.epsilon)) {
+    throw std::invalid_argument("MechanismEvent: bad epsilon");
+  }
+  if (!(event.delta >= 0.0) || !(event.delta < 1.0)) {
+    throw std::invalid_argument("MechanismEvent: bad delta");
+  }
+  if (event.count < 1) {
+    throw std::invalid_argument("MechanismEvent: count must be >= 1");
+  }
+  if (event.parallel_width < 1) {
+    throw std::invalid_argument("MechanismEvent: parallel_width must be >= 1");
+  }
+  if (event.kind == MechanismEvent::Kind::kGaussian &&
+      (!(event.noise_multiplier > 0.0) ||
+       !std::isfinite(event.noise_multiplier))) {
+    throw std::invalid_argument(
+        "MechanismEvent: a Gaussian event needs a noise multiplier > 0");
+  }
+}
+
+bool PrivacyAccountant::WouldExceed(const MechanismEvent& event,
+                                    double epsilon_cap,
+                                    double delta_cap) const {
+  const BudgetCharge guarantee = GuaranteeWith(event, delta_cap);
+  return ExceedsBudgetCaps(guarantee.epsilon, guarantee.delta, epsilon_cap,
+                           delta_cap);
+}
+
+namespace {
+
+// --- sequential -------------------------------------------------------------
+
+// The historical ledger arithmetic, verbatim: running Σε / Σδ in charge
+// order, so a refactored ledger is bit-identical to the pre-accountant one.
+class SequentialAccountant final : public PrivacyAccountant {
+ public:
+  void Spend(const MechanismEvent& event) override {
+    eps_sum_ += event.TotalEpsilon();
+    delta_sum_ += event.TotalDelta();
+  }
+
+  [[nodiscard]] BudgetCharge CumulativeGuarantee(
+      double /*target_delta*/) const override {
+    return BudgetCharge{eps_sum_, delta_sum_, "sequential"};
+  }
+
+  [[nodiscard]] BudgetCharge AdmissionGuarantee(
+      double /*delta_cap*/) const override {
+    return BudgetCharge{eps_sum_, delta_sum_, "sequential"};
+  }
+
+  [[nodiscard]] BudgetCharge GuaranteeWith(
+      const MechanismEvent& event, double /*delta_cap*/) const override {
+    // The historical inline cap arithmetic, verbatim: running sum + charge.
+    return BudgetCharge{eps_sum_ + event.TotalEpsilon(),
+                        delta_sum_ + event.TotalDelta(), "sequential"};
+  }
+
+  [[nodiscard]] std::unique_ptr<PrivacyAccountant> Clone() const override {
+    return std::make_unique<SequentialAccountant>(*this);
+  }
+
+  [[nodiscard]] AccountingPolicy policy() const noexcept override {
+    return AccountingPolicy::kSequential;
+  }
+
+ private:
+  double eps_sum_{0.0};
+  double delta_sum_{0.0};
+};
+
+// --- advanced ---------------------------------------------------------------
+
+// Heterogeneous advanced composition (Dwork–Rothblum–Vadhan):
+//   ε(δ') = sqrt(2·ln(1/δ')·Σεᵢ²) + Σ εᵢ·(e^εᵢ − 1),   δ = Σδᵢ + δ'.
+// Capped at the basic bound Σε so the policy never loses to sequential.
+class AdvancedAccountant final : public PrivacyAccountant {
+ public:
+  void Spend(const MechanismEvent& event) override {
+    const double k = static_cast<double>(event.count);
+    const double e = event.epsilon;
+    eps_sum_ += e * k;
+    eps_sq_sum_ += e * e * k;
+    eps_exp_sum_ += k * e * std::expm1(e);
+    delta_sum_ += event.TotalDelta();
+  }
+
+  [[nodiscard]] BudgetCharge CumulativeGuarantee(
+      double target_delta) const override {
+    CheckTargetDelta("AdvancedAccountant::CumulativeGuarantee", target_delta);
+    return BudgetCharge{EpsilonAtSlack(target_delta), delta_sum_ + target_delta,
+                        "advanced"};
+  }
+
+  [[nodiscard]] BudgetCharge AdmissionGuarantee(
+      double delta_cap) const override {
+    return GuaranteeOver(eps_sum_, eps_sq_sum_, eps_exp_sum_, delta_sum_,
+                         delta_cap);
+  }
+
+  [[nodiscard]] BudgetCharge GuaranteeWith(const MechanismEvent& event,
+                                           double delta_cap) const override {
+    // Same accumulation arithmetic as Spend, on locals — no clone.
+    const double k = static_cast<double>(event.count);
+    const double e = event.epsilon;
+    return GuaranteeOver(eps_sum_ + e * k, eps_sq_sum_ + e * e * k,
+                         eps_exp_sum_ + k * e * std::expm1(e),
+                         delta_sum_ + event.TotalDelta(), delta_cap);
+  }
+
+  [[nodiscard]] std::unique_ptr<PrivacyAccountant> Clone() const override {
+    return std::make_unique<AdvancedAccountant>(*this);
+  }
+
+  [[nodiscard]] AccountingPolicy policy() const noexcept override {
+    return AccountingPolicy::kAdvanced;
+  }
+
+ private:
+  // Spend the whole remaining δ headroom as conversion slack: the largest
+  // slack gives the smallest ε, and δ_total = Σδ + δ' = delta_cap stays
+  // admissible.  No headroom left means no certificate exists.
+  [[nodiscard]] static BudgetCharge GuaranteeOver(double eps_sum,
+                                                  double eps_sq_sum,
+                                                  double eps_exp_sum,
+                                                  double delta_sum,
+                                                  double delta_cap) {
+    const double slack = delta_cap - delta_sum;
+    if (!(slack > 0.0)) {
+      return BudgetCharge{std::numeric_limits<double>::infinity(), delta_sum,
+                          "advanced"};
+    }
+    const double advanced =
+        std::sqrt(2.0 * std::log(1.0 / slack) * eps_sq_sum) + eps_exp_sum;
+    return BudgetCharge{std::min(eps_sum, advanced), delta_sum + slack,
+                        "advanced"};
+  }
+
+  [[nodiscard]] double EpsilonAtSlack(double slack) const {
+    const double advanced =
+        std::sqrt(2.0 * std::log(1.0 / slack) * eps_sq_sum_) + eps_exp_sum_;
+    return std::min(eps_sum_, advanced);
+  }
+
+  double eps_sum_{0.0};
+  double eps_sq_sum_{0.0};
+  double eps_exp_sum_{0.0};
+  double delta_sum_{0.0};
+};
+
+// --- RDP --------------------------------------------------------------------
+
+// Rényi composition for Gaussian events (exact order-wise addition, CKS'20
+// conversion), Bun–Steinke for pure-ε events.  Opaque events cannot enter
+// the Rényi curve, so they compose basically ON TOP of the converted
+// guarantee (valid by sequential composition of the two groups), and any δ
+// the claims carried stays in the δ books additively.
+class RdpBackedAccountant final : public PrivacyAccountant {
+ public:
+  void Spend(const MechanismEvent& event) override {
+    switch (event.kind) {
+      case MechanismEvent::Kind::kGaussian:
+        rdp_.AddGaussians(event.noise_multiplier, event.count);
+        // The per-event δ claim is an artifact of the caller's (ε, δ)
+        // calibration; the Rényi curve carries the full mechanism, and δ is
+        // re-spent once at conversion time.  Nothing to add here.
+        break;
+      case MechanismEvent::Kind::kPureEps:
+        if (event.epsilon > 0.0) {
+          for (int i = 0; i < event.count; ++i) {
+            rdp_.AddPureDp(Epsilon(event.epsilon));
+          }
+        }
+        // A pure mechanism's real δ is 0; keep any claimed δ in the books so
+        // the tightened δ never under-reports the naive ledger's.
+        claimed_delta_ += event.TotalDelta();
+        break;
+      case MechanismEvent::Kind::kOpaque:
+        opaque_eps_ += event.TotalEpsilon();
+        claimed_delta_ += event.TotalDelta();
+        break;
+    }
+  }
+
+  [[nodiscard]] BudgetCharge CumulativeGuarantee(
+      double target_delta) const override {
+    CheckTargetDelta("RdpBackedAccountant::CumulativeGuarantee", target_delta);
+    return BudgetCharge{rdp_.EpsilonFor(Delta(target_delta)) + opaque_eps_,
+                        target_delta + claimed_delta_, "rdp"};
+  }
+
+  [[nodiscard]] BudgetCharge AdmissionGuarantee(
+      double delta_cap) const override {
+    const double slack = delta_cap - claimed_delta_;
+    if (!(slack > 0.0) || !(slack < 1.0)) {
+      return BudgetCharge{std::numeric_limits<double>::infinity(),
+                          claimed_delta_, "rdp"};
+    }
+    return BudgetCharge{rdp_.EpsilonFor(Delta(slack)) + opaque_eps_,
+                        claimed_delta_ + slack, "rdp"};
+  }
+
+  [[nodiscard]] BudgetCharge GuaranteeWith(const MechanismEvent& event,
+                                           double delta_cap) const override {
+    // The event's δ/ε bookkeeping, mirroring Spend, on locals.
+    double claimed = claimed_delta_;
+    double opaque_eps = opaque_eps_;
+    if (event.kind != MechanismEvent::Kind::kGaussian) {
+      claimed += event.TotalDelta();
+    }
+    if (event.kind == MechanismEvent::Kind::kOpaque) {
+      opaque_eps += event.TotalEpsilon();
+    }
+    const double slack = delta_cap - claimed;
+    if (!(slack > 0.0) || !(slack < 1.0)) {
+      return BudgetCharge{std::numeric_limits<double>::infinity(), claimed,
+                          "rdp"};
+    }
+    // Scan the hypothetical curve (committed RDP + this event's order-wise
+    // contribution) without materialising it — the admission hot path runs
+    // this once per request, allocation-free.
+    const std::vector<double>& orders = rdp_.orders();
+    const std::vector<double>& rdp = rdp_.rdp();
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < orders.size(); ++i) {
+      best = std::min(best, rdp[i] + OrderContribution(event, orders[i]) +
+                                RdpConversionGap(orders[i], slack));
+    }
+    return BudgetCharge{std::max(0.0, best) + opaque_eps, claimed + slack,
+                        "rdp"};
+  }
+
+  [[nodiscard]] std::unique_ptr<PrivacyAccountant> Clone() const override {
+    return std::make_unique<RdpBackedAccountant>(*this);
+  }
+
+  [[nodiscard]] AccountingPolicy policy() const noexcept override {
+    return AccountingPolicy::kRdp;
+  }
+
+ private:
+  // What `event` adds to the Rényi curve at order α (matches Spend's
+  // order-wise arithmetic; opaque events never enter the curve).
+  [[nodiscard]] static double OrderContribution(const MechanismEvent& event,
+                                                double alpha) noexcept {
+    switch (event.kind) {
+      case MechanismEvent::Kind::kGaussian:
+        return alpha * (static_cast<double>(event.count) /
+                        (2.0 * event.noise_multiplier * event.noise_multiplier));
+      case MechanismEvent::Kind::kPureEps: {
+        const double e = event.epsilon;
+        return e > 0.0 ? static_cast<double>(event.count) *
+                             std::min(e, alpha * e * e / 2.0)
+                       : 0.0;
+      }
+      case MechanismEvent::Kind::kOpaque:
+        return 0.0;
+    }
+    return 0.0;
+  }
+
+  RdpAccountant rdp_;
+  double opaque_eps_{0.0};
+  double claimed_delta_{0.0};
+};
+
+}  // namespace
+
+std::unique_ptr<PrivacyAccountant> MakeAccountant(AccountingPolicy policy) {
+  switch (policy) {
+    case AccountingPolicy::kSequential:
+      return std::make_unique<SequentialAccountant>();
+    case AccountingPolicy::kAdvanced:
+      return std::make_unique<AdvancedAccountant>();
+    case AccountingPolicy::kRdp:
+      return std::make_unique<RdpBackedAccountant>();
+  }
+  throw std::invalid_argument("MakeAccountant: unknown policy");
+}
+
+}  // namespace gdp::dp

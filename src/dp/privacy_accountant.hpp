@@ -1,0 +1,165 @@
+// Pluggable privacy accounting: the policy seam between mechanism-level
+// spend events and the cumulative (ε, δ) guarantee a ledger enforces.
+//
+// The release pipeline used to hand its ledger opaque (ε, δ) pairs, which
+// forces the naive sequential bound (Σε, Σδ) — a ~sqrt(k) factor worse than
+// the truth for k composed Gaussian releases.  A MechanismEvent instead
+// carries what the mechanism actually was (Gaussian with noise multiplier
+// σ/Δ, pure-ε, or an opaque (ε, δ) claim), so an accountant backend that
+// understands the mechanism can compose tighter:
+//
+//   * SequentialAccountant — (Σε, Σδ); exactly the historical ledger
+//     arithmetic (bit-identical, pinned by the pre-existing ledger tests).
+//   * AdvancedAccountant  — heterogeneous advanced composition
+//     (Dwork–Rothblum–Vadhan): ε(δ') = sqrt(2·ln(1/δ')·Σεᵢ²) + Σεᵢ(e^εᵢ−1),
+//     capped at Σε so it never loses to the naive bound.
+//   * RdpBackedAccountant — Rényi-DP composition (Mironov'17) for Gaussian
+//     events via dp::RdpAccountant, with the CKS'20 conversion back to
+//     (ε, δ); pure-ε events enter the Rényi curve via Bun–Steinke, opaque
+//     events compose basically on top.
+//
+// The contract is Spend / CumulativeGuarantee(δ) / WouldExceed: record an
+// event, ask for the tightest cumulative (ε, δ) at a conversion target δ,
+// and pre-check an event against caps without mutating.  BudgetLedger owns
+// one accountant (policy chosen at construction) and delegates all cap
+// arithmetic to it; see dp/accountant.hpp.
+//
+// PARALLEL-COMPOSITION CAVEAT (stated honestly): an event's parallel_width
+// records how many disjoint blocks (e.g. hierarchy levels, each protecting
+// its own adjacency relation) one charge covers.  The accountants treat the
+// event as ONE mechanism at the claimed (ε, δ) — the historical ledger
+// semantics — so the width is audit metadata, not a composition input.  See
+// docs/ACCOUNTING.md for when that claim is and is not the right one.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace gdp::dp {
+
+// A single (ε, δ) spend, tagged for audit output.  (Lives here rather than
+// accountant.hpp so both the accountant interface and the ledger see it.)
+struct BudgetCharge {
+  double epsilon{0.0};
+  double delta{0.0};
+  std::string label;
+};
+
+enum class AccountingPolicy {
+  kSequential,  // (Σε, Σδ) — the historical ledger behavior
+  kAdvanced,    // heterogeneous advanced composition (DRV'10)
+  kRdp,         // Rényi-DP composition for Gaussian-dominant workloads
+};
+
+[[nodiscard]] const char* AccountingPolicyName(AccountingPolicy policy) noexcept;
+
+// Parse "sequential" | "advanced" | "rdp" (the CLI --accounting values).
+// Throws std::invalid_argument on anything else.
+[[nodiscard]] AccountingPolicy ParseAccountingPolicy(const std::string& name);
+
+// One accounting event: `count` identical mechanisms composed sequentially,
+// each claiming (epsilon, delta) under basic composition.  The kind tells a
+// mechanism-aware backend how to account tighter than the claim.
+struct MechanismEvent {
+  enum class Kind {
+    kGaussian,  // Gaussian mechanism; noise_multiplier = σ/Δ is meaningful
+    kPureEps,   // pure ε-DP mechanism (Laplace, geometric, EM); the claimed
+                // δ, if any, is the caller's bookkeeping, not mechanism loss
+    kOpaque,    // only the (ε, δ) claim is known — composes sequentially
+  };
+
+  Kind kind{Kind::kOpaque};
+  double epsilon{0.0};
+  double delta{0.0};
+  // σ/Δ for kGaussian (scale-free: both Gaussian calibrations scale σ
+  // linearly with Δ, so the multiplier depends only on (ε, δ)).
+  double noise_multiplier{0.0};
+  // Identical mechanisms composed sequentially in this one event.
+  int count{1};
+  // Disjoint blocks (e.g. hierarchy levels) the claim spans — audit only.
+  int parallel_width{1};
+
+  [[nodiscard]] static MechanismEvent Gaussian(double epsilon, double delta,
+                                               double noise_multiplier,
+                                               int count = 1,
+                                               int parallel_width = 1);
+  [[nodiscard]] static MechanismEvent PureEps(double epsilon, double delta = 0.0,
+                                              int count = 1,
+                                              int parallel_width = 1);
+  [[nodiscard]] static MechanismEvent Opaque(double epsilon, double delta,
+                                             int count = 1);
+
+  // The naive sequential claim of the whole event.
+  [[nodiscard]] double TotalEpsilon() const noexcept {
+    return epsilon * static_cast<double>(count);
+  }
+  [[nodiscard]] double TotalDelta() const noexcept {
+    return delta * static_cast<double>(count);
+  }
+};
+
+// Throws std::invalid_argument when the event is malformed: ε must be
+// finite and >= 0, δ in [0, 1), count >= 1, parallel_width >= 1, and a
+// kGaussian event needs a finite noise_multiplier > 0.
+void ValidateMechanismEvent(const MechanismEvent& event);
+
+// The pluggable composition backend.  Stateful: Spend accumulates; the
+// guarantee queries never mutate.
+class PrivacyAccountant {
+ public:
+  virtual ~PrivacyAccountant() = default;
+
+  // Record an event.  Callers validate first (ValidateMechanismEvent);
+  // Spend itself never throws on a valid event, so a ledger can check caps
+  // and then commit without a partial-mutation window.
+  virtual void Spend(const MechanismEvent& event) = 0;
+
+  // Tightest cumulative (ε, δ_total) this accountant can certify when the
+  // conversion / slack target is `target_delta` ∈ (0, 1).  For kSequential
+  // the target is irrelevant and ignored: the guarantee is (Σε, Σδ).  For
+  // kAdvanced / kRdp, δ_total = target_delta + the δ mass basic composition
+  // already claimed; throws std::invalid_argument for target_delta ∉ (0, 1).
+  [[nodiscard]] virtual BudgetCharge CumulativeGuarantee(
+      double target_delta) const = 0;
+
+  // The (ε, δ) the accountant holds against caps (epsilon_cap, delta_cap):
+  // the admission basis.  Sequential: (Σε, Σδ).  Advanced/RDP: the guarantee
+  // at the largest conversion slack the δ cap still allows — so a tenant is
+  // admitted as long as SOME (ε ≤ εcap, δ ≤ δcap) certificate exists.
+  [[nodiscard]] virtual BudgetCharge AdmissionGuarantee(
+      double delta_cap) const = 0;
+
+  // The admission guarantee AS IF `event` had been recorded — computed from
+  // value state, no clone, no allocation: this is the per-request admission
+  // hot path (every Charge/TryCharge/WouldExceed runs it).  Must equal
+  // Clone() + Spend(event) + AdmissionGuarantee(delta_cap).
+  [[nodiscard]] virtual BudgetCharge GuaranteeWith(const MechanismEvent& event,
+                                                   double delta_cap) const = 0;
+
+  // Would recording `event` push the admission guarantee past the caps?
+  // Pure pre-check: never mutates (GuaranteeWith + the shared cap compare).
+  [[nodiscard]] virtual bool WouldExceed(const MechanismEvent& event,
+                                         double epsilon_cap,
+                                         double delta_cap) const;
+
+  [[nodiscard]] virtual std::unique_ptr<PrivacyAccountant> Clone() const = 0;
+
+  [[nodiscard]] virtual AccountingPolicy policy() const noexcept = 0;
+
+ protected:
+  PrivacyAccountant() = default;
+  PrivacyAccountant(const PrivacyAccountant&) = default;
+  PrivacyAccountant& operator=(const PrivacyAccountant&) = default;
+};
+
+[[nodiscard]] std::unique_ptr<PrivacyAccountant> MakeAccountant(
+    AccountingPolicy policy);
+
+// The cap comparison every admission path shares: true when (epsilon, delta)
+// does not fit (epsilon_cap, delta_cap), with the ledger's historical
+// floating-point slack so repeated small charges can exactly fill a cap.
+[[nodiscard]] bool ExceedsBudgetCaps(double epsilon, double delta,
+                                     double epsilon_cap,
+                                     double delta_cap) noexcept;
+
+}  // namespace gdp::dp

@@ -67,17 +67,63 @@ void RdpAccountant::AddPureDp(Epsilon eps) {
   }
 }
 
+double RdpConversionGap(double alpha, double delta) noexcept {
+  // Improved RDP->DP conversion (CKS'20, Balle–Barthe–Gaboardi–Hsu–Sato).
+  return std::log1p(-1.0 / alpha) - std::log(delta * alpha) / (alpha - 1.0);
+}
+
 double RdpAccountant::EpsilonFor(Delta delta) const {
   const double d = delta.value();
   double best = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < orders_.size(); ++i) {
-    const double a = orders_[i];
-    // Improved RDP->DP conversion (CKS'20, Balle–Barthe–Gaboardi–Hsu–Sato).
-    const double candidate = rdp_[i] + std::log1p(-1.0 / a) -
-                             std::log(d * a) / (a - 1.0);
-    best = std::min(best, candidate);
+    best = std::min(best, rdp_[i] + RdpConversionGap(orders_[i], d));
   }
   return std::max(0.0, best);
+}
+
+double RdpAccountant::EpsilonFor(double delta) const {
+  if (!(delta > 0.0) || !(delta < 1.0)) {
+    throw std::invalid_argument(
+        "RdpAccountant::EpsilonFor: delta must be in (0, 1), got " +
+        std::to_string(delta));
+  }
+  return EpsilonFor(Delta(delta));
+}
+
+double RdpAccountant::NoiseMultiplierFor(double target_epsilon, Delta delta,
+                                         int k) {
+  if (!(target_epsilon > 0.0) || !std::isfinite(target_epsilon)) {
+    throw std::invalid_argument(
+        "RdpAccountant::NoiseMultiplierFor: target epsilon must be finite > 0");
+  }
+  if (k <= 0) {
+    throw std::invalid_argument(
+        "RdpAccountant::NoiseMultiplierFor: k must be positive");
+  }
+  // EpsilonFor is strictly decreasing in the multiplier, so bracket the
+  // target and bisect.  Start from a small multiplier and double the upper
+  // bracket until the composition fits the target.
+  double lo = 1e-3;
+  double hi = 1.0;
+  while (RdpGaussianComposition(hi, k, delta) > target_epsilon) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e12) {
+      throw std::invalid_argument(
+          "RdpAccountant::NoiseMultiplierFor: no multiplier below 1e12 meets "
+          "the target (target epsilon too small)");
+    }
+  }
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (RdpGaussianComposition(mid, k, delta) > target_epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // hi is the safe side of the bracket: its epsilon is <= the target.
+  return hi;
 }
 
 double RdpGaussianComposition(double noise_multiplier, int k, Delta delta) {

@@ -48,6 +48,20 @@ class RdpAccountant {
   // Requires delta in (0, 1).
   [[nodiscard]] double EpsilonFor(Delta delta) const;
 
+  // Raw-double convenience: rejects delta ∉ (0, 1) (including NaN) with
+  // std::invalid_argument BEFORE the min-over-α scan, so a bad δ can never
+  // silently poison the conversion.
+  [[nodiscard]] double EpsilonFor(double delta) const;
+
+  // The smallest noise multiplier m = σ/Δ such that composing k Gaussian
+  // mechanisms at m still satisfies (target_epsilon, delta)-DP under this
+  // RDP composition (binary search over m; the returned m is guaranteed on
+  // the safe side: EpsilonFor after AddGaussians(m, k) <= target_epsilon).
+  // Lets callers calibrate σ for a k-release budget up front.  Requires
+  // target_epsilon finite > 0 and k >= 1.
+  [[nodiscard]] static double NoiseMultiplierFor(double target_epsilon,
+                                                 Delta delta, int k);
+
  private:
   std::vector<double> orders_;
   std::vector<double> rdp_;
@@ -57,5 +71,10 @@ class RdpAccountant {
 // noise multiplier m, via RDP composition.
 [[nodiscard]] double RdpGaussianComposition(double noise_multiplier, int k,
                                             Delta delta);
+
+// The CKS'20 / Balle et al. conversion gap at order α and target δ:
+// ε(α) = RDP(α) + RdpConversionGap(α, δ).  Shared by EpsilonFor and by
+// accountants that scan a hypothetical curve without materialising it.
+[[nodiscard]] double RdpConversionGap(double alpha, double delta) noexcept;
 
 }  // namespace gdp::dp

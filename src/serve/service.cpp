@@ -26,11 +26,12 @@ DisclosureService::TenantEntry& DisclosureService::EntryFor(
   if (const auto it = sessions_.find(key); it != sessions_.end()) {
     return *it->second;
   }
-  // First touch: attach the tenant's handle under its own grant.  Attach
-  // charges the artifact's Phase-1 spend; a grant too small for even that
-  // throws BudgetExhaustedError here (handled by Serve).
+  // First touch: attach the tenant's handle under its own grant and its own
+  // accounting policy.  Attach charges the artifact's Phase-1 spend; a grant
+  // too small for even that throws BudgetExhaustedError here (handled by
+  // Serve).
   auto entry = std::make_unique<TenantEntry>(gdp::core::DisclosureSession::Attach(
-      compiled, profile.epsilon_cap, profile.delta_cap));
+      compiled, profile.epsilon_cap, profile.delta_cap, profile.accounting));
   return *sessions_.emplace(key, std::move(entry)).first->second;
 }
 
@@ -70,6 +71,7 @@ ServeResult DisclosureService::Serve(const std::string& tenant,
   ServeResult result;
   result.privilege = profile.privilege;
   result.level = level;
+  result.accounting = profile.accounting;
 
   if (entry == nullptr) {
     try {
@@ -95,6 +97,11 @@ ServeResult DisclosureService::Serve(const std::string& tenant,
   const gdp::dp::BudgetLedger& ledger = entry->session.ledger();
   result.epsilon_spent = ledger.epsilon_spent();
   result.epsilon_remaining = ledger.epsilon_remaining();
+  // Report BOTH views of the spend: the naive Σε above and the accountant-
+  // tightened guarantee admission binds (equal under kSequential).
+  const gdp::dp::BudgetCharge accounted = ledger.AccountedSpend();
+  result.accounted_epsilon = accounted.epsilon;
+  result.accounted_delta = accounted.delta;
   if (!release.has_value()) {
     // Name the cap that tripped: an epsilon-only message is misleading when
     // the delta cap was the binding one.

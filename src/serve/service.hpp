@@ -50,9 +50,18 @@ struct ServeResult {
   // The entitled level view of the drawn release (true_* fields included;
   // callers publishing externally strip them).
   gdp::core::LevelRelease view;
-  // Tenant ledger state after the call (audit convenience).
+  // Tenant ledger state after the call (audit convenience): the NAIVE
+  // sequential totals (Σε over charges), always reported.
   double epsilon_spent{0.0};
   double epsilon_remaining{0.0};
+  // The accountant-tightened cumulative guarantee at the tenant's δ cap —
+  // what admission actually binds.  Under kSequential these equal the naive
+  // totals; under kRdp a tenant composing many Gaussian releases sees
+  // accounted_epsilon well below epsilon_spent (which is why it is granted
+  // more releases from the same caps).
+  gdp::dp::AccountingPolicy accounting{gdp::dp::AccountingPolicy::kSequential};
+  double accounted_epsilon{0.0};
+  double accounted_delta{0.0};
 };
 
 class DisclosureService {

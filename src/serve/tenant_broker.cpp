@@ -23,6 +23,14 @@ void TenantBroker::Register(std::string tenant_id, TenantProfile profile) {
     throw std::invalid_argument(
         "TenantBroker: privilege must be >= 0 for tenant '" + tenant_id + "'");
   }
+  if (profile.accounting != gdp::dp::AccountingPolicy::kSequential &&
+      !(profile.delta_cap > 0.0)) {
+    throw std::invalid_argument(
+        std::string("TenantBroker: the ") +
+        gdp::dp::AccountingPolicyName(profile.accounting) +
+        " accounting policy requires delta_cap > 0 for tenant '" + tenant_id +
+        "'");
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] =
       profiles_.try_emplace(std::move(tenant_id), profile);

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "dp/privacy_accountant.hpp"
+
 namespace gdp::serve {
 
 struct TenantProfile {
@@ -27,6 +29,12 @@ struct TenantProfile {
   // Tier into the dataset's AccessPolicy; 0 is the LOWEST privilege
   // (coarsest view).
   int privilege{0};
+  // How this tenant's ledger composes its charges.  kSequential (default)
+  // is the historical Σε admission; kRdp composes Gaussian releases on the
+  // Rényi curve, so a long-lived tenant demonstrably gets more releases out
+  // of the same (epsilon_cap, delta_cap) grant.  kAdvanced / kRdp require
+  // delta_cap > 0 (rejected at Register).
+  gdp::dp::AccountingPolicy accounting{gdp::dp::AccountingPolicy::kSequential};
 };
 
 class TenantBroker {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace gdp::dp {
@@ -59,6 +60,26 @@ TEST(ComposeAdvancedTest, RejectsBadArguments) {
   EXPECT_THROW((void)ComposeAdvanced(Epsilon(0.1), 0.0, 10, 0.0),
                std::invalid_argument);
   EXPECT_THROW((void)ComposeAdvanced(Epsilon(0.1), 0.0, 10, 1.0),
+               std::invalid_argument);
+}
+
+// Regression (input-validation satellite): negative k, δ = 1, and
+// non-finite arguments must all fail the typed checks — none may reach the
+// composition arithmetic.
+TEST(ComposeAdvancedTest, RejectsNegativeKAndNonFiniteArguments) {
+  EXPECT_THROW((void)ComposeAdvanced(Epsilon(0.1), 0.0, -5, 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW((void)ComposeAdvanced(Epsilon(0.1), 1.0, 10, 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW((void)ComposeAdvanced(
+                   Epsilon(0.1), std::numeric_limits<double>::quiet_NaN(), 10,
+                   1e-6),
+               std::invalid_argument);
+  EXPECT_THROW((void)ComposeAdvanced(Epsilon(0.1), 0.0, 10,
+                                     std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW((void)ComposeAdvanced(Epsilon(0.1), 0.0, 10,
+                                     -std::numeric_limits<double>::infinity()),
                std::invalid_argument);
 }
 

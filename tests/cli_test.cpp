@@ -267,6 +267,109 @@ TEST(CliDispatchTest, ServeRejectsMalformedRequestDelta) {
   std::remove(requests_path.c_str());
 }
 
+TEST_F(CliRoundTripTest, DiscloseAccountingFlagShowsTightenedAudit) {
+  std::ostringstream out;
+  ASSERT_EQ(Dispatch({"generate", "--out", graph_path_, "--left", "400",
+                      "--right", "500", "--edges", "2500", "--seed", "5"},
+                     out),
+            0);
+  // An rdp-accounted sweep: the audit report names the policy and prints the
+  // tightened cumulative next to the naive totals.
+  out.str("");
+  ASSERT_EQ(Dispatch({"disclose", "--graph", graph_path_, "--release",
+                      release_path_, "--depth", "4", "--seed", "11", "--sweep",
+                      "0.9,0.9,0.9", "--accounting", "rdp"},
+                     out),
+            0);
+  EXPECT_NE(out.str().find("accounting=rdp"), std::string::npos);
+  EXPECT_NE(out.str().find("rdp-accounted"), std::string::npos);
+  // Same seed, sequential accounting: the released values are identical —
+  // accounting is bookkeeping, not noise.
+  const std::string rdp_point = release_path_ + ".eps0.9";
+  std::ifstream rdp_in(rdp_point);
+  const std::string rdp_artifact((std::istreambuf_iterator<char>(rdp_in)),
+                                 std::istreambuf_iterator<char>());
+  out.str("");
+  ASSERT_EQ(Dispatch({"disclose", "--graph", graph_path_, "--release",
+                      release_path_, "--depth", "4", "--seed", "11", "--sweep",
+                      "0.9,0.9,0.9", "--accounting", "sequential"},
+                     out),
+            0);
+  EXPECT_EQ(out.str().find("rdp-accounted"), std::string::npos);
+  std::ifstream seq_in(rdp_point);
+  const std::string seq_artifact((std::istreambuf_iterator<char>(seq_in)),
+                                 std::istreambuf_iterator<char>());
+  EXPECT_EQ(rdp_artifact, seq_artifact);
+  EXPECT_FALSE(rdp_artifact.empty());
+  std::remove(rdp_point.c_str());
+}
+
+TEST_F(CliRoundTripTest, ServeAccountingFlagAndPerTenantColumnRoundTrip) {
+  std::ostringstream out;
+  ASSERT_EQ(Dispatch({"generate", "--out", graph_path_, "--left", "400",
+                      "--right", "500", "--edges", "2500", "--seed", "5"},
+                     out),
+            0);
+  const std::string tenants_path = dir_ + "/cli_acct_tenants.tsv";
+  const std::string requests_path = dir_ + "/cli_acct_requests.tsv";
+  {
+    std::ofstream tenants(tenants_path);
+    // seq inherits the --accounting default (sequential); renyi overrides
+    // via the optional 5th column.  Caps admit 5 sequential releases.
+    tenants << "# id eps_cap delta_cap tier [accounting]\n"
+            << "seq 5.0 1e-2 0\n"
+            << "renyi 5.0 1e-2 0 rdp\n";
+    std::ofstream requests(requests_path);
+    for (int i = 0; i < 8; ++i) {
+      requests << "seq 0.999\nrenyi 0.999\n";
+    }
+  }
+  out.str("");
+  ASSERT_EQ(Dispatch({"serve", "--graph", graph_path_, "--tenants",
+                      tenants_path, "--requests", requests_path, "--depth",
+                      "5", "--seed", "11"},
+                     out),
+            0);
+  // The sequential tenant exhausts after 5 of its 8 requests; the rdp
+  // tenant is granted all 8 from the same caps: 13/16 served.
+  EXPECT_NE(out.str().find("served 13/16"), std::string::npos);
+  EXPECT_NE(out.str().find("rdp"), std::string::npos);
+  EXPECT_NE(out.str().find("acct_eps"), std::string::npos);
+  std::remove(tenants_path.c_str());
+  std::remove(requests_path.c_str());
+}
+
+TEST(CliDispatchTest, AccountingFlagRejectsUnknownPolicy) {
+  std::ostringstream out;
+  EXPECT_THROW((void)Dispatch({"disclose", "--graph", "g", "--release", "r",
+                               "--accounting", "renyi"},
+                              out),
+               std::invalid_argument);
+  EXPECT_THROW((void)Dispatch({"serve", "--graph", "g", "--tenants", "t",
+                               "--requests", "r", "--accounting", "bogus"},
+                              out),
+               std::invalid_argument);
+}
+
+TEST(CliDispatchTest, ServeRejectsBadTenantAccountingColumn) {
+  const std::string dir = ::testing::TempDir();
+  const std::string tenants_path = dir + "/bad_acct_tenants.tsv";
+  const std::string requests_path = dir + "/ok_acct_requests.tsv";
+  {
+    std::ofstream tenants(tenants_path);
+    tenants << "alice 10.0 0.4 0 renyi\n";  // not a policy name
+    std::ofstream requests(requests_path);
+    requests << "alice 0.9\n";
+  }
+  std::ostringstream out;
+  EXPECT_THROW((void)Dispatch({"serve", "--graph", "g", "--tenants",
+                               tenants_path, "--requests", requests_path},
+                              out),
+               gdp::common::IoError);
+  std::remove(tenants_path.c_str());
+  std::remove(requests_path.c_str());
+}
+
 TEST(CliDispatchTest, DiscloseRejectsNonPositiveNoiseGrain) {
   std::ostringstream out;
   EXPECT_THROW((void)Dispatch({"disclose", "--graph", "g", "--release", "r",

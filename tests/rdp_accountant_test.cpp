@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "dp/gaussian.hpp"
 
@@ -111,6 +112,65 @@ TEST(RdpAccountantTest, EpsilonMonotoneInDelta) {
 TEST(RdpAccountantTest, MoreNoiseMeansLessEpsilon) {
   EXPECT_LT(RdpGaussianComposition(10.0, 5, Delta(1e-5)),
             RdpGaussianComposition(2.0, 5, Delta(1e-5)));
+}
+
+// Regression (input-validation satellite): the raw-double EpsilonFor must
+// reject δ ∉ (0, 1) — including NaN and the endpoints — with a typed error
+// BEFORE the min-over-α scan, and the Delta-typed overload's constructor
+// enforces the same contract, so no bad δ can reach the scan at all.
+TEST(RdpAccountantTest, EpsilonForRejectsBadDeltaWithTypedError) {
+  RdpAccountant a;
+  a.AddGaussians(2.0, 3);
+  EXPECT_THROW((void)a.EpsilonFor(0.0), std::invalid_argument);
+  EXPECT_THROW((void)a.EpsilonFor(1.0), std::invalid_argument);
+  EXPECT_THROW((void)a.EpsilonFor(-1e-6), std::invalid_argument);
+  EXPECT_THROW((void)a.EpsilonFor(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW((void)a.EpsilonFor(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)Delta(0.0), std::invalid_argument);
+  EXPECT_THROW((void)Delta(1.0), std::invalid_argument);
+  EXPECT_THROW((void)Delta(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  // A good δ agrees across the two overloads.
+  EXPECT_DOUBLE_EQ(a.EpsilonFor(1e-6), a.EpsilonFor(Delta(1e-6)));
+}
+
+TEST(RdpAccountantTest, NoiseMultiplierForRoundTripsAgainstEpsilonFor) {
+  for (const double target : {0.5, 2.0, 8.0}) {
+    for (const int k : {1, 4, 16}) {
+      const Delta delta(1e-6);
+      const double m = RdpAccountant::NoiseMultiplierFor(target, delta, k);
+      // Safe side: the calibrated multiplier meets the target...
+      EXPECT_LE(RdpGaussianComposition(m, k, delta), target)
+          << "target=" << target << " k=" << k;
+      // ...and is essentially tight (a hair more noise than needed only).
+      EXPECT_GT(RdpGaussianComposition(m * 0.99, k, delta), target * 0.999)
+          << "target=" << target << " k=" << k;
+    }
+  }
+}
+
+TEST(RdpAccountantTest, NoiseMultiplierForRejectsBadInputs) {
+  EXPECT_THROW((void)RdpAccountant::NoiseMultiplierFor(0.0, Delta(1e-6), 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)RdpAccountant::NoiseMultiplierFor(-1.0, Delta(1e-6), 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)RdpAccountant::NoiseMultiplierFor(
+                   std::numeric_limits<double>::infinity(), Delta(1e-6), 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)RdpAccountant::NoiseMultiplierFor(1.0, Delta(1e-6), 0),
+               std::invalid_argument);
+}
+
+TEST(RdpAccountantTest, NoiseMultiplierForGrowsWithKAndShrinksWithEpsilon) {
+  const Delta delta(1e-6);
+  // More releases to cover => more noise per release.
+  EXPECT_GT(RdpAccountant::NoiseMultiplierFor(2.0, delta, 16),
+            RdpAccountant::NoiseMultiplierFor(2.0, delta, 2));
+  // A tighter epsilon target => more noise.
+  EXPECT_GT(RdpAccountant::NoiseMultiplierFor(0.5, delta, 4),
+            RdpAccountant::NoiseMultiplierFor(4.0, delta, 4));
 }
 
 }  // namespace

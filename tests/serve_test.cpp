@@ -423,5 +423,75 @@ TEST_F(ServiceTest, ConcurrentTenantsServeFromOneArtifact) {
   EXPECT_EQ(service_.registry().stats().misses, 1u);
 }
 
+// ---------- per-tenant accounting policies ----------
+
+TEST_F(ServiceTest, RdpTenantGetsStrictlyMoreReleasesThanSequentialAtSameCaps) {
+  // Same grant, same requests, same dataset — only the accounting policy
+  // differs.  The RDP tenant composes its Gaussian releases on the Rényi
+  // curve and must outlast the sequential tenant.
+  TenantProfile seq_profile{5.0, 1e-2, 0};
+  TenantProfile rdp_profile{5.0, 1e-2, 0};
+  rdp_profile.accounting = gdp::dp::AccountingPolicy::kRdp;
+  service_.broker().Register("seq_tenant", seq_profile);
+  service_.broker().Register("rdp_tenant", rdp_profile);
+
+  auto grants_until_denied = [this](const std::string& tenant) {
+    Rng rng(77);
+    int granted = 0;
+    while (granted < 10000 &&
+           service_.Serve(tenant, "dblp", budget_, rng).granted) {
+      ++granted;
+    }
+    return granted;
+  };
+  const int sequential = grants_until_denied("seq_tenant");
+  const int rdp = grants_until_denied("rdp_tenant");
+  EXPECT_GT(sequential, 0);
+  EXPECT_GT(rdp, sequential)
+      << "an RDP tenant must demonstrably get more releases from the same "
+       "grant";
+  EXPECT_LT(rdp, 10000) << "the RDP grant must still exhaust";
+}
+
+TEST_F(ServiceTest, ServeReportsNaiveAndAccountedSpend) {
+  TenantProfile rdp_profile{50.0, 1e-2, 0};
+  rdp_profile.accounting = gdp::dp::AccountingPolicy::kRdp;
+  service_.broker().Register("rdp_audit", rdp_profile);
+  Rng rng(81);
+  ServeResult result;
+  for (int i = 0; i < 8; ++i) {
+    result = service_.Serve("rdp_audit", "dblp", budget_, rng);
+    ASSERT_TRUE(result.granted);
+  }
+  EXPECT_EQ(result.accounting, gdp::dp::AccountingPolicy::kRdp);
+  EXPECT_LT(result.accounted_epsilon, result.epsilon_spent)
+      << "after 8 Gaussian releases the tightened cumulative must sit below "
+       "the naive sum";
+  EXPECT_GT(result.accounted_epsilon, 0.0);
+  // The sequential tenant reports identical naive and accounted figures.
+  const ServeResult seq = service_.Serve("low", "dblp", budget_, rng);
+  ASSERT_TRUE(seq.granted);
+  EXPECT_EQ(seq.accounting, gdp::dp::AccountingPolicy::kSequential);
+  EXPECT_EQ(seq.accounted_epsilon, seq.epsilon_spent);
+
+  // And the audit ledger shows both views.
+  const auto ledger = service_.Ledger("rdp_audit", "dblp");
+  const std::string report = ledger.AuditReport();
+  EXPECT_NE(report.find("accounting=rdp"), std::string::npos);
+  EXPECT_NE(report.find("rdp-accounted"), std::string::npos);
+  // The tightened guarantee at the tenant's own δ beats the naive Σε.
+  EXPECT_LT(ledger.AccountedGuarantee(1e-6).epsilon, ledger.epsilon_spent());
+}
+
+TEST_F(ServiceTest, BrokerRejectsNonSequentialPolicyWithoutDeltaHeadroom) {
+  TenantProfile bad{5.0, 0.0, 0};
+  bad.accounting = gdp::dp::AccountingPolicy::kRdp;
+  EXPECT_THROW(service_.broker().Register("bad", bad), std::invalid_argument);
+  bad.accounting = gdp::dp::AccountingPolicy::kAdvanced;
+  EXPECT_THROW(service_.broker().Register("bad", bad), std::invalid_argument);
+  bad.accounting = gdp::dp::AccountingPolicy::kSequential;
+  EXPECT_NO_THROW(service_.broker().Register("bad", bad));
+}
+
 }  // namespace
 }  // namespace gdp::serve
