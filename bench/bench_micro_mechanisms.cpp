@@ -1,9 +1,15 @@
 // Micro-benchmarks (google-benchmark) for the DP primitive layer: noise
 // sampler throughput, Exponential-Mechanism selection cost (which bound the
-// per-release overhead of Phase 2 and the per-cut overhead of Phase 1), and
-// the per-charge cost + admission capacity of the accounting policies.
+// per-release overhead of Phase 2 and the per-cut overhead of Phase 1), the
+// per-charge cost + admission capacity of the accounting policies, and the
+// WAL append path (frame + CRC + storage, memory-backed — the serving
+// layer's per-release durability overhead minus the physical fsync).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -14,6 +20,7 @@
 #include "dp/gaussian.hpp"
 #include "dp/laplace.hpp"
 #include "dp/privacy_accountant.hpp"
+#include "serve/audit_wal.hpp"
 
 namespace {
 
@@ -109,6 +116,27 @@ void BM_AccountingPolicies(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (releases + 1));
 }
 BENCHMARK(BM_AccountingPolicies)->Arg(0)->Arg(1)->Arg(2);
+
+// One durable charge append: encode + CRC frame + append + sync against
+// MemoryStorage.  This is everything the WAL adds per admitted release
+// except the physical fsync, i.e. the CPU floor of the write-ahead path.
+// The storage is re-adopted each iteration batch to keep the log from
+// growing unboundedly across the measurement.
+void BM_WalAppend(benchmark::State& state) {
+  const dp::MechanismEvent event =
+      core::MechanismEventFor(core::NoiseKind::kGaussian, 0.9, 1e-5, 9);
+  serve::AuditWal wal(std::make_unique<serve::MemoryStorage>(), {},
+                      [](std::chrono::milliseconds) {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wal.Append(serve::WalRecord::Charge(
+        "tenant", "dataset", event, 1.35, 2e-5, "release: phase2 noise")));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["log_bytes"] =
+      static_cast<double>(wal.storage().size()) /
+      static_cast<double>(std::max<std::int64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_WalAppend);
 
 }  // namespace
 

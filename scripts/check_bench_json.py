@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the shape of BENCH_*.json trajectories emitted by run_benches.sh.
 
-Usage: scripts/check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+Usage: scripts/check_bench_json.py [--require NAME ...] BENCH_a.json [...]
 
 Checks, per file:
   * valid JSON with a "context" object (date, num_cpus) and a "benchmarks"
@@ -9,7 +9,10 @@ Checks, per file:
   * every benchmark entry carries a name, a numeric real_time/cpu_time, and
     a time_unit.
 Across all files, at least one benchmark entry must exist (a filter that
-matches nothing everywhere means the trajectory silently rotted).
+matches nothing everywhere means the trajectory silently rotted), and every
+--require NAME must appear as a benchmark name prefix somewhere (so CI
+notices when a pinned datapoint — e.g. BM_WalAppend — falls out of the run
+filter instead of silently passing a shrunken trajectory).
 
 Exit code 0 on success; 1 with a diagnostic on the first violation.
 """
@@ -22,7 +25,7 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def check_file(path: str) -> int:
+def check_file(path: str, seen_names: set) -> int:
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -45,6 +48,7 @@ def check_file(path: str) -> int:
         name = bench.get("name")
         if not isinstance(name, str) or not name:
             fail(f"{path}: benchmarks[{i}] lacks a name")
+        seen_names.add(name)
         for key in ("real_time", "cpu_time"):
             if not isinstance(bench.get(key), (int, float)):
                 fail(f"{path}: {name} lacks numeric '{key}'")
@@ -55,11 +59,29 @@ def check_file(path: str) -> int:
 
 
 def main() -> None:
-    if len(sys.argv) < 2:
+    required = []
+    files = []
+    args = sys.argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--require":
+            if not args:
+                fail("--require needs a benchmark name")
+            required.append(args.pop(0))
+        else:
+            files.append(arg)
+    if not files:
         fail("no files given")
-    total = sum(check_file(path) for path in sys.argv[1:])
+    seen_names: set = set()
+    total = sum(check_file(path, seen_names) for path in files)
     if total == 0:
         fail("no benchmark entries in any file (filter matched nothing?)")
+    for name in required:
+        # A required name matches exactly or as an Arg-suffixed variant
+        # ("BM_WalAppend" covers "BM_WalAppend/64").
+        if not any(seen == name or seen.startswith(name + "/")
+                   for seen in seen_names):
+            fail(f"required benchmark '{name}' missing from every file")
 
 
 if __name__ == "__main__":

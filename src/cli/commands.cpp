@@ -1,7 +1,12 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdint>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -19,6 +24,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "hier/io.hpp"
+#include "serve/audit_wal.hpp"
 #include "serve/service.hpp"
 
 namespace gdp::cli {
@@ -83,9 +89,12 @@ bool IsCommentOrBlank(const std::string& line) {
 // tenants.tsv: one tenant per line, `tenant_id epsilon_cap delta_cap
 // privilege [accounting]` (whitespace-separated; # comments and blank lines
 // skipped).  The optional 5th field overrides `default_accounting` (the
-// --accounting flag) per tenant.
+// --accounting flag) per tenant.  A malformed ROW is skipped with a warning
+// instead of aborting the batch — one bad tenant must not take down serving
+// for every valid one; `skipped` counts the rows dropped.
 std::vector<std::pair<std::string, gdp::serve::TenantProfile>> ReadTenantSpecs(
-    const std::string& path, gdp::dp::AccountingPolicy default_accounting) {
+    const std::string& path, gdp::dp::AccountingPolicy default_accounting,
+    std::ostream& out, std::size_t& skipped) {
   std::ifstream in(path);
   if (!in) {
     throw gdp::common::IoError("cannot open tenant spec file '" + path + "'");
@@ -93,6 +102,12 @@ std::vector<std::pair<std::string, gdp::serve::TenantProfile>> ReadTenantSpecs(
   std::vector<std::pair<std::string, gdp::serve::TenantProfile>> tenants;
   std::string line;
   int line_no = 0;
+  skipped = 0;
+  const auto skip = [&](const std::string& why) {
+    ++skipped;
+    out << "warning: tenant spec line " << line_no << " skipped: " << why
+        << '\n';
+  };
   while (std::getline(in, line)) {
     ++line_no;
     if (IsCommentOrBlank(line)) {
@@ -104,30 +119,26 @@ std::vector<std::pair<std::string, gdp::serve::TenantProfile>> ReadTenantSpecs(
     profile.accounting = default_accounting;
     if (!(ss >> id >> profile.epsilon_cap >> profile.delta_cap >>
           profile.privilege)) {
-      throw gdp::common::IoError(
-          "tenant spec line " + std::to_string(line_no) +
-          ": expected 'tenant_id epsilon_cap delta_cap privilege "
-          "[accounting]'");
+      skip("expected 'tenant_id epsilon_cap delta_cap privilege "
+           "[accounting]'");
+      continue;
     }
     if (std::string policy_token; ss >> policy_token) {
       try {
         profile.accounting = gdp::dp::ParseAccountingPolicy(policy_token);
       } catch (const std::invalid_argument& e) {
-        throw gdp::common::IoError("tenant spec line " +
-                                   std::to_string(line_no) + ": " + e.what());
+        skip(e.what());
+        continue;
       }
-      std::string extra;
-      if (ss >> extra) {
-        throw gdp::common::IoError("tenant spec line " +
-                                   std::to_string(line_no) +
-                                   ": unexpected trailing field '" + extra +
-                                   "'");
+      if (std::string extra; ss >> extra) {
+        skip("unexpected trailing field '" + extra + "'");
+        continue;
       }
     }
     tenants.emplace_back(std::move(id), profile);
   }
   if (tenants.empty()) {
-    throw gdp::common::IoError("tenant spec '" + path + "': no tenants");
+    throw gdp::common::IoError("tenant spec '" + path + "': no usable tenants");
   }
   return tenants;
 }
@@ -370,20 +381,67 @@ int RunServe(const Args& args, std::ostream& out) {
   const gdp::dp::AccountingPolicy default_accounting =
       gdp::dp::ParseAccountingPolicy(args.GetOr("accounting", "sequential"));
 
-  const auto tenants = ReadTenantSpecs(tenants_path, default_accounting);
+  const double dataset_eps_cap = args.GetDouble("dataset-eps-cap", 0.0);
+  const double dataset_delta_cap = args.GetDouble("dataset-delta-cap", 0.0);
+  if (args.Get("dataset-eps-cap") && !(dataset_eps_cap > 0.0)) {
+    throw std::invalid_argument("--dataset-eps-cap must be > 0");
+  }
+
+  std::size_t tenants_skipped = 0;
+  const auto tenants =
+      ReadTenantSpecs(tenants_path, default_accounting, out, tenants_skipped);
   const auto requests = ReadServeRequests(requests_path);
 
-  gdp::serve::DisclosureService service(static_cast<std::size_t>(capacity));
   gdp::serve::Dataset dataset{gdp::graph::ReadEdgeListFile(graph_path),
                               config.ToSessionSpec(), seed, {}};
   const std::string dataset_name = args.GetOr("dataset", "default");
   out << "serving " << dataset.graph.Summary() << " as dataset '"
-      << dataset_name << "' to " << tenants.size() << " tenants ("
-      << requests.size() << " requests)\n";
-  service.catalog().Register(dataset_name, std::move(dataset));
-  for (const auto& [id, profile] : tenants) {
-    service.broker().Register(id, profile);
+      << dataset_name << "' to " << tenants.size() << " tenants";
+  if (tenants_skipped > 0) {
+    out << " (" << tenants_skipped << " malformed rows skipped)";
   }
+  out << " (" << requests.size() << " requests)\n";
+
+  // Registration shared by the durable and in-memory paths.  A tenant whose
+  // caps the broker rejects is skipped with a warning, same policy as a
+  // malformed row: one bad grant must not abort the batch.
+  const auto configure = [&](gdp::serve::DisclosureService& svc) {
+    svc.catalog().Register(dataset_name, std::move(dataset));
+    for (const auto& [id, profile] : tenants) {
+      try {
+        svc.broker().Register(id, profile);
+      } catch (const std::invalid_argument& e) {
+        ++tenants_skipped;
+        out << "warning: tenant '" << id << "' skipped: " << e.what() << '\n';
+      }
+    }
+    if (dataset_eps_cap > 0.0) {
+      svc.odometer().SetBudget(dataset_name, dataset_eps_cap,
+                               dataset_delta_cap, default_accounting);
+    }
+  };
+
+  std::unique_ptr<gdp::serve::DisclosureService> service_ptr;
+  if (const auto wal_path = args.Get("wal")) {
+    service_ptr = gdp::serve::DisclosureService::Open(
+        configure, *wal_path, static_cast<std::size_t>(capacity));
+    const gdp::serve::RecoveryReport& recovery = service_ptr->recovery();
+    out << "wal '" << *wal_path << "': replayed " << recovery.records_replayed
+        << " records, restored " << recovery.tenants_restored << " tenants, "
+        << recovery.datasets_retired << " datasets retired";
+    if (recovery.truncated_bytes > 0) {
+      out << "; truncated " << recovery.truncated_bytes << "-byte torn tail";
+    }
+    if (recovery.sequence_gap) {
+      out << "; WARNING: sequence gap (records lost)";
+    }
+    out << '\n';
+  } else {
+    service_ptr = std::make_unique<gdp::serve::DisclosureService>(
+        static_cast<std::size_t>(capacity));
+    configure(*service_ptr);
+  }
+  gdp::serve::DisclosureService& service = *service_ptr;
 
   // Request noise comes from a stream forked off the compile seed, so one
   // --seed reproduces the whole batch (compile AND draws) bit-for-bit.
@@ -410,10 +468,19 @@ int RunServe(const Args& args, std::ostream& out) {
     if (req.delta > 0.0) {
       budget.delta = req.delta;
     }
-    const gdp::serve::ServeResult result =
-        service.Serve(req.tenant, dataset_name, budget, request_rng);
+    gdp::serve::ServeResult result;
+    bool known = true;
+    try {
+      result = service.Serve(req.tenant, dataset_name, budget, request_rng);
+    } catch (const gdp::common::NotFoundError& e) {
+      // A request naming a tenant the broker does not know (e.g. one whose
+      // spec row was skipped as malformed) must not abort the whole batch.
+      known = false;
+      out << "warning: request " << i << " skipped: " << e.what() << '\n';
+    }
     granted += result.granted ? 1 : 0;
-    const std::string status = result.granted ? "served" : "denied";
+    const std::string status =
+        known ? (result.granted ? "served" : "denied") : "unknown";
     const std::string noisy = result.granted
                                   ? gdp::common::FormatDouble(
                                         result.view.noisy_total, 1)
@@ -439,6 +506,198 @@ int RunServe(const Args& args, std::ostream& out) {
   out << "served " << granted << "/" << requests.size() << " requests; "
       << "registry: " << stats.hits << " hits, " << stats.misses
       << " misses, " << stats.evictions << " evictions\n";
+  if (const auto snap = service.odometer().Get(dataset_name)) {
+    out << "dataset odometer: eps_spent=" << snap->epsilon_spent
+        << " acct_eps=" << snap->accounted_epsilon
+        << " charges=" << snap->charges;
+    if (snap->budgeted) {
+      out << " cap_eps=" << snap->epsilon_cap;
+    }
+    if (snap->retired) {
+      out << " RETIRED (" << snap->retire_reason << ")";
+    }
+    out << '\n';
+  }
+  if (service.wal_enabled()) {
+    const gdp::serve::DurabilityStats dstats = service.durability_stats();
+    out << "wal: " << dstats.wal_appends << " appends, "
+        << dstats.wal_failures << " failures, "
+        << dstats.dataset_denials << " dataset denials\n";
+  }
+  return 0;
+}
+
+int RunAudit(const Args& args, std::ostream& out) {
+  const std::string path = Require(args, "verify");
+  const bool tolerate_tail = args.HasSwitch("tolerate-tail");
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw gdp::common::IoError("cannot open wal file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+
+  const gdp::serve::WalReplayResult replay =
+      gdp::serve::AuditWal::Replay(bytes);  // IoError on a non-WAL file
+
+  std::size_t failures = 0;
+  const auto fail = [&](const std::string& why) {
+    ++failures;
+    out << "FAIL: " << why << '\n';
+  };
+
+  if (replay.truncated_bytes > 0) {
+    if (tolerate_tail) {
+      out << "note: " << replay.truncated_bytes
+          << "-byte torn tail ignored (--tolerate-tail)\n";
+    } else {
+      fail(std::to_string(replay.truncated_bytes) +
+           "-byte torn/corrupt tail (a crashed writer leaves this; rerun "
+           "with --tolerate-tail to accept it)");
+    }
+  }
+  if (replay.sequence_gap) {
+    fail("sequence gap: records are missing from the middle of the log "
+         "(not producible by a torn write)");
+  }
+
+  // Recompute every stamped guarantee from the event stream alone.  Each
+  // kTenantOpen rebuilds that tenant's accountant under the logged policy
+  // and re-spends its accumulated history (exactly what
+  // DisclosureSession::Restore does on recovery), so a divergent stamp
+  // means the writer's ledger and its log disagreed — the one thing an
+  // audit log must never let pass.
+  struct TenantState {
+    bool has_open{false};
+    double delta_cap{0.0};
+    std::unique_ptr<gdp::dp::PrivacyAccountant> accountant;
+    std::vector<gdp::dp::MechanismEvent> events;
+  };
+  std::map<std::pair<std::string, std::string>, TenantState> tenants;
+  struct DatasetTally {
+    double epsilon{0.0};
+    double delta{0.0};
+    std::uint64_t charges{0};
+    bool retired{false};
+  };
+  std::map<std::string, DatasetTally> datasets;
+
+  const auto close_enough = [](double recomputed, double stamped) {
+    return std::abs(recomputed - stamped) <=
+           1e-9 * std::max(1.0, std::abs(stamped));
+  };
+
+  std::uint32_t last_epoch = 0;
+  for (std::size_t i = 0; i < replay.records.size(); ++i) {
+    const gdp::serve::WalRecord& record = replay.records[i];
+    const std::string where = "record " + std::to_string(i) + " (seq " +
+                              std::to_string(record.seq) + ", " +
+                              gdp::serve::WalRecordKindName(record.kind) + ")";
+    if (record.epoch < last_epoch) {
+      fail(where + ": epoch went backwards (" + std::to_string(record.epoch) +
+           " after " + std::to_string(last_epoch) + ")");
+    }
+    last_epoch = std::max(last_epoch, record.epoch);
+    const auto key = std::make_pair(record.tenant, record.dataset);
+    const bool has_event =
+        record.event.TotalEpsilon() > 0.0 || record.event.TotalDelta() > 0.0;
+    switch (record.kind) {
+      case gdp::serve::WalRecordKind::kTenantOpen: {
+        TenantState& state = tenants[key];
+        state.has_open = true;
+        state.delta_cap = record.delta_cap;
+        state.accountant = gdp::dp::MakeAccountant(record.accounting);
+        for (const gdp::dp::MechanismEvent& event : state.events) {
+          state.accountant->Spend(event);
+        }
+        const gdp::dp::BudgetCharge recomputed =
+            has_event
+                ? state.accountant->GuaranteeWith(record.event, state.delta_cap)
+                : state.accountant->AdmissionGuarantee(state.delta_cap);
+        if (!close_enough(recomputed.epsilon, record.accounted_epsilon) ||
+            !close_enough(recomputed.delta, record.accounted_delta)) {
+          fail(where + ": stamped guarantee (eps=" +
+               std::to_string(record.accounted_epsilon) +
+               ") diverges from recomputed (eps=" +
+               std::to_string(recomputed.epsilon) + ")");
+        }
+        if (has_event) {
+          state.accountant->Spend(record.event);
+          state.events.push_back(record.event);
+          DatasetTally& tally = datasets[record.dataset];
+          tally.epsilon += record.event.TotalEpsilon();
+          tally.delta += record.event.TotalDelta();
+          ++tally.charges;
+        }
+        break;
+      }
+      case gdp::serve::WalRecordKind::kCharge: {
+        const auto it = tenants.find(key);
+        if (it == tenants.end() || !it->second.has_open) {
+          fail(where + ": charge for tenant '" + record.tenant +
+               "' that was never opened on dataset '" + record.dataset + "'");
+          break;
+        }
+        DatasetTally& tally = datasets[record.dataset];
+        if (tally.retired) {
+          fail(where + ": charge against dataset '" + record.dataset +
+               "' AFTER its retirement record — a retired dataset must stay "
+               "retired");
+        }
+        TenantState& state = it->second;
+        const gdp::dp::BudgetCharge recomputed =
+            state.accountant->GuaranteeWith(record.event, state.delta_cap);
+        if (!close_enough(recomputed.epsilon, record.accounted_epsilon) ||
+            !close_enough(recomputed.delta, record.accounted_delta)) {
+          fail(where + ": stamped guarantee (eps=" +
+               std::to_string(record.accounted_epsilon) +
+               ") diverges from recomputed (eps=" +
+               std::to_string(recomputed.epsilon) + ")");
+        }
+        state.accountant->Spend(record.event);
+        state.events.push_back(record.event);
+        tally.epsilon += record.event.TotalEpsilon();
+        tally.delta += record.event.TotalDelta();
+        ++tally.charges;
+        break;
+      }
+      case gdp::serve::WalRecordKind::kDatasetRetired:
+        datasets[record.dataset].retired = true;
+        break;
+    }
+  }
+
+  out << "wal '" << path << "': " << replay.records.size() << " records, "
+      << (replay.records.empty() ? 0 : last_epoch + 1) << " epoch(s), "
+      << tenants.size() << " tenant-dataset pairs\n";
+  gdp::common::TextTable tenant_table(
+      {"tenant", "dataset", "charges", "acct_eps", "acct_delta"});
+  for (const auto& [key2, state] : tenants) {
+    const gdp::dp::BudgetCharge guarantee =
+        state.accountant->AdmissionGuarantee(state.delta_cap);
+    tenant_table.AddRow({key2.first, key2.second,
+                         std::to_string(state.events.size()),
+                         gdp::common::FormatDouble(guarantee.epsilon, 4),
+                         gdp::common::FormatDouble(guarantee.delta, 6)});
+  }
+  tenant_table.Print(out);
+  gdp::common::TextTable dataset_table(
+      {"dataset", "charges", "eps_total", "delta_total", "retired"});
+  for (const auto& [name, tally] : datasets) {
+    dataset_table.AddRow({name, std::to_string(tally.charges),
+                          gdp::common::FormatDouble(tally.epsilon, 4),
+                          gdp::common::FormatDouble(tally.delta, 6),
+                          tally.retired ? "yes" : "no"});
+  }
+  dataset_table.Print(out);
+  if (failures > 0) {
+    out << "audit FAILED: " << failures << " divergence(s)\n";
+    return 1;
+  }
+  out << "audit OK: every stamped guarantee recomputes from the event "
+         "stream\n";
   return 0;
 }
 
@@ -473,7 +732,20 @@ std::string UsageText() {
          "            (SessionRegistry), per-tenant ledgers + privilege-tier\n"
          "            level views.  tenants.tsv: 'id eps_cap delta_cap tier"
          " [accounting]';\n"
-         "            reqs.tsv: 'id eps_g [delta]'\n";
+         "            reqs.tsv: 'id eps_g [delta]'\n"
+         "            [--wal audit.wal]  durable write-ahead audit ledger:\n"
+         "            every charge fsync'd before noise is drawn; reopening\n"
+         "            with the same --wal replays it (budgets survive crash\n"
+         "            and restart, torn tails are repaired)\n"
+         "            [--dataset-eps-cap E [--dataset-delta-cap D]]\n"
+         "            cross-tenant odometer budget: the dataset is RETIRED\n"
+         "            by the first charge that would exceed it\n"
+         "  audit     --verify audit.wal [--tolerate-tail]\n"
+         "            offline replay of a write-ahead audit ledger: checks\n"
+         "            CRCs and sequence continuity, recomputes every stamped\n"
+         "            per-tenant guarantee from the event stream, and exits\n"
+         "            non-zero on any divergence (or a torn tail, unless\n"
+         "            --tolerate-tail)\n";
 }
 
 int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
@@ -511,8 +783,12 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
         Args::Parse(rest, {"graph", "tenants", "requests", "dataset", "eps",
                            "delta", "depth", "arity", "seed", "threads",
                            "noise-grain", "registry-capacity", "out",
-                           "accounting"}),
+                           "accounting", "wal", "dataset-eps-cap",
+                           "dataset-delta-cap"}),
         out);
+  }
+  if (command == "audit") {
+    return RunAudit(Args::Parse(rest, {"verify"}, {"tolerate-tail"}), out);
   }
   out << UsageText();
   return 2;

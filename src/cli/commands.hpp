@@ -17,6 +17,8 @@
 //             [--seed S] [--threads T] [--noise-grain G]
 //             [--registry-capacity C] [--out results.tsv]
 //             [--accounting sequential|advanced|rdp]
+//             [--wal audit.wal] [--dataset-eps-cap E] [--dataset-delta-cap D]
+//   audit     --verify audit.wal [--tolerate-tail]
 #pragma once
 
 #include <iosfwd>
@@ -34,6 +36,7 @@ int RunDisclose(const Args& args, std::ostream& out);
 int RunInspect(const Args& args, std::ostream& out);
 int RunDrilldown(const Args& args, std::ostream& out);
 int RunServe(const Args& args, std::ostream& out);
+int RunAudit(const Args& args, std::ostream& out);
 
 // Dispatch a full command line (tokens exclude the program name).
 // Unknown/missing command prints usage to `out` and returns 2.

@@ -1,0 +1,34 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace gdp::common {
+
+namespace {
+
+// Reflected table for polynomial 0xEDB88320 (the bit-reversed 0x04C11DB7).
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data, std::uint32_t seed) noexcept {
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gdp::common

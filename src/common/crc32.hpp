@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant) for WAL record
+// framing.  Not cryptographic — it detects torn writes and bit rot, which is
+// exactly the failure model a crash-recovery replay has to survive.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gdp::common {
+
+// CRC of `data`, optionally continuing from a prior CRC (pass the previous
+// return value as `seed` to checksum a stream incrementally; the default
+// seed checksums from scratch).
+[[nodiscard]] std::uint32_t Crc32(std::string_view data,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace gdp::common

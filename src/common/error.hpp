@@ -13,6 +13,27 @@ class IoError : public std::runtime_error {
   explicit IoError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// An IoError the caller may retry (EINTR/EAGAIN-class conditions): the
+// operation failed without corrupting state and an identical re-issue can
+// succeed.  The WAL append path retries these with capped backoff
+// (common/retry.hpp); any other IoError is treated as permanent.
+class TransientIoError : public IoError {
+ public:
+  explicit TransientIoError(const std::string& what) : IoError(what) {}
+};
+
+// Raised when the durable audit ledger cannot record a charge (WAL append or
+// fsync failure after retries).  The serving layer FAILS CLOSED on this:
+// no noise is released for a charge that is not durably accounted, and the
+// service refuses further releases until reopened — read-only audit queries
+// keep working.  Distinct from IoError so callers cannot confuse "an input
+// file was unreadable" with "the accounting spine lost durability".
+class DurabilityError : public std::runtime_error {
+ public:
+  explicit DurabilityError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 // Raised when a privacy budget would be exceeded by a requested operation.
 class BudgetExhaustedError : public std::runtime_error {
  public:

@@ -1,0 +1,63 @@
+// Capped exponential backoff for transient-failure retry loops.
+//
+// The WAL append path (serve/audit_wal.cpp) retries TransientIoError a
+// bounded number of times before failing closed; this header holds the
+// arithmetic and the loop so that policy is testable without real sleeps —
+// both the sleep and the retried operation are injected.  Deliberately
+// header-only and dependency-free: <chrono> plus a callable.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace gdp::common {
+
+struct BackoffOptions {
+  // Total attempts, including the first (so max_attempts == 1 means "never
+  // retry").  Must be >= 1.
+  int max_attempts{4};
+  // Delay before the first retry; each further retry multiplies it.
+  std::chrono::milliseconds initial_delay{1};
+  double multiplier{2.0};
+  // Hard ceiling on any single delay.
+  std::chrono::milliseconds max_delay{100};
+};
+
+// The delay to sleep before retry number `retry` (0-based: retry 0 follows
+// the first failed attempt): min(max_delay, initial_delay * multiplier^retry).
+// Saturates instead of overflowing for large `retry`.
+[[nodiscard]] inline std::chrono::milliseconds BackoffDelay(
+    const BackoffOptions& options, int retry) {
+  double ms = static_cast<double>(options.initial_delay.count());
+  const double cap = static_cast<double>(options.max_delay.count());
+  for (int i = 0; i < retry && ms < cap; ++i) {
+    ms *= options.multiplier;
+  }
+  ms = std::min(ms, cap);
+  return std::chrono::milliseconds(static_cast<long long>(ms));
+}
+
+// Run `op` (a callable returning bool: true = success) up to
+// options.max_attempts times, sleeping BackoffDelay(options, i) via `sleep`
+// between attempts.  Returns true as soon as an attempt succeeds, false when
+// every attempt failed.  `op` signalling failure by EXCEPTION is the
+// caller's business: wrap it in a lambda that catches the retryable type and
+// returns false, letting everything else propagate out of the loop — that
+// way a permanent error aborts immediately instead of burning retries.
+template <typename Op, typename Sleep>
+[[nodiscard]] bool RetryWithBackoff(const BackoffOptions& options, Op&& op,
+                                    Sleep&& sleep) {
+  const int attempts = std::max(1, options.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      sleep(BackoffDelay(options, attempt - 1));
+    }
+    if (op()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gdp::common

@@ -21,8 +21,7 @@ DisclosureSession DisclosureSession::Attach(
     throw std::invalid_argument("DisclosureSession::Attach: null artifact");
   }
   const gdp::dp::AccountingPolicy accounting = compiled->spec().accounting;
-  return DisclosureSession(std::move(compiled), epsilon_cap, delta_cap,
-                           accounting);
+  return Attach(std::move(compiled), epsilon_cap, delta_cap, accounting);
 }
 
 DisclosureSession DisclosureSession::Attach(
@@ -31,8 +30,32 @@ DisclosureSession DisclosureSession::Attach(
   if (compiled == nullptr) {
     throw std::invalid_argument("DisclosureSession::Attach: null artifact");
   }
-  return DisclosureSession(std::move(compiled), epsilon_cap, delta_cap,
-                           accounting);
+  DisclosureSession session(std::move(compiled), epsilon_cap, delta_cap,
+                            accounting);
+  // The EM specialization is a pure-ε mechanism; saying so (instead of an
+  // opaque charge) lets an RDP-backed ledger keep it on the Rényi curve.
+  session.ledger_.Charge(
+      gdp::dp::MechanismEvent::PureEps(session.compiled_->phase1_epsilon_spent()),
+      "phase1: EM specialization");
+  return session;
+}
+
+DisclosureSession DisclosureSession::Restore(
+    std::shared_ptr<const CompiledDisclosure> compiled, double epsilon_cap,
+    double delta_cap, gdp::dp::AccountingPolicy accounting,
+    std::span<const ReplayedCharge> charges) {
+  if (compiled == nullptr) {
+    throw std::invalid_argument("DisclosureSession::Restore: null artifact");
+  }
+  DisclosureSession session(std::move(compiled), epsilon_cap, delta_cap,
+                            accounting);
+  // No fresh phase-1 charge: the replayed history already carries the one
+  // this tenant paid.  RestoreCharge bypasses the caps — spent budget is a
+  // fact recovery must reproduce, never "lose" back to the tenant.
+  for (const ReplayedCharge& charge : charges) {
+    session.ledger_.RestoreCharge(charge.event, charge.label);
+  }
+  return session;
 }
 
 DisclosureSession DisclosureSession::Attach(
@@ -49,11 +72,9 @@ DisclosureSession::DisclosureSession(
     double delta_cap, gdp::dp::AccountingPolicy accounting)
     : compiled_(std::move(compiled)),
       ledger_(epsilon_cap, delta_cap, accounting) {
-  // The EM specialization is a pure-ε mechanism; saying so (instead of an
-  // opaque charge) lets an RDP-backed ledger keep it on the Rényi curve.
-  ledger_.Charge(
-      gdp::dp::MechanismEvent::PureEps(compiled_->phase1_epsilon_spent()),
-      "phase1: EM specialization");
+  // The ctor leaves the ledger empty: Attach charges the phase-1 spend
+  // (and throws on an insufficient grant), Restore replays the history
+  // that already contains it.
 }
 
 namespace {
@@ -90,13 +111,31 @@ MultiLevelRelease DisclosureSession::Release(gdp::common::Rng& rng,
 
 std::optional<MultiLevelRelease> DisclosureSession::TryRelease(
     const BudgetSpec& budget, gdp::common::Rng& rng, std::string label) {
+  return TryRelease(budget, rng, std::move(label), nullptr);
+}
+
+std::optional<MultiLevelRelease> DisclosureSession::TryRelease(
+    const BudgetSpec& budget, gdp::common::Rng& rng, std::string label,
+    const ChargeGate& gate) {
   ValidateBudget(budget);
   if (label.empty()) {
     label = DefaultReleaseLabel(num_releases_, budget);
   }
-  if (!ledger_.TryCharge(compiled_->ChargeEventFor(budget), std::move(label))) {
+  const gdp::dp::MechanismEvent event = compiled_->ChargeEventFor(budget);
+  // Own-ledger admission first: a grant this session cannot cover must not
+  // reach the gate (the gate may persist the event durably — an inadmissible
+  // charge must never hit the log).
+  if (ledger_.WouldExceed(event)) {
     return std::nullopt;
   }
+  // Write-ahead seam: the gate runs with the ledger and rng still untouched,
+  // so a gate denial (or throw, e.g. a durability failure) spends nothing
+  // here — while a gate that persisted the event before returning true
+  // guarantees the charge outlives any crash after this point.
+  if (gate && !gate(event)) {
+    return std::nullopt;
+  }
+  ledger_.Charge(event, std::move(label));
   MultiLevelRelease release = compiled_->DrawRelease(budget, rng);
   ++num_releases_;
   return release;

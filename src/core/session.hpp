@@ -39,6 +39,7 @@
 // handle per tenant thread needs no locking at all.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -50,6 +51,24 @@
 #include "dp/accountant.hpp"
 
 namespace gdp::core {
+
+// One historical ledger charge, as replayed from a durable audit log: the
+// mechanism-level event plus its audit label.  A session's own charge
+// history is exposed in exactly this shape (ledger().events() / charges()),
+// so a serving layer can persist every committed charge and rebuild the
+// session after a crash via DisclosureSession::Restore.
+struct ReplayedCharge {
+  gdp::dp::MechanismEvent event;
+  std::string label;
+};
+
+// Admission gate for TryRelease: called AFTER the session's own ledger has
+// admitted the charge and BEFORE anything commits or draws.  Return false to
+// deny the release (ledger and rng untouched); throw to abort it (same
+// guarantee).  The serving layer uses this seam to consult the dataset
+// odometer and to make the charge durable (write-ahead) before any noise
+// exists.
+using ChargeGate = std::function<bool(const gdp::dp::MechanismEvent&)>;
 
 class DisclosureSession {
  public:
@@ -83,6 +102,21 @@ class DisclosureSession {
   [[nodiscard]] static DisclosureSession Attach(
       std::shared_ptr<const CompiledDisclosure> compiled);
 
+  // Rebuild a tenant handle from its durable charge history instead of
+  // charging afresh: every replayed charge (the first one is normally the
+  // original phase-1 spend) is committed through
+  // BudgetLedger::RestoreCharge — no cap check, because an admitted
+  // historical spend is a fact the recovery must reproduce even if the caps
+  // have since shrunk.  Unlike Attach, Restore does NOT charge the
+  // artifact's Phase-1 spend again: the tenant already paid it in a previous
+  // life and the replayed history carries that charge.  Throws
+  // std::invalid_argument on a null artifact or a malformed replayed event
+  // (log corruption must not be absorbed silently).
+  [[nodiscard]] static DisclosureSession Restore(
+      std::shared_ptr<const CompiledDisclosure> compiled, double epsilon_cap,
+      double delta_cap, gdp::dp::AccountingPolicy accounting,
+      std::span<const ReplayedCharge> charges);
+
   // Movable, not copyable (the ledger is an audit trail, not a value).
   DisclosureSession(DisclosureSession&&) noexcept = default;
   DisclosureSession& operator=(DisclosureSession&&) noexcept = default;
@@ -111,6 +145,21 @@ class DisclosureSession {
   // still throws InvalidBudgetError (a configuration error).
   [[nodiscard]] std::optional<MultiLevelRelease> TryRelease(
       const BudgetSpec& budget, gdp::common::Rng& rng, std::string label = {});
+
+  // TryRelease with an external admission gate, the durable serving layer's
+  // charge path.  Order of operations is the write-ahead contract:
+  //   1. validate the budget (InvalidBudgetError — nothing spent),
+  //   2. check this session's own ledger (nullopt — nothing spent),
+  //   3. run `gate(event)`: false or a throw denies/aborts with the ledger
+  //      and rng still untouched,
+  //   4. commit the ledger charge, then draw noise.
+  // A gate that persists the event durably therefore guarantees every crash
+  // point errs toward "budget spent", never toward unaccounted disclosure:
+  // noise exists only after the gate succeeded.  A null gate is exactly
+  // TryRelease above.
+  [[nodiscard]] std::optional<MultiLevelRelease> TryRelease(
+      const BudgetSpec& budget, gdp::common::Rng& rng, std::string label,
+      const ChargeGate& gate);
 
   // One release per budget — the ε-sweep primitive.  ALL budgets are
   // validated before any noise is drawn (a bad third point rejects the

@@ -154,12 +154,23 @@ bool BudgetLedger::TryCharge(const MechanismEvent& event, std::string label) {
   return true;
 }
 
+void BudgetLedger::RestoreCharge(const MechanismEvent& event,
+                                 std::string label) {
+  ValidateMechanismEvent(event);
+  CommitCharge(event, std::move(label));
+}
+
 BudgetCharge BudgetLedger::AccountedGuarantee(double target_delta) const {
   return accountant_->CumulativeGuarantee(target_delta);
 }
 
 BudgetCharge BudgetLedger::AccountedSpend() const {
   return accountant_->AdmissionGuarantee(delta_cap_);
+}
+
+BudgetCharge BudgetLedger::AccountedSpendWith(
+    const MechanismEvent& event) const {
+  return accountant_->GuaranteeWith(event, delta_cap_);
 }
 
 std::string BudgetLedger::AuditReport() const {

@@ -109,6 +109,14 @@ class BudgetLedger {
   [[nodiscard]] bool TryCharge(double epsilon, double delta, std::string label);
   [[nodiscard]] bool TryCharge(const MechanismEvent& event, std::string label);
 
+  // Crash-recovery rehydration: commit an already-admitted historical spend
+  // WITHOUT the cap check.  A charge replayed from the durable audit log was
+  // admitted when it happened; recovery must reproduce it even when the caps
+  // have since been tightened — spent budget is a fact and is never "lost"
+  // back to the tenant.  Still validates the event (a malformed replayed
+  // event means log corruption, which must not be absorbed silently).
+  void RestoreCharge(const MechanismEvent& event, std::string label);
+
   // Naive sequential totals (Σε, Σδ over charges) — the audit baseline,
   // maintained under every policy.  Under kSequential these ARE the
   // admission quantities; under kAdvanced / kRdp the accountant's guarantee
@@ -142,6 +150,12 @@ class BudgetLedger {
   // The guarantee the cap check binds — the accountant's admission basis at
   // this ledger's δ cap.
   [[nodiscard]] BudgetCharge AccountedSpend() const;
+
+  // AccountedSpend() AS IF `event` had been charged — computed without
+  // mutating.  The write-ahead audit log stamps each charge record with this
+  // value BEFORE the charge commits, so an offline verifier can recompute it
+  // from the event stream and detect divergence.
+  [[nodiscard]] BudgetCharge AccountedSpendWith(const MechanismEvent& event) const;
 
   // Multi-line audit trail: one line per charge plus the naive totals, and —
   // for a non-sequential policy — the accountant-tightened cumulative.

@@ -1,0 +1,159 @@
+#include "serve/dataset_odometer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gdp::serve {
+
+DatasetOdometer::State& DatasetOdometer::StateFor(const std::string& dataset) {
+  auto it = states_.find(dataset);
+  if (it == states_.end()) {
+    State state;
+    // Tracking-only until SetBudget: the sequential accountant keeps the
+    // honest Σ reading without ever refusing.
+    state.accountant =
+        gdp::dp::MakeAccountant(gdp::dp::AccountingPolicy::kSequential);
+    it = states_.emplace(dataset, std::move(state)).first;
+  }
+  return it->second;
+}
+
+DatasetOdometer::Snapshot DatasetOdometer::SnapshotOf(
+    const std::string& dataset, const State& state) const {
+  Snapshot snap;
+  snap.dataset = dataset;
+  snap.budgeted = state.budgeted;
+  snap.epsilon_cap = state.epsilon_cap;
+  snap.delta_cap = state.delta_cap;
+  snap.accounting = state.policy;
+  snap.epsilon_spent = state.epsilon_spent;
+  snap.delta_spent = state.delta_spent;
+  const gdp::dp::BudgetCharge accounted =
+      state.accountant->AdmissionGuarantee(state.delta_cap);
+  snap.accounted_epsilon = accounted.epsilon;
+  snap.accounted_delta = accounted.delta;
+  snap.charges = state.charges;
+  snap.retired = state.retired;
+  snap.retire_reason = state.retire_reason;
+  return snap;
+}
+
+void DatasetOdometer::SetBudget(const std::string& dataset, double epsilon_cap,
+                                double delta_cap,
+                                gdp::dp::AccountingPolicy policy) {
+  if (!(epsilon_cap > 0.0) || !std::isfinite(epsilon_cap)) {
+    throw std::invalid_argument(
+        "DatasetOdometer::SetBudget: epsilon_cap must be finite and > 0");
+  }
+  if (!(delta_cap >= 0.0) || !(delta_cap < 1.0)) {
+    throw std::invalid_argument(
+        "DatasetOdometer::SetBudget: delta_cap must be in [0, 1)");
+  }
+  if (policy != gdp::dp::AccountingPolicy::kSequential && !(delta_cap > 0.0)) {
+    throw std::invalid_argument(
+        std::string("DatasetOdometer::SetBudget: the ") +
+        gdp::dp::AccountingPolicyName(policy) +
+        " policy converts through a delta slack and requires delta_cap > 0");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  State& state = StateFor(dataset);
+  if (state.charges > 0) {
+    throw gdp::common::StateError(
+        "DatasetOdometer::SetBudget: dataset '" + dataset + "' already has " +
+        std::to_string(state.charges) +
+        " recorded charges; a filter's cap cannot move under recorded spend");
+  }
+  state.budgeted = true;
+  state.epsilon_cap = epsilon_cap;
+  state.delta_cap = delta_cap;
+  state.policy = policy;
+  state.accountant = gdp::dp::MakeAccountant(policy);
+}
+
+OdometerAdmit DatasetOdometer::Charge(const std::string& dataset,
+                                      const gdp::dp::MechanismEvent& event) {
+  gdp::dp::ValidateMechanismEvent(event);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  State& state = StateFor(dataset);
+  if (state.retired) {
+    return OdometerAdmit::kRefusedRetired;
+  }
+  if (state.budgeted) {
+    const gdp::dp::BudgetCharge with =
+        state.accountant->GuaranteeWith(event, state.delta_cap);
+    if (gdp::dp::ExceedsBudgetCaps(with.epsilon, with.delta, state.epsilon_cap,
+                                   state.delta_cap)) {
+      // Filter semantics: the tripping charge is refused AND the dataset is
+      // done — admitting later, smaller charges would let an adversary drain
+      // past the cap in finer slices.
+      state.retired = true;
+      state.retire_reason =
+          "cross-tenant budget exhausted: charge (eps=" +
+          std::to_string(event.TotalEpsilon()) +
+          ", delta=" + std::to_string(event.TotalDelta()) +
+          ") would push the accounted guarantee to (eps=" +
+          std::to_string(with.epsilon) +
+          ", delta=" + std::to_string(with.delta) + ") past caps (eps=" +
+          std::to_string(state.epsilon_cap) +
+          ", delta=" + std::to_string(state.delta_cap) + ")";
+      return OdometerAdmit::kRefusedNewlyRetired;
+    }
+  }
+  state.accountant->Spend(event);
+  state.epsilon_spent += event.TotalEpsilon();
+  state.delta_spent += event.TotalDelta();
+  ++state.charges;
+  return OdometerAdmit::kAdmitted;
+}
+
+void DatasetOdometer::RestoreCharge(const std::string& dataset,
+                                    const gdp::dp::MechanismEvent& event) {
+  gdp::dp::ValidateMechanismEvent(event);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  State& state = StateFor(dataset);
+  state.accountant->Spend(event);
+  state.epsilon_spent += event.TotalEpsilon();
+  state.delta_spent += event.TotalDelta();
+  ++state.charges;
+}
+
+void DatasetOdometer::Retire(const std::string& dataset, std::string reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  State& state = StateFor(dataset);
+  if (state.retired) {
+    return;
+  }
+  state.retired = true;
+  state.retire_reason = std::move(reason);
+}
+
+bool DatasetOdometer::IsRetired(const std::string& dataset) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = states_.find(dataset);
+  return it != states_.end() && it->second.retired;
+}
+
+std::optional<DatasetOdometer::Snapshot> DatasetOdometer::Get(
+    const std::string& dataset) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = states_.find(dataset);
+  if (it == states_.end()) {
+    return std::nullopt;
+  }
+  return SnapshotOf(dataset, it->second);
+}
+
+std::vector<DatasetOdometer::Snapshot> DatasetOdometer::All() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Snapshot> out;
+  out.reserve(states_.size());
+  for (const auto& [name, state] : states_) {
+    out.push_back(SnapshotOf(name, state));
+  }
+  return out;
+}
+
+}  // namespace gdp::serve

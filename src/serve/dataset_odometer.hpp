@@ -1,0 +1,132 @@
+// DatasetOdometer: the cross-tenant, per-dataset privacy accountant.
+//
+// Per-tenant ledgers bound what each tenant's OWN view can leak and
+// deliberately say nothing about collusion: N tenants pooling their
+// independently-noised releases of the same dataset face the dataset-level
+// loss, which composes sequentially across tenants (~Σ per-tenant spends;
+// see BudgetLedger::TryCharge and docs/ACCOUNTING.md).  The odometer is the
+// object that tracks that global quantity — one accountant per dataset,
+// charged once per admitted release ACROSS tenants — and enforces it with
+// privacy-filter semantics:
+//
+//   * a dataset with a budget admits charges while its accountant's
+//     cumulative guarantee fits the caps;
+//   * the first charge that would exceed them RETIRES the dataset — that
+//     charge is refused, and so is every later one, forever (an exhausted
+//     filter never reopens);
+//   * datasets without a budget are tracked (the odometer reading is always
+//     available for audit) but never refused.
+//
+// The phase-1 artifact spend is charged ONCE per compiled artifact, not once
+// per tenant: every tenant sees the SAME noisy hierarchy, so dataset-level
+// the build is a single mechanism run (the serving layer deduplicates by
+// artifact fingerprint).  Phase-2 releases are fresh independent noise per
+// request and each one is charged.
+//
+// Charge is commit-at-admit: the check and the spend are one operation under
+// the odometer lock, so concurrent tenants cannot interleave past the cap.
+// If a durable append fails AFTER admission, the odometer spend stands —
+// erring toward "spent" is the fail-safe direction, and a restart rebuilds
+// the odometer from the WAL anyway.  Thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dp/privacy_accountant.hpp"
+
+namespace gdp::serve {
+
+enum class OdometerAdmit {
+  kAdmitted,
+  // This charge tripped the cap: refused, and the dataset is now retired.
+  kRefusedNewlyRetired,
+  // The dataset was already retired (by a cap trip, an explicit Retire, or a
+  // replayed retirement record).
+  kRefusedRetired,
+};
+
+class DatasetOdometer {
+ public:
+  struct Snapshot {
+    std::string dataset;
+    bool budgeted{false};
+    double epsilon_cap{0.0};
+    double delta_cap{0.0};
+    gdp::dp::AccountingPolicy accounting{
+        gdp::dp::AccountingPolicy::kSequential};
+    // Naive sequential totals (Σε, Σδ) — the audit baseline.
+    double epsilon_spent{0.0};
+    double delta_spent{0.0};
+    // The accountant-tightened cumulative guarantee the cap binds.
+    double accounted_epsilon{0.0};
+    double accounted_delta{0.0};
+    std::uint64_t charges{0};
+    bool retired{false};
+    std::string retire_reason;
+  };
+
+  // Install the dataset's cross-tenant budget.  Must happen before any
+  // charge for the dataset (gdp::common::StateError otherwise — a filter
+  // whose cap moves under recorded spend is not a filter).  Cap validation
+  // matches BudgetLedger: epsilon_cap finite and > 0, delta_cap in [0, 1),
+  // and a non-sequential policy needs delta_cap > 0
+  // (std::invalid_argument).
+  void SetBudget(const std::string& dataset, double epsilon_cap,
+                 double delta_cap,
+                 gdp::dp::AccountingPolicy policy =
+                     gdp::dp::AccountingPolicy::kSequential);
+
+  // Check-and-commit one cross-tenant charge (see class comment).  Validates
+  // the event (std::invalid_argument on malformed).
+  [[nodiscard]] OdometerAdmit Charge(const std::string& dataset,
+                                     const gdp::dp::MechanismEvent& event);
+
+  // Crash-recovery rehydration: commit a replayed historical charge with no
+  // cap check and no retirement side effect — recorded spend is a fact, and
+  // retirement is re-applied by its own replayed record.
+  void RestoreCharge(const std::string& dataset,
+                     const gdp::dp::MechanismEvent& event);
+
+  // Retire the dataset explicitly (operator action or replayed retirement).
+  // Idempotent; the first reason wins.
+  void Retire(const std::string& dataset, std::string reason);
+
+  [[nodiscard]] bool IsRetired(const std::string& dataset) const;
+
+  // Snapshot for one dataset (nullopt when the odometer has never seen it).
+  [[nodiscard]] std::optional<Snapshot> Get(const std::string& dataset) const;
+
+  // Snapshots for every tracked dataset, name-ordered.
+  [[nodiscard]] std::vector<Snapshot> All() const;
+
+ private:
+  struct State {
+    bool budgeted{false};
+    double epsilon_cap{0.0};
+    double delta_cap{0.0};
+    gdp::dp::AccountingPolicy policy{gdp::dp::AccountingPolicy::kSequential};
+    std::unique_ptr<gdp::dp::PrivacyAccountant> accountant;
+    double epsilon_spent{0.0};
+    double delta_spent{0.0};
+    std::uint64_t charges{0};
+    bool retired{false};
+    std::string retire_reason;
+  };
+
+  // The dataset's state, created tracking-only on first touch.  Caller holds
+  // the lock.
+  [[nodiscard]] State& StateFor(const std::string& dataset);
+  [[nodiscard]] Snapshot SnapshotOf(const std::string& dataset,
+                                    const State& state) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, State> states_;
+};
+
+}  // namespace gdp::serve

@@ -13,35 +13,62 @@
 // budget, rng) draws a full multi-level release against the tenant's grant
 // and returns ONLY the level view the tenant's tier is entitled to.
 //
+// Two accounting spines run under Serve:
+//
+//   * the per-dataset, cross-tenant DatasetOdometer — the collusion bound
+//     per-tenant ledgers deliberately do not track.  A dataset given a
+//     budget (odometer().SetBudget) is RETIRED by the first charge that
+//     would exceed it, and every later release of it is refused (filter
+//     semantics; the denial is an expected outcome, granted == false).
+//   * optionally, a durable AuditWal (Open(...)): every admitted charge is
+//     fsync'd BEFORE the ledger commits and any noise is drawn, so at every
+//     crash point the log claims at least as much spend as was disclosed.
+//     On restart, Open replays the log — truncating any torn tail — and
+//     rebuilds tenant ledgers and the odometer; a retired dataset stays
+//     retired.  If an append fails past retries the service FAILS CLOSED:
+//     Serve throws DurabilityError from then on (read-only audit queries
+//     keep working), because releasing noise that is not durably accounted
+//     would silently void the audit guarantee.
+//
 // Failure taxonomy: unknown names throw NotFoundError and a tier the policy
 // cannot map throws AccessPolicyError (configuration errors); an exhausted
-// grant is an EXPECTED outcome and comes back as granted == false with the
-// ledger and rng untouched (BudgetLedger::TryCharge, no exceptions).
+// grant or a retired dataset is an EXPECTED outcome and comes back as
+// granted == false with the ledger and rng untouched; a lost WAL is
+// DurabilityError (the one failure that latches).
 //
-// Thread-safe: catalog, registry, and broker have their own locks; each
-// tenant session is guarded by a per-entry mutex, so distinct tenants are
-// served concurrently (sharing the artifact's internally synchronized
-// caches) while requests from ONE tenant serialise on that tenant's ledger.
+// Thread-safe: catalog, registry, broker, odometer, and WAL have their own
+// locks; each tenant session is guarded by a per-entry mutex, so distinct
+// tenants are served concurrently (sharing the artifact's internally
+// synchronized caches) while requests from ONE tenant serialise on that
+// tenant's ledger.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/session.hpp"
+#include "serve/audit_wal.hpp"
 #include "serve/dataset_catalog.hpp"
+#include "serve/dataset_odometer.hpp"
 #include "serve/session_registry.hpp"
 #include "serve/tenant_broker.hpp"
 
 namespace gdp::serve {
 
 struct ServeResult {
-  // False iff the tenant's grant could not cover the request (the only
-  // non-throwing denial); denial_reason says why, view is empty.
+  // False iff the request was denied without a throw: the tenant's grant
+  // could not cover it, or the dataset's cross-tenant odometer refused it;
+  // denial_reason says which, view is empty.
   bool granted{false};
   std::string denial_reason;
   // The tier the tenant was served at and the hierarchy level of its view.
@@ -64,11 +91,46 @@ struct ServeResult {
   double accounted_delta{0.0};
 };
 
+// What Open recovered from the write-ahead log.
+struct RecoveryReport {
+  std::uint64_t records_replayed{0};
+  std::uint64_t truncated_bytes{0};  // torn tail repaired on open
+  bool sequence_gap{false};
+  std::size_t tenants_restored{0};
+  std::size_t datasets_retired{0};
+};
+
+// Counters for the durability spine (monotone; snapshot via
+// durability_stats()).
+struct DurabilityStats {
+  std::uint64_t wal_appends{0};
+  std::uint64_t wal_failures{0};
+  std::uint64_t fail_closed_rejections{0};
+  std::uint64_t dataset_denials{0};
+};
+
 class DisclosureService {
  public:
   // `registry_capacity` bounds the number of live compiled artifacts the
-  // registry retains (LRU beyond that).
+  // registry retains (LRU beyond that).  A service built this way has no
+  // WAL: the odometer still enforces, but nothing survives the process.
   explicit DisclosureService(std::size_t registry_capacity = 8);
+
+  // Build a durable service over `wal_storage` (or a FileStorage at
+  // `wal_path`).  `configure` runs FIRST — register datasets, tenants, and
+  // odometer budgets there — because replay needs the catalog to re-attach
+  // recovered tenants lazily and the odometer budgets to re-enforce caps.
+  // Then the WAL is adopted: existing records are replayed (torn tail
+  // truncated, IoError on a non-WAL file), tenant charge histories and the
+  // odometer are rebuilt, retired datasets stay retired, and subsequent
+  // serves append write-ahead.  `configure` may be null when there is
+  // nothing to register.
+  [[nodiscard]] static std::unique_ptr<DisclosureService> Open(
+      const std::function<void(DisclosureService&)>& configure,
+      std::unique_ptr<Storage> wal_storage, std::size_t registry_capacity = 8);
+  [[nodiscard]] static std::unique_ptr<DisclosureService> Open(
+      const std::function<void(DisclosureService&)>& configure,
+      const std::string& wal_path, std::size_t registry_capacity = 8);
 
   [[nodiscard]] DatasetCatalog& catalog() noexcept { return catalog_; }
   [[nodiscard]] const DatasetCatalog& catalog() const noexcept {
@@ -80,6 +142,21 @@ class DisclosureService {
   [[nodiscard]] const SessionRegistry& registry() const noexcept {
     return registry_;
   }
+  [[nodiscard]] DatasetOdometer& odometer() noexcept { return odometer_; }
+  [[nodiscard]] const DatasetOdometer& odometer() const noexcept {
+    return odometer_;
+  }
+
+  [[nodiscard]] bool wal_enabled() const noexcept { return wal_ != nullptr; }
+  // True once a WAL append has failed: every further Serve throws
+  // DurabilityError until a new service is Opened over the log.
+  [[nodiscard]] bool failed_closed() const noexcept {
+    return wal_failed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const RecoveryReport& recovery() const noexcept {
+    return recovery_;
+  }
+  [[nodiscard]] DurabilityStats durability_stats() const noexcept;
 
   // Serve tenant `tenant` its entitled view of `dataset` under `budget`,
   // drawing noise from `rng`.  Compiles the artifact on first touch of the
@@ -87,14 +164,18 @@ class DisclosureService {
   // Phase-1 spend to its ledger) on first touch by this tenant; both are
   // cached thereafter.  Deterministic: a tenant served via the registry is
   // bit-identical to a fresh DisclosureSession at the same seeds
-  // (serve_test pins this).
+  // (serve_test pins this), and the WAL adds no randomness — a durable run
+  // releases bit-identical values to a WAL-less run at the same seeds.
   [[nodiscard]] ServeResult Serve(const std::string& tenant,
                                   const std::string& dataset,
                                   const gdp::core::BudgetSpec& budget,
                                   gdp::common::Rng& rng);
 
-  // The tenant's cumulative ledger for `dataset` (audit).  Throws
-  // NotFoundError when this (tenant, dataset) pair has never been served.
+  // The tenant's cumulative ledger for `dataset` (audit).  Works while the
+  // service is failed closed, and covers tenants recovered from the WAL that
+  // have not been re-served yet (their ledger is rebuilt from the replayed
+  // history on the fly).  Throws NotFoundError when this (tenant, dataset)
+  // pair has never been served or recovered.
   [[nodiscard]] gdp::dp::BudgetLedger Ledger(const std::string& tenant,
                                              const std::string& dataset) const;
 
@@ -108,24 +189,66 @@ class DisclosureService {
         : session(std::move(s)) {}
   };
 
+  // A tenant recovered from the WAL, not yet re-attached: its grant as of
+  // the last logged open, plus the full replayed charge history.
+  struct RecoveredTenant {
+    bool has_open{false};
+    double epsilon_cap{0.0};
+    double delta_cap{0.0};
+    gdp::dp::AccountingPolicy accounting{
+        gdp::dp::AccountingPolicy::kSequential};
+    std::string fingerprint;
+    std::vector<gdp::core::ReplayedCharge> charges;
+  };
+
   // The tenant's existing entry, or nullptr (never creates).
   [[nodiscard]] TenantEntry* FindEntry(const std::string& tenant,
                                        const std::string& dataset);
 
-  [[nodiscard]] TenantEntry& EntryFor(
+  // The tenant's entry, creating it on first touch: restoring from the
+  // replayed WAL history when one exists (no fresh phase-1 charge), else a
+  // fresh Attach (phase-1 charged to the tenant AND — once per artifact
+  // fingerprint — to the dataset odometer).  Returns nullptr with `denial`
+  // set when the odometer refuses the phase-1 charge; throws
+  // BudgetExhaustedError when the tenant's own grant cannot cover phase 1
+  // and DurabilityError when the open record cannot be made durable.
+  [[nodiscard]] TenantEntry* EntryFor(
       const std::string& tenant, const std::string& dataset,
-      const TenantProfile& profile,
-      const std::shared_ptr<const gdp::core::CompiledDisclosure>& compiled);
+      const std::string& fingerprint, const TenantProfile& profile,
+      const std::shared_ptr<const gdp::core::CompiledDisclosure>& compiled,
+      std::string& denial);
+
+  // Replay `wal`'s recovered records into tenants/odometer and arm it for
+  // appends.  Called once, from Open, before any Serve.
+  void AdoptWal(std::unique_ptr<AuditWal> wal);
+
+  // Append with fail-closed bookkeeping: a DurabilityError latches
+  // wal_failed_ and rethrows.
+  void WalAppend(WalRecord record);
 
   DatasetCatalog catalog_;
   TenantBroker broker_;
   SessionRegistry registry_;
+  DatasetOdometer odometer_;
+  std::unique_ptr<AuditWal> wal_;
+  std::atomic<bool> wal_failed_{false};
+  RecoveryReport recovery_;
+  mutable std::atomic<std::uint64_t> wal_appends_{0};
+  mutable std::atomic<std::uint64_t> wal_failures_{0};
+  mutable std::atomic<std::uint64_t> fail_closed_rejections_{0};
+  mutable std::atomic<std::uint64_t> dataset_denials_{0};
   mutable std::mutex sessions_mutex_;
   // Keyed by (tenant, dataset): a tenant's spend on a dataset survives
   // registry eviction and recompile (the entry pins the artifact it was
   // attached to via its session's shared_ptr).
   std::map<std::pair<std::string, std::string>, std::unique_ptr<TenantEntry>>
       sessions_;
+  // Replayed-but-not-yet-reattached tenants (guarded by sessions_mutex_;
+  // entries move into sessions_ on first Serve).
+  std::map<std::pair<std::string, std::string>, RecoveredTenant> recovered_;
+  // Artifact fingerprints whose phase-1 spend the odometer has already been
+  // charged for (guarded by sessions_mutex_).
+  std::set<std::pair<std::string, std::string>> phase1_charged_;
 };
 
 }  // namespace gdp::serve

@@ -398,6 +398,209 @@ TEST_F(CliRoundTripTest, StripTruthProducesZeroTruthArtifact) {
   }
 }
 
+// ---------- durable serving: --wal, audit --verify, dataset caps ----------
+
+class CliWalTest : public CliRoundTripTest {
+ protected:
+  void SetUp() override {
+    CliRoundTripTest::SetUp();
+    wal_path_ = dir_ + "/cli_audit.wal";
+    tenants_path_ = dir_ + "/cli_wal_tenants.tsv";
+    requests_path_ = dir_ + "/cli_wal_requests.tsv";
+    std::remove(wal_path_.c_str());
+    std::ostringstream out;
+    ASSERT_EQ(Dispatch({"generate", "--out", graph_path_, "--left", "400",
+                        "--right", "500", "--edges", "2500", "--seed", "5"},
+                       out),
+              0);
+  }
+  void TearDown() override {
+    std::remove(wal_path_.c_str());
+    std::remove(tenants_path_.c_str());
+    std::remove(requests_path_.c_str());
+    CliRoundTripTest::TearDown();
+  }
+  std::string wal_path_;
+  std::string tenants_path_;
+  std::string requests_path_;
+};
+
+TEST_F(CliWalTest, ServeWalAuditVerifyRoundTripWithRecovery) {
+  {
+    std::ofstream tenants(tenants_path_);
+    tenants << "alice 20.0 0.4 0\n"
+            << "bob 20.0 0.4 2\n"
+            << "mallory 1.0\n";  // malformed: skipped, NOT fatal
+    std::ofstream requests(requests_path_);
+    requests << "alice 0.9\n"
+             << "bob 0.9\n"
+             << "mallory 0.9\n";  // unknown tenant: row served as "unknown"
+  }
+  std::ostringstream out;
+  ASSERT_EQ(Dispatch({"serve", "--graph", graph_path_, "--tenants",
+                      tenants_path_, "--requests", requests_path_, "--depth",
+                      "5", "--seed", "11", "--wal", wal_path_},
+                     out),
+            0);
+  // The malformed row and the unknown tenant degrade gracefully.
+  EXPECT_NE(out.str().find("tenant spec line 3 skipped"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("1 malformed rows skipped"), std::string::npos);
+  EXPECT_NE(out.str().find("unknown"), std::string::npos);
+  EXPECT_NE(out.str().find("served 2/3"), std::string::npos);
+  // 2 opens + 2 charges hit the log.
+  EXPECT_NE(out.str().find("wal: 4 appends"), std::string::npos) << out.str();
+
+  // Offline verification replays the log and recomputes every guarantee.
+  out.str("");
+  ASSERT_EQ(Dispatch({"audit", "--verify", wal_path_}, out), 0);
+  EXPECT_NE(out.str().find("audit OK"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("4 records"), std::string::npos);
+
+  // A second serve run over the SAME wal recovers the tenants and keeps
+  // charging on top of the replayed history.
+  out.str("");
+  ASSERT_EQ(Dispatch({"serve", "--graph", graph_path_, "--tenants",
+                      tenants_path_, "--requests", requests_path_, "--depth",
+                      "5", "--seed", "11", "--wal", wal_path_},
+                     out),
+            0);
+  EXPECT_NE(out.str().find("replayed 4 records"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("restored 2 tenants"), std::string::npos);
+  // And the grown log still verifies end-to-end.
+  out.str("");
+  ASSERT_EQ(Dispatch({"audit", "--verify", wal_path_}, out), 0);
+  EXPECT_NE(out.str().find("audit OK"), std::string::npos) << out.str();
+}
+
+TEST_F(CliWalTest, AuditFlagsTornTailUnlessTolerated) {
+  {
+    std::ofstream tenants(tenants_path_);
+    tenants << "alice 20.0 0.4 0\n";
+    std::ofstream requests(requests_path_);
+    requests << "alice 0.9\nalice 0.9\n";
+  }
+  std::ostringstream out;
+  ASSERT_EQ(Dispatch({"serve", "--graph", graph_path_, "--tenants",
+                      tenants_path_, "--requests", requests_path_, "--depth",
+                      "5", "--seed", "11", "--wal", wal_path_},
+                     out),
+            0);
+  // Chop into the last frame: the torn tail a crash mid-append leaves.
+  std::string bytes;
+  {
+    std::ifstream in(wal_path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 5u);
+  {
+    std::ofstream rewrite(wal_path_, std::ios::binary | std::ios::trunc);
+    rewrite.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() - 5));
+  }
+  out.str("");
+  EXPECT_EQ(Dispatch({"audit", "--verify", wal_path_}, out), 1);
+  EXPECT_NE(out.str().find("FAIL"), std::string::npos) << out.str();
+  // Tolerating the tail passes: the surviving records all verify.
+  out.str("");
+  EXPECT_EQ(
+      Dispatch({"audit", "--verify", wal_path_, "--tolerate-tail"}, out), 0);
+  EXPECT_NE(out.str().find("audit OK"), std::string::npos) << out.str();
+}
+
+TEST_F(CliWalTest, ServeWithWalReleasesIdenticalValuesToWalless) {
+  {
+    std::ofstream tenants(tenants_path_);
+    tenants << "alice 20.0 0.4 0\nbob 20.0 0.4 3\n";
+    std::ofstream requests(requests_path_);
+    requests << "alice 0.9\nbob 0.9\nalice 0.7\n";
+  }
+  const std::string results_a = dir_ + "/cli_wal_results_a.tsv";
+  const std::string results_b = dir_ + "/cli_wal_results_b.tsv";
+  std::ostringstream out;
+  ASSERT_EQ(Dispatch({"serve", "--graph", graph_path_, "--tenants",
+                      tenants_path_, "--requests", requests_path_, "--depth",
+                      "5", "--seed", "11", "--out", results_a},
+                     out),
+            0);
+  ASSERT_EQ(Dispatch({"serve", "--graph", graph_path_, "--tenants",
+                      tenants_path_, "--requests", requests_path_, "--depth",
+                      "5", "--seed", "11", "--out", results_b, "--wal",
+                      wal_path_},
+                     out),
+            0);
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string a = slurp(results_a);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(results_b))
+      << "the WAL must add bookkeeping, never randomness";
+  std::remove(results_a.c_str());
+  std::remove(results_b.c_str());
+}
+
+TEST_F(CliWalTest, DatasetCapRetiresAcrossRequestsAndRestarts) {
+  {
+    std::ofstream tenants(tenants_path_);
+    tenants << "alice 20.0 0.4 0\n";
+    std::ofstream requests(requests_path_);
+    requests << "alice 0.9\nalice 0.9\nalice 0.9\nalice 0.9\n";
+  }
+  std::ostringstream out;
+  ASSERT_EQ(Dispatch({"serve", "--graph", graph_path_, "--tenants",
+                      tenants_path_, "--requests", requests_path_, "--depth",
+                      "5", "--seed", "11", "--wal", wal_path_,
+                      "--dataset-eps-cap", "1.2", "--dataset-delta-cap",
+                      "0.4"},
+                     out),
+            0);
+  EXPECT_NE(out.str().find("RETIRED"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("denied"), std::string::npos);
+  // The retirement is durable: a fresh run over the same wal starts retired
+  // and serves nothing.
+  out.str("");
+  ASSERT_EQ(Dispatch({"serve", "--graph", graph_path_, "--tenants",
+                      tenants_path_, "--requests", requests_path_, "--depth",
+                      "5", "--seed", "11", "--wal", wal_path_,
+                      "--dataset-eps-cap", "1.2", "--dataset-delta-cap",
+                      "0.4"},
+                     out),
+            0);
+  EXPECT_NE(out.str().find("1 datasets retired"), std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("served 0/4"), std::string::npos);
+  EXPECT_NE(out.str().find("RETIRED"), std::string::npos);
+  // The log (including the retirement record) still verifies.
+  out.str("");
+  EXPECT_EQ(Dispatch({"audit", "--verify", wal_path_}, out), 0)
+      << out.str();
+}
+
+TEST(CliDispatchTest, AuditRequiresVerifyFlag) {
+  std::ostringstream out;
+  EXPECT_THROW((void)Dispatch({"audit"}, out), std::invalid_argument);
+}
+
+TEST(CliDispatchTest, AuditRejectsMissingAndNonWalFiles) {
+  std::ostringstream out;
+  EXPECT_THROW((void)Dispatch({"audit", "--verify", "/nonexistent/x.wal"},
+                              out),
+               gdp::common::IoError);
+  const std::string path = ::testing::TempDir() + "/not_a_wal.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a write-ahead log at all";
+  }
+  EXPECT_THROW((void)Dispatch({"audit", "--verify", path}, out),
+               gdp::common::IoError);
+  std::remove(path.c_str());
+}
+
 TEST(CliDispatchTest, NoCommandPrintsUsage) {
   std::ostringstream out;
   EXPECT_EQ(Dispatch({}, out), 2);

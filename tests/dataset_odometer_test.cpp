@@ -1,0 +1,159 @@
+// The cross-tenant dataset odometer: tracking, budget caps with
+// privacy-filter semantics (retire on the first would-exceed charge, never
+// reopen), and the crash-recovery RestoreCharge path that bypasses caps.
+#include "serve/dataset_odometer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/error.hpp"
+#include "dp/privacy_accountant.hpp"
+
+namespace gdp::serve {
+namespace {
+
+using gdp::dp::AccountingPolicy;
+using gdp::dp::MechanismEvent;
+
+TEST(DatasetOdometerTest, UnbudgetedDatasetTracksButNeverRefuses) {
+  DatasetOdometer odometer;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(odometer.Charge("open", MechanismEvent::PureEps(10.0)),
+              OdometerAdmit::kAdmitted);
+  }
+  const auto snap = odometer.Get("open");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_FALSE(snap->budgeted);
+  EXPECT_FALSE(snap->retired);
+  EXPECT_EQ(snap->charges, 50u);
+  EXPECT_DOUBLE_EQ(snap->epsilon_spent, 500.0);
+  EXPECT_FALSE(odometer.IsRetired("open"));
+}
+
+TEST(DatasetOdometerTest, NeverSeenDatasetHasNoSnapshot) {
+  DatasetOdometer odometer;
+  EXPECT_FALSE(odometer.Get("ghost").has_value());
+  EXPECT_FALSE(odometer.IsRetired("ghost"));
+}
+
+TEST(DatasetOdometerTest, SetBudgetValidatesLikeALedger) {
+  DatasetOdometer odometer;
+  EXPECT_THROW(odometer.SetBudget("ds", 0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(odometer.SetBudget("ds", -1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(odometer.SetBudget("ds", 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(odometer.SetBudget("ds", 1.0, -0.1), std::invalid_argument);
+  // Non-sequential accounting needs delta headroom to state a guarantee at.
+  EXPECT_THROW(odometer.SetBudget("ds", 1.0, 0.0, AccountingPolicy::kRdp),
+               std::invalid_argument);
+  EXPECT_NO_THROW(odometer.SetBudget("ds", 1.0, 0.0));
+}
+
+TEST(DatasetOdometerTest, BudgetCannotMoveUnderRecordedSpend) {
+  DatasetOdometer odometer;
+  ASSERT_EQ(odometer.Charge("ds", MechanismEvent::PureEps(0.5)),
+            OdometerAdmit::kAdmitted);
+  EXPECT_THROW(odometer.SetBudget("ds", 10.0, 0.1), gdp::common::StateError);
+}
+
+TEST(DatasetOdometerTest, FirstWouldExceedChargeRetiresTheDataset) {
+  DatasetOdometer odometer;
+  odometer.SetBudget("ds", 1.0, 0.1);
+  EXPECT_EQ(odometer.Charge("ds", MechanismEvent::PureEps(0.6)),
+            OdometerAdmit::kAdmitted);
+  // 0.6 + 0.6 > 1.0: refused AND retired.
+  EXPECT_EQ(odometer.Charge("ds", MechanismEvent::PureEps(0.6)),
+            OdometerAdmit::kRefusedNewlyRetired);
+  EXPECT_TRUE(odometer.IsRetired("ds"));
+  // An exhausted filter never reopens — even a tiny charge is refused.
+  EXPECT_EQ(odometer.Charge("ds", MechanismEvent::PureEps(1e-9)),
+            OdometerAdmit::kRefusedRetired);
+  const auto snap = odometer.Get("ds");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(snap->retired);
+  EXPECT_FALSE(snap->retire_reason.empty());
+  // The tripping charge was REFUSED: only the admitted spend is recorded.
+  EXPECT_EQ(snap->charges, 1u);
+  EXPECT_DOUBLE_EQ(snap->epsilon_spent, 0.6);
+}
+
+TEST(DatasetOdometerTest, RestoreChargeBypassesCapsWithoutRetiring) {
+  // Replayed history is a fact: it must land even past the cap, and
+  // retirement is re-applied only by its own replayed record.
+  DatasetOdometer odometer;
+  odometer.SetBudget("ds", 1.0, 0.1);
+  odometer.RestoreCharge("ds", MechanismEvent::PureEps(0.8));
+  odometer.RestoreCharge("ds", MechanismEvent::PureEps(0.8));
+  const auto snap = odometer.Get("ds");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_DOUBLE_EQ(snap->epsilon_spent, 1.6);
+  EXPECT_EQ(snap->charges, 2u);
+  EXPECT_FALSE(snap->retired);
+  // Live admission still enforces: the next real charge trips the cap.
+  EXPECT_EQ(odometer.Charge("ds", MechanismEvent::PureEps(0.1)),
+            OdometerAdmit::kRefusedNewlyRetired);
+}
+
+TEST(DatasetOdometerTest, ExplicitRetireIsIdempotentFirstReasonWins) {
+  DatasetOdometer odometer;
+  odometer.Retire("ds", "operator pulled it");
+  odometer.Retire("ds", "second opinion");
+  const auto snap = odometer.Get("ds");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(snap->retired);
+  EXPECT_EQ(snap->retire_reason, "operator pulled it");
+  EXPECT_EQ(odometer.Charge("ds", MechanismEvent::PureEps(0.1)),
+            OdometerAdmit::kRefusedRetired);
+}
+
+TEST(DatasetOdometerTest, MalformedEventRejectedWithoutSpending) {
+  DatasetOdometer odometer;
+  MechanismEvent bad = MechanismEvent::PureEps(1.0);
+  bad.epsilon = -1.0;
+  EXPECT_THROW((void)odometer.Charge("ds", bad), std::invalid_argument);
+  const auto snap = odometer.Get("ds");
+  if (snap.has_value()) {
+    EXPECT_EQ(snap->charges, 0u);
+  }
+}
+
+TEST(DatasetOdometerTest, RdpBudgetComposesTighterThanSequential) {
+  // The same Gaussian stream under an RDP odometer admits more charges than
+  // under a sequential one at identical caps — the whole point of making the
+  // odometer's accountant pluggable.
+  const MechanismEvent gauss = MechanismEvent::Gaussian(0.999, 1e-6, 3.0);
+  auto admitted_until_retired = [&gauss](AccountingPolicy policy) {
+    DatasetOdometer odometer;
+    odometer.SetBudget("ds", 8.0, 1e-2, policy);
+    int admitted = 0;
+    while (admitted < 10000 &&
+           odometer.Charge("ds", gauss) == OdometerAdmit::kAdmitted) {
+      ++admitted;
+    }
+    return admitted;
+  };
+  const int sequential = admitted_until_retired(AccountingPolicy::kSequential);
+  const int rdp = admitted_until_retired(AccountingPolicy::kRdp);
+  EXPECT_GT(sequential, 0);
+  EXPECT_GT(rdp, sequential);
+  EXPECT_LT(rdp, 10000) << "the RDP budget must still exhaust";
+}
+
+TEST(DatasetOdometerTest, SnapshotsAreNameOrderedAndComplete) {
+  DatasetOdometer odometer;
+  ASSERT_EQ(odometer.Charge("zeta", MechanismEvent::PureEps(1.0)),
+            OdometerAdmit::kAdmitted);
+  odometer.SetBudget("alpha", 2.0, 0.1);
+  ASSERT_EQ(odometer.Charge("alpha", MechanismEvent::PureEps(1.0)),
+            OdometerAdmit::kAdmitted);
+  const auto all = odometer.All();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].dataset, "alpha");
+  EXPECT_TRUE(all[0].budgeted);
+  EXPECT_DOUBLE_EQ(all[0].epsilon_cap, 2.0);
+  EXPECT_EQ(all[1].dataset, "zeta");
+  EXPECT_FALSE(all[1].budgeted);
+}
+
+}  // namespace
+}  // namespace gdp::serve

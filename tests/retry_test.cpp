@@ -1,0 +1,113 @@
+// Backoff arithmetic and the retry loop, exercised entirely with injected
+// sleeps — no test here ever blocks on a real clock.
+#include "common/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace gdp::common {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(BackoffDelayTest, GeometricGrowthFromInitialDelay) {
+  BackoffOptions options;
+  options.initial_delay = milliseconds(1);
+  options.multiplier = 2.0;
+  options.max_delay = milliseconds(100);
+  EXPECT_EQ(BackoffDelay(options, 0), milliseconds(1));
+  EXPECT_EQ(BackoffDelay(options, 1), milliseconds(2));
+  EXPECT_EQ(BackoffDelay(options, 2), milliseconds(4));
+  EXPECT_EQ(BackoffDelay(options, 5), milliseconds(32));
+}
+
+TEST(BackoffDelayTest, SaturatesAtMaxDelay) {
+  BackoffOptions options;
+  options.initial_delay = milliseconds(10);
+  options.multiplier = 3.0;
+  options.max_delay = milliseconds(50);
+  EXPECT_EQ(BackoffDelay(options, 0), milliseconds(10));
+  EXPECT_EQ(BackoffDelay(options, 1), milliseconds(30));
+  EXPECT_EQ(BackoffDelay(options, 2), milliseconds(50));
+  // Far past the cap: must not overflow, must stay pinned.
+  EXPECT_EQ(BackoffDelay(options, 1000), milliseconds(50));
+}
+
+TEST(RetryTest, FirstSuccessSkipsSleepEntirely) {
+  std::vector<milliseconds> sleeps;
+  int calls = 0;
+  const bool ok = RetryWithBackoff(
+      BackoffOptions{}, [&] { ++calls; return true; },
+      [&](milliseconds d) { sleeps.push_back(d); });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, SleepsBetweenAttemptsWithEscalatingDelays) {
+  BackoffOptions options;
+  options.max_attempts = 4;
+  options.initial_delay = milliseconds(1);
+  options.multiplier = 2.0;
+  options.max_delay = milliseconds(100);
+  std::vector<milliseconds> sleeps;
+  int calls = 0;
+  const bool ok = RetryWithBackoff(
+      options,
+      [&] {
+        ++calls;
+        return calls == 3;  // succeed on the third attempt
+      },
+      [&](milliseconds d) { sleeps.push_back(d); });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(calls, 3);
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], milliseconds(1));
+  EXPECT_EQ(sleeps[1], milliseconds(2));
+}
+
+TEST(RetryTest, ExhaustionReturnsFalseAfterExactlyMaxAttempts) {
+  BackoffOptions options;
+  options.max_attempts = 5;
+  std::vector<milliseconds> sleeps;
+  int calls = 0;
+  const bool ok = RetryWithBackoff(
+      options, [&] { ++calls; return false; },
+      [&](milliseconds d) { sleeps.push_back(d); });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(sleeps.size(), 4u) << "one sleep between each pair of attempts";
+}
+
+TEST(RetryTest, MaxAttemptsOneMeansNoRetry) {
+  BackoffOptions options;
+  options.max_attempts = 1;
+  int calls = 0;
+  EXPECT_FALSE(RetryWithBackoff(options, [&] { ++calls; return false; },
+                                [](milliseconds) { FAIL() << "must not sleep"; }));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ExceptionsPropagateImmediately) {
+  // The loop only retries `false`; a throw (a permanent error by the
+  // caller's classification) must abort the loop on the spot.
+  BackoffOptions options;
+  options.max_attempts = 4;
+  int calls = 0;
+  EXPECT_THROW(
+      (void)RetryWithBackoff(
+          options,
+          [&]() -> bool {
+            ++calls;
+            throw std::runtime_error("permanent");
+          },
+          [](milliseconds) {}),
+      std::runtime_error);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace gdp::common
