@@ -4,7 +4,14 @@
 // release are timed separately across graph sizes.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
 #include "common/rng.hpp"
+#include "graph/io.hpp"
+#include "serve/session_registry.hpp"
+#include "storage/snapshot.hpp"
 #include "common/thread_pool.hpp"
 #include "core/group_dp_engine.hpp"
 #include "core/pipeline.hpp"
@@ -367,6 +374,88 @@ void BM_EndToEndDisclosure(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EndToEndDisclosure)->Arg(10'000)->Arg(100'000)->Arg(640'000)
+    ->Unit(benchmark::kMillisecond);
+
+std::string BenchTempPath(const char* stem, std::int64_t edges,
+                          const char* ext) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string(stem) + std::to_string(edges) + ext))
+      .string();
+}
+
+// The tentpole claim: restarting from a GDPSNAP01 snapshot (mmap + CRC
+// verification, zero-copy column adoption) vs re-parsing the text edge list
+// and rebuilding both CSR sides.  arg1 selects the path (0 = text,
+// 1 = snapshot); at 1M edges the snapshot load must be >= 10x faster.
+void BM_SnapshotLoadVsTextBuild(benchmark::State& state) {
+  const std::int64_t edges = state.range(0);
+  const bool from_snapshot = state.range(1) != 0;
+  const auto g = MakeGraph(edges);
+  const std::string text_path = BenchTempPath("gdp_bench_load_", edges, ".tsv");
+  const std::string snap_path =
+      BenchTempPath("gdp_bench_load_", edges, ".gdps");
+  graph::WriteEdgeListFile(g, text_path);
+  storage::SnapshotContents contents;
+  contents.graph = &g;
+  storage::WriteSnapshotFile(snap_path, contents);
+  for (auto _ : state) {
+    if (from_snapshot) {
+      auto snap = storage::Snapshot::Load(snap_path);
+      benchmark::DoNotOptimize(snap->graph().num_edges());
+    } else {
+      auto loaded = graph::ReadEdgeListFile(text_path);
+      benchmark::DoNotOptimize(loaded.num_edges());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+  std::remove(text_path.c_str());
+  std::remove(snap_path.c_str());
+}
+BENCHMARK(BM_SnapshotLoadVsTextBuild)
+    ->Args({10'000, 0})
+    ->Args({10'000, 1})
+    ->Args({1'000'000, 0})
+    ->Args({1'000'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Cold start of a whole serving process from a packed-and-compiled
+// snapshot: lazy catalog materialization, fingerprint-matched plan
+// adoption (no Phase-1 EM, no node scan), first request served.
+void BM_PackedServeColdStart(benchmark::State& state) {
+  const std::int64_t edges = state.range(0);
+  const auto g = MakeGraph(edges);
+  core::SessionSpec spec;
+  spec.hierarchy.validate_hierarchy = false;
+  const std::uint64_t seed = 42;
+  common::Rng compile_rng(seed);
+  const auto compiled = core::CompiledDisclosure::Compile(g, spec, compile_rng);
+  storage::SnapshotContents contents;
+  contents.graph = &g;
+  contents.hierarchy = &compiled->hierarchy();
+  contents.plan = &compiled->plan();
+  contents.phase1_epsilon_spent = compiled->phase1_epsilon_spent();
+  contents.fingerprint = serve::SessionRegistry::Fingerprint(spec, seed);
+  const std::string snap_path =
+      BenchTempPath("gdp_bench_cold_", edges, ".gdps");
+  storage::WriteSnapshotFile(snap_path, contents);
+  serve::TenantProfile profile;
+  profile.epsilon_cap = 1e6;
+  profile.delta_cap = 0.5;
+  profile.privilege = 1;
+  for (auto _ : state) {
+    serve::DisclosureService svc(4);
+    svc.catalog().RegisterSnapshot("ds", snap_path, spec, seed);
+    svc.broker().Register("tenant", profile);
+    common::Rng rng(7);
+    auto result = svc.Serve("tenant", "ds", spec.budget, rng);
+    benchmark::DoNotOptimize(result.view.noisy_total);
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+  std::remove(snap_path.c_str());
+}
+BENCHMARK(BM_PackedServeColdStart)
+    ->Arg(10'000)
+    ->Arg(1'000'000)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -26,6 +27,8 @@
 #include "hier/io.hpp"
 #include "serve/audit_wal.hpp"
 #include "serve/service.hpp"
+#include "serve/session_registry.hpp"
+#include "storage/snapshot.hpp"
 
 namespace gdp::cli {
 
@@ -84,6 +87,27 @@ bool IsCommentOrBlank(const std::string& line) {
     }
   }
   return true;
+}
+
+// Resolve the dataset input for commands that accept either a text edge
+// list (--graph) or a packed snapshot (--snapshot).  The returned graph is
+// self-contained either way: a snapshot-loaded graph's columns keep the
+// mapping alive via their keepalive handles, so the Snapshot object itself
+// need not outlive this call.
+gdp::graph::BipartiteGraph LoadGraphInput(const Args& args) {
+  const auto graph_path = args.Get("graph");
+  const auto snapshot_path = args.Get("snapshot");
+  if (graph_path && snapshot_path) {
+    throw std::invalid_argument("--graph and --snapshot are mutually exclusive");
+  }
+  if (snapshot_path) {
+    return gdp::storage::Snapshot::Load(*snapshot_path)->graph();
+  }
+  if (!graph_path) {
+    throw std::invalid_argument(
+        "missing required flag '--graph' (or '--snapshot')");
+  }
+  return gdp::graph::ReadEdgeListFile(*graph_path);
 }
 
 // tenants.tsv: one tenant per line, `tenant_id epsilon_cap delta_cap
@@ -222,7 +246,10 @@ int RunGenerate(const Args& args, std::ostream& out) {
 
 int RunDisclose(const Args& args, std::ostream& out) {
   // Validate cheap flags before touching the filesystem.
-  const std::string graph_path = Require(args, "graph");
+  if (!args.Get("graph") && !args.Get("snapshot")) {
+    throw std::invalid_argument(
+        "missing required flag '--graph' (or '--snapshot')");
+  }
   const std::string release_path = Require(args, "release");
 
   gdp::core::DisclosureConfig config;
@@ -248,7 +275,7 @@ int RunDisclose(const Args& args, std::ostream& out) {
     sweep = ParseSweepList(*sweep_list);
   }
 
-  const auto graph = gdp::graph::ReadEdgeListFile(graph_path);
+  const auto graph = LoadGraphInput(args);
   gdp::common::Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 42)));
   const bool strip = args.HasSwitch("strip-truth");
 
@@ -356,7 +383,12 @@ int RunDrilldown(const Args& args, std::ostream& out) {
 
 int RunServe(const Args& args, std::ostream& out) {
   // Validate cheap flags before touching the filesystem.
-  const std::string graph_path = Require(args, "graph");
+  const auto graph_path = args.Get("graph");
+  const auto snapshot_path = args.Get("snapshot");
+  if (static_cast<bool>(graph_path) == static_cast<bool>(snapshot_path)) {
+    throw std::invalid_argument(
+        "serve needs exactly one of --graph or --snapshot");
+  }
   const std::string tenants_path = Require(args, "tenants");
   const std::string requests_path = Require(args, "requests");
   const std::int64_t capacity = args.GetInt("registry-capacity", 8);
@@ -392,11 +424,19 @@ int RunServe(const Args& args, std::ostream& out) {
       ReadTenantSpecs(tenants_path, default_accounting, out, tenants_skipped);
   const auto requests = ReadServeRequests(requests_path);
 
-  gdp::serve::Dataset dataset{gdp::graph::ReadEdgeListFile(graph_path),
-                              config.ToSessionSpec(), seed, {}};
   const std::string dataset_name = args.GetOr("dataset", "default");
-  out << "serving " << dataset.graph.Summary() << " as dataset '"
-      << dataset_name << "' to " << tenants.size() << " tenants";
+  std::optional<gdp::serve::Dataset> dataset;
+  if (graph_path) {
+    dataset.emplace(gdp::serve::Dataset{gdp::graph::ReadEdgeListFile(*graph_path),
+                                        config.ToSessionSpec(), seed, {}, {}});
+    out << "serving " << dataset->graph.Summary();
+  } else {
+    // Nothing is read here: the snapshot is mmap'd and validated by the
+    // catalog on the first request that touches the dataset.
+    out << "serving snapshot '" << *snapshot_path << "' (lazy)";
+  }
+  out << " as dataset '" << dataset_name << "' to " << tenants.size()
+      << " tenants";
   if (tenants_skipped > 0) {
     out << " (" << tenants_skipped << " malformed rows skipped)";
   }
@@ -406,7 +446,12 @@ int RunServe(const Args& args, std::ostream& out) {
   // caps the broker rejects is skipped with a warning, same policy as a
   // malformed row: one bad grant must not abort the batch.
   const auto configure = [&](gdp::serve::DisclosureService& svc) {
-    svc.catalog().Register(dataset_name, std::move(dataset));
+    if (dataset) {
+      svc.catalog().Register(dataset_name, std::move(*dataset));
+    } else {
+      svc.catalog().RegisterSnapshot(dataset_name, *snapshot_path,
+                                     config.ToSessionSpec(), seed);
+    }
     for (const auto& [id, profile] : tenants) {
       try {
         svc.broker().Register(id, profile);
@@ -505,7 +550,8 @@ int RunServe(const Args& args, std::ostream& out) {
   const auto stats = service.registry().stats();
   out << "served " << granted << "/" << requests.size() << " requests; "
       << "registry: " << stats.hits << " hits, " << stats.misses
-      << " misses, " << stats.evictions << " evictions\n";
+      << " misses, " << stats.evictions << " evictions, "
+      << stats.snapshot_adoptions << " snapshot adoptions\n";
   if (const auto snap = service.odometer().Get(dataset_name)) {
     out << "dataset odometer: eps_spent=" << snap->epsilon_spent
         << " acct_eps=" << snap->accounted_epsilon
@@ -523,6 +569,81 @@ int RunServe(const Args& args, std::ostream& out) {
     out << "wal: " << dstats.wal_appends << " appends, "
         << dstats.wal_failures << " failures, "
         << dstats.dataset_denials << " dataset denials\n";
+  }
+  return 0;
+}
+
+int RunPack(const Args& args, std::ostream& out) {
+  const std::string graph_path = Require(args, "graph");
+  const std::string out_path = Require(args, "out");
+  const bool compile = args.HasSwitch("compile");
+  const bool verify = args.HasSwitch("verify");
+
+  // Pack flags mirror serve's spec flags exactly: the fingerprint stored
+  // with --compile is Fingerprint(ToSessionSpec(), seed), so a serve run
+  // with the SAME flags adopts the embedded plan and skips Phase-1.
+  gdp::core::DisclosureConfig config;
+  config.epsilon_g = args.GetDouble("eps", 0.999);
+  config.delta = args.GetDouble("delta", 1e-5);
+  config.depth = static_cast<int>(args.GetInt("depth", 9));
+  config.arity = static_cast<int>(args.GetInt("arity", 4));
+  config.num_threads = static_cast<int>(args.GetInt("threads", 1));
+  const std::int64_t grain = args.GetInt(
+      "noise-grain",
+      static_cast<std::int64_t>(gdp::core::DisclosureConfig{}.noise_chunk_grain));
+  if (grain <= 0) {
+    throw std::invalid_argument("--noise-grain must be > 0");
+  }
+  config.noise_chunk_grain = static_cast<std::size_t>(grain);
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
+
+  const auto graph = gdp::graph::ReadEdgeListFile(graph_path);
+  gdp::storage::SnapshotContents contents;
+  contents.graph = &graph;
+  std::shared_ptr<const gdp::core::CompiledDisclosure> compiled;
+  if (compile) {
+    const gdp::core::SessionSpec spec = config.ToSessionSpec();
+    gdp::common::Rng rng(seed);
+    compiled = gdp::core::CompiledDisclosure::Compile(graph, spec, rng);
+    contents.hierarchy = &compiled->hierarchy();
+    contents.plan = &compiled->plan();
+    contents.phase1_epsilon_spent = compiled->phase1_epsilon_spent();
+    contents.fingerprint = gdp::serve::SessionRegistry::Fingerprint(spec, seed);
+  }
+  gdp::storage::WriteSnapshotFile(out_path, contents);
+  out << "packed " << graph.Summary() << " to " << out_path
+      << (compile ? " (with compiled plan)" : "") << '\n';
+
+  if (verify) {
+    // Load re-checks the header/table/per-section CRCs and the structural
+    // invariants (CSR shape, plan max-sum recomputation); on top of that,
+    // compare the loaded columns byte-for-byte against what was packed.
+    const auto snap = gdp::storage::Snapshot::Load(out_path);
+    const gdp::graph::BipartiteGraph& loaded = snap->graph();
+    const auto same = [](auto a, auto b) {
+      return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    };
+    using gdp::graph::Side;
+    if (loaded.num_left() != graph.num_left() ||
+        loaded.num_right() != graph.num_right() ||
+        loaded.num_edges() != graph.num_edges() ||
+        !same(loaded.offsets(Side::kLeft), graph.offsets(Side::kLeft)) ||
+        !same(loaded.adjacency(Side::kLeft), graph.adjacency(Side::kLeft)) ||
+        !same(loaded.offsets(Side::kRight), graph.offsets(Side::kRight)) ||
+        !same(loaded.adjacency(Side::kRight), graph.adjacency(Side::kRight))) {
+      throw gdp::common::SnapshotFormatError(
+          "pack --verify: re-loaded graph differs from the packed one");
+    }
+    if (compile) {
+      if (!snap->has_plan() || snap->fingerprint() != contents.fingerprint ||
+          !same(snap->plan().FlatSums(), compiled->plan().FlatSums()) ||
+          !same(snap->plan().LevelOffsets(), compiled->plan().LevelOffsets())) {
+        throw gdp::common::SnapshotFormatError(
+            "pack --verify: re-loaded plan differs from the compiled one");
+      }
+    }
+    out << "verify OK: " << snap->file_size() << " bytes, all CRCs good, "
+        << "columns identical\n";
   }
   return 0;
 }
@@ -706,7 +827,17 @@ std::string UsageText() {
          "commands:\n"
          "  generate  --out g.tsv [--scale F | --left N --right M --edges E]"
          " [--seed S]\n"
-         "  disclose  --graph g.tsv --release r.tsv [--hierarchy h.tsv]\n"
+         "  pack      --graph g.tsv --out d.gdps [--compile] [--verify]\n"
+         "            [--eps E] [--delta D] [--depth K] [--arity A] [--seed S]\n"
+         "            [--threads T] [--noise-grain G]\n"
+         "            pack a text edge list into a GDPSNAP01 snapshot that\n"
+         "            disclose/serve mmap zero-copy (--snapshot).  --compile\n"
+         "            embeds the Phase-1 hierarchy + release plan under the\n"
+         "            given spec flags, so a serve with the SAME flags skips\n"
+         "            Phase-1 entirely; --verify re-reads the written file\n"
+         "            (all CRCs + byte-for-byte column comparison)\n"
+         "  disclose  --graph g.tsv | --snapshot d.gdps\n"
+         "            --release r.tsv [--hierarchy h.tsv]\n"
          "            [--eps E] [--delta D] [--depth K] [--arity A] [--seed S]\n"
          "            [--threads T] [--noise-grain G] [--consistent]"
          " [--strip-truth]\n"
@@ -720,8 +851,11 @@ std::string UsageText() {
          "  drilldown --release r.tsv --hierarchy h.tsv --side left|right"
          " --node V\n"
          "            [--max-level L] [--min-level l]\n"
-         "  serve     --graph g.tsv --tenants tenants.tsv --requests"
-         " reqs.tsv\n"
+         "  serve     --graph g.tsv | --snapshot d.gdps\n"
+         "            --tenants tenants.tsv --requests reqs.tsv\n"
+         "            (--snapshot entries load lazily on first request; an\n"
+         "            embedded plan with a matching fingerprint is adopted\n"
+         "            instead of recompiled)\n"
          "            [--dataset NAME] [--eps E] [--delta D] [--depth K]\n"
          "            [--arity A] [--seed S] [--threads T] [--noise-grain G]\n"
          "            [--registry-capacity C] [--out results.tsv]\n"
@@ -760,12 +894,20 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
         Args::Parse(rest, {"out", "scale", "left", "right", "edges", "seed"}),
         out);
   }
+  if (command == "pack") {
+    return RunPack(
+        Args::Parse(rest,
+                    {"graph", "out", "eps", "delta", "depth", "arity", "seed",
+                     "threads", "noise-grain"},
+                    {"compile", "verify"}),
+        out);
+  }
   if (command == "disclose") {
     return RunDisclose(
         Args::Parse(rest,
-                    {"graph", "release", "hierarchy", "eps", "delta", "depth",
-                     "arity", "seed", "threads", "noise-grain", "sweep",
-                     "accounting"},
+                    {"graph", "snapshot", "release", "hierarchy", "eps",
+                     "delta", "depth", "arity", "seed", "threads",
+                     "noise-grain", "sweep", "accounting"},
                     {"consistent", "strip-truth"}),
         out);
   }
@@ -780,10 +922,10 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
   }
   if (command == "serve") {
     return RunServe(
-        Args::Parse(rest, {"graph", "tenants", "requests", "dataset", "eps",
-                           "delta", "depth", "arity", "seed", "threads",
-                           "noise-grain", "registry-capacity", "out",
-                           "accounting", "wal", "dataset-eps-cap",
+        Args::Parse(rest, {"graph", "snapshot", "tenants", "requests",
+                           "dataset", "eps", "delta", "depth", "arity", "seed",
+                           "threads", "noise-grain", "registry-capacity",
+                           "out", "accounting", "wal", "dataset-eps-cap",
                            "dataset-delta-cap"}),
         out);
   }

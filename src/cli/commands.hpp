@@ -5,14 +5,19 @@
 //
 // Commands:
 //   generate  --out g.tsv [--scale 0.01 | --left N --right M --edges E] [--seed S]
-//   disclose  --graph g.tsv --release r.tsv [--hierarchy h.tsv]
+//   pack      --graph g.tsv --out d.gdps [--compile] [--verify]
+//             [--eps 0.999] [--delta 1e-5] [--depth 9] [--arity 4]
+//             [--seed S] [--threads T] [--noise-grain G]
+//   disclose  --graph g.tsv | --snapshot d.gdps
+//             --release r.tsv [--hierarchy h.tsv]
 //             [--eps 0.999] [--delta 1e-5] [--depth 9] [--arity 4]
 //             [--seed S] [--consistent] [--strip-truth]
 //             [--accounting sequential|advanced|rdp]
 //   inspect   --release r.tsv
 //   drilldown --release r.tsv --hierarchy h.tsv --side left|right --node V
 //             [--max-level L] [--min-level l]
-//   serve     --graph g.tsv --tenants tenants.tsv --requests reqs.tsv
+//   serve     --graph g.tsv | --snapshot d.gdps
+//             --tenants tenants.tsv --requests reqs.tsv
 //             [--eps 0.999] [--delta 1e-5] [--depth 9] [--arity 4]
 //             [--seed S] [--threads T] [--noise-grain G]
 //             [--registry-capacity C] [--out results.tsv]
@@ -32,6 +37,7 @@ namespace gdp::cli {
 // Each returns a process exit code (0 = success) and writes human-readable
 // output to `out`.  Errors raise exceptions; main() turns them into exit 1.
 int RunGenerate(const Args& args, std::ostream& out);
+int RunPack(const Args& args, std::ostream& out);
 int RunDisclose(const Args& args, std::ostream& out);
 int RunInspect(const Args& args, std::ostream& out);
 int RunDrilldown(const Args& args, std::ostream& out);

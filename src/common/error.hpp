@@ -51,6 +51,19 @@ class InvalidBudgetError : public std::invalid_argument {
       : std::invalid_argument(what) {}
 };
 
+// Raised when a GDPSNAP01 snapshot file fails structural validation: bad
+// magic or endianness sentinel, a CRC mismatch, a section table whose
+// offsets/lengths do not fit the file, or payload dimensions inconsistent
+// with the declared graph/hierarchy/plan shape.  Every field of a snapshot
+// header is treated as attacker-controlled (same stance as the release
+// reader's bounds checks), so loaders throw this BEFORE any allocation or
+// access sized from an unvalidated field.  Derives from IoError: to callers
+// that do not care why, a corrupt snapshot is an unreadable input.
+class SnapshotFormatError : public IoError {
+ public:
+  explicit SnapshotFormatError(const std::string& what) : IoError(what) {}
+};
+
 // Raised when an operation is invoked on an object in the wrong state
 // (e.g. querying a hierarchy level that was never built).
 class StateError : public std::logic_error {

@@ -30,46 +30,57 @@ void ValidateBudgetShape(const BudgetSpec& budget) {
 
 CompiledDisclosure::~CompiledDisclosure() = default;
 
-std::shared_ptr<const CompiledDisclosure> CompiledDisclosure::Compile(
-    const gdp::graph::BipartiteGraph& graph, const SessionSpec& spec,
-    gdp::common::Rng& rng) {
+namespace {
+
+// Shared precondition check of Compile and FromPrecompiled: both paths
+// produce an artifact frozen under `spec`, so both must reject the same
+// malformed specs up front (a bad default grant must not cost an EM build —
+// or a snapshot load — first).
+void ValidateSpecForCompile(const SessionSpec& spec, const char* where) {
   // Opening budget: Phase 1 must receive a usable EM budget, and the
   // remainder must be a releasable Phase-2 budget (same constraint the
   // one-shot pipeline enforced as phase1_fraction in (0, 1)).
   if (!(spec.budget.phase1_fraction > 0.0) ||
       !(spec.budget.phase1_fraction < 1.0)) {
-    throw std::invalid_argument(
-        "CompiledDisclosure::Compile: opening phase1_fraction must be in "
-        "(0, 1)");
+    throw std::invalid_argument(std::string(where) +
+                                ": opening phase1_fraction must be in (0, 1)");
   }
   (void)gdp::dp::Epsilon(spec.budget.epsilon_g);
   if (spec.exec.enforce_consistency && !spec.exec.include_group_counts) {
     throw std::invalid_argument(
-        "CompiledDisclosure::Compile: enforce_consistency requires "
-        "include_group_counts");
+        std::string(where) +
+        ": enforce_consistency requires include_group_counts");
   }
   if (spec.exec.noise_chunk_grain == 0) {
-    throw std::invalid_argument(
-        "CompiledDisclosure::Compile: noise_chunk_grain must be > 0");
+    throw std::invalid_argument(std::string(where) +
+                                ": noise_chunk_grain must be > 0");
   }
   // Cap shape (the tenant ledger constructor enforces the same rules, but
   // that runs AFTER Phase 1 — a bad default grant must not cost an EM build
   // and a node scan on a large graph first).
   if (!(spec.epsilon_cap > 0.0) || !std::isfinite(spec.epsilon_cap)) {
-    throw std::invalid_argument(
-        "CompiledDisclosure::Compile: epsilon_cap must be finite and > 0");
+    throw std::invalid_argument(std::string(where) +
+                                ": epsilon_cap must be finite and > 0");
   }
   if (!(spec.delta_cap >= 0.0) || !(spec.delta_cap < 1.0)) {
-    throw std::invalid_argument(
-        "CompiledDisclosure::Compile: delta_cap must be in [0, 1)");
+    throw std::invalid_argument(std::string(where) +
+                                ": delta_cap must be in [0, 1)");
   }
   if (spec.accounting != gdp::dp::AccountingPolicy::kSequential &&
       !(spec.delta_cap > 0.0)) {
     throw std::invalid_argument(
-        std::string("CompiledDisclosure::Compile: the ") +
+        std::string(where) + ": the " +
         gdp::dp::AccountingPolicyName(spec.accounting) +
         " accounting policy requires delta_cap > 0");
   }
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledDisclosure> CompiledDisclosure::Compile(
+    const gdp::graph::BipartiteGraph& graph, const SessionSpec& spec,
+    gdp::common::Rng& rng) {
+  ValidateSpecForCompile(spec, "CompiledDisclosure::Compile");
 
   const double eps_phase1 = spec.budget.phase1_epsilon();
   const int transitions = spec.hierarchy.depth - 1;
@@ -105,6 +116,54 @@ std::shared_ptr<const CompiledDisclosure> CompiledDisclosure::Compile(
   return std::shared_ptr<const CompiledDisclosure>(new CompiledDisclosure(
       graph, spec, std::move(built.hierarchy), std::move(plan),
       std::move(pool), built.epsilon_spent));
+}
+
+std::shared_ptr<const CompiledDisclosure> CompiledDisclosure::FromPrecompiled(
+    const gdp::graph::BipartiteGraph& graph, const SessionSpec& spec,
+    gdp::hier::GroupHierarchy hierarchy, ReleasePlan plan,
+    double phase1_epsilon_spent) {
+  ValidateSpecForCompile(spec, "CompiledDisclosure::FromPrecompiled");
+  if (!(phase1_epsilon_spent >= 0.0) || !std::isfinite(phase1_epsilon_spent)) {
+    throw std::invalid_argument(
+        "CompiledDisclosure::FromPrecompiled: phase1_epsilon_spent must be "
+        "finite and >= 0");
+  }
+  // The three pieces must describe the same dataset: the release path
+  // indexes the plan by the hierarchy's levels/groups, and Answer reads the
+  // graph under the hierarchy's labels.
+  if (hierarchy.level(0).num_left_nodes() != graph.num_left() ||
+      hierarchy.level(0).num_right_nodes() != graph.num_right()) {
+    throw std::invalid_argument(
+        "CompiledDisclosure::FromPrecompiled: hierarchy node counts do not "
+        "match the graph");
+  }
+  if (plan.num_levels() != hierarchy.num_levels()) {
+    throw std::invalid_argument(
+        "CompiledDisclosure::FromPrecompiled: plan and hierarchy level "
+        "counts disagree");
+  }
+  if (plan.num_edges() != graph.num_edges()) {
+    throw std::invalid_argument(
+        "CompiledDisclosure::FromPrecompiled: plan edge count does not match "
+        "the graph");
+  }
+  for (int level = 0; level < hierarchy.num_levels(); ++level) {
+    if (plan.GroupDegreeSums(level).size() !=
+        hierarchy.level(level).num_groups()) {
+      throw std::invalid_argument(
+          "CompiledDisclosure::FromPrecompiled: plan level " +
+          std::to_string(level) + " group count does not match the hierarchy");
+    }
+  }
+  // Same pool policy as Compile: the exec spec, not the plan's provenance,
+  // decides the release draw-order contract.
+  std::unique_ptr<gdp::common::ThreadPool> pool;
+  if (spec.exec.num_threads != 1) {
+    pool = std::make_unique<gdp::common::ThreadPool>(spec.exec.num_threads);
+  }
+  return std::shared_ptr<const CompiledDisclosure>(new CompiledDisclosure(
+      graph, spec, std::move(hierarchy), std::move(plan), std::move(pool),
+      phase1_epsilon_spent));
 }
 
 CompiledDisclosure::CompiledDisclosure(

@@ -147,6 +147,21 @@ class CompiledDisclosure {
       const gdp::graph::BipartiteGraph& graph, const SessionSpec& spec,
       gdp::common::Rng& rng);
 
+  // Adopt a hierarchy + plan that were compiled earlier (typically loaded
+  // from a GDPSNAP01 snapshot): skip Phase-1 EM and the node scan entirely,
+  // run the same spec validation as Compile, and verify the pieces agree
+  // with each other and the graph (level counts, per-level group counts,
+  // edge count) — throws std::invalid_argument on mismatch.  The caller
+  // vouches that (hierarchy, plan, phase1_epsilon_spent) really came from a
+  // compile under `spec` + some seed; SessionRegistry enforces that with
+  // its fingerprint discipline before calling this.  Given that, the
+  // artifact serves releases bit-identical to the one Compile would have
+  // produced (snapshot_test pins this).  `graph` must outlive the artifact.
+  [[nodiscard]] static std::shared_ptr<const CompiledDisclosure> FromPrecompiled(
+      const gdp::graph::BipartiteGraph& graph, const SessionSpec& spec,
+      gdp::hier::GroupHierarchy hierarchy, ReleasePlan plan,
+      double phase1_epsilon_spent);
+
   // Pinned by shared_ptr; never copied or moved (it owns a mutex-guarded
   // cache and a once_flag).
   CompiledDisclosure(const CompiledDisclosure&) = delete;

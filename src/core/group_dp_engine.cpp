@@ -211,7 +211,7 @@ LevelRelease GroupDpEngine::ReleaseLevelFromPlan(
   out.sensitivity =
       config_.sensitivity_override.value_or(static_cast<double>(computed));
 
-  const std::vector<gdp::graph::EdgeCount>& sums =
+  const std::span<const gdp::graph::EdgeCount> sums =
       plan.GroupDegreeSums(level_index);
 
   if (computed == 0) {

@@ -13,16 +13,24 @@
 //   CountSensitivity(ℓ)  — max group degree sum = Δℓ of the scalar query,
 //   VectorSensitivity(ℓ) — the sqrt(2)·Δℓ L2 bound of the count vector.
 //
-// The rollup is exact integer arithmetic over the same disjoint unions of
-// nodes, so a plan-based release is bit-identical to the per-level path
-// (release_plan_test asserts this).  Plans are immutable after Build and
-// safe to share across threads (ParallelReleaseAll reads one concurrently).
+// Storage is SoA: every level's sums live in ONE contiguous column indexed
+// by a level-offset table (level ℓ occupies [level_offsets[ℓ],
+// level_offsets[ℓ+1])), so the whole plan serializes as three flat columns —
+// exactly the GDPSNAP01 plan sections — and FromColumns can adopt them
+// zero-copy out of an mmap'd snapshot.  The rollup is exact integer
+// arithmetic over the same disjoint unions of nodes, so a plan-based release
+// is bit-identical to the per-level path, and a snapshot-adopted plan is
+// bit-identical to a freshly built one (release_plan_test / snapshot_test
+// assert this).  Plans are immutable after Build and safe to share across
+// threads (ParallelReleaseAll reads one concurrently).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hier/hierarchy.hpp"
+#include "storage/buffer.hpp"
 
 namespace gdp::core {
 
@@ -44,8 +52,24 @@ class ReleasePlan {
       gdp::common::ThreadPool& pool,
       std::size_t shard_grain = gdp::hier::Partition::kDefaultShardGrain);
 
+  // Adopt the three serialized plan columns (typically borrowed zero-copy
+  // out of a snapshot buffer).  Validates the level-offset table (starts at
+  // 0, monotone, ends at the sums column's length) and that every max_sums
+  // entry equals the actual max of its level's sums — the columns come from
+  // an untrusted file, and a tampered Δℓ would mis-calibrate noise.  Throws
+  // gdp::common::SnapshotFormatError.  A plan adopted from the columns
+  // Build produced is indistinguishable from (and bit-identical to) the
+  // built one.
+  [[nodiscard]] static ReleasePlan FromColumns(
+      std::uint64_t num_edges,
+      gdp::storage::ColumnView<std::uint64_t> level_offsets,
+      gdp::storage::ColumnView<gdp::graph::EdgeCount> sums,
+      gdp::storage::ColumnView<gdp::graph::EdgeCount> max_sums);
+
   [[nodiscard]] int num_levels() const noexcept {
-    return static_cast<int>(sums_.size());
+    return level_offsets_.empty()
+               ? 0
+               : static_cast<int>(level_offsets_.size()) - 1;
   }
 
   // Total association count |E| of the graph the plan was built from.
@@ -53,7 +77,7 @@ class ReleasePlan {
 
   // True per-group association counts at `level` (same values as
   // Partition::GroupDegreeSums, without the scan).
-  [[nodiscard]] const std::vector<gdp::graph::EdgeCount>& GroupDegreeSums(
+  [[nodiscard]] std::span<const gdp::graph::EdgeCount> GroupDegreeSums(
       int level) const;
 
   // Δℓ: max group degree sum at `level` (0 for an edgeless graph).
@@ -65,16 +89,34 @@ class ReleasePlan {
   [[nodiscard]] double VectorSensitivity(int level) const;
 
   // Δ per level (same values as GroupHierarchy::LevelSensitivities).
-  [[nodiscard]] const std::vector<gdp::graph::EdgeCount>& LevelSensitivities()
+  [[nodiscard]] std::span<const gdp::graph::EdgeCount> LevelSensitivities()
       const noexcept {
-    return max_sums_;
+    return max_sums_.view();
+  }
+
+  // The raw serialized columns (what GDPSNAP01's plan sections store):
+  // LevelOffsets() has num_levels+1 entries; FlatSums() is every level's
+  // sums concatenated in level order.
+  [[nodiscard]] std::span<const std::uint64_t> LevelOffsets() const noexcept {
+    return level_offsets_.view();
+  }
+  [[nodiscard]] std::span<const gdp::graph::EdgeCount> FlatSums()
+      const noexcept {
+    return sums_.view();
   }
 
  private:
   ReleasePlan() = default;
 
-  std::vector<std::vector<gdp::graph::EdgeCount>> sums_;  // [level][group]
-  std::vector<gdp::graph::EdgeCount> max_sums_;           // [level]
+  [[nodiscard]] static ReleasePlan FromAllSums(
+      std::uint64_t num_edges,
+      const std::vector<std::vector<gdp::graph::EdgeCount>>& all_sums);
+
+  // Contiguous per-group sums for all levels; level ℓ occupies
+  // [level_offsets_[ℓ], level_offsets_[ℓ+1]).
+  gdp::storage::ColumnView<std::uint64_t> level_offsets_;  // num_levels+1
+  gdp::storage::ColumnView<gdp::graph::EdgeCount> sums_;   // total groups
+  gdp::storage::ColumnView<gdp::graph::EdgeCount> max_sums_;  // per level
   std::uint64_t num_edges_{0};
 };
 

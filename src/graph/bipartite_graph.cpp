@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "common/error.hpp"
 
 namespace gdp::graph {
 
@@ -32,6 +35,57 @@ void BuildCsr(const std::vector<Edge>& edges, NodeIndex num_keys, Side key_side,
   }
 }
 
+// Snapshot columns are untrusted input: prove the CSR invariants the
+// edge-list constructor establishes by construction.
+void CheckCsrColumns(const char* side, NodeIndex num_keys, NodeIndex num_values,
+                     EdgeCount num_edges, std::span<const EdgeCount> offsets,
+                     std::span<const NodeIndex> adjacency) {
+  using gdp::common::SnapshotFormatError;
+  if (offsets.size() != static_cast<std::size_t>(num_keys) + 1) {
+    throw SnapshotFormatError(
+        std::string("BipartiteGraph::FromSnapshot: ") + side + " offsets has " +
+        std::to_string(offsets.size()) + " entries, expected " +
+        std::to_string(static_cast<std::size_t>(num_keys) + 1));
+  }
+  if (adjacency.size() != num_edges) {
+    throw SnapshotFormatError(
+        std::string("BipartiteGraph::FromSnapshot: ") + side +
+        " adjacency has " + std::to_string(adjacency.size()) +
+        " entries, expected " + std::to_string(num_edges));
+  }
+  if (offsets.front() != 0 || offsets.back() != num_edges) {
+    throw SnapshotFormatError(
+        std::string("BipartiteGraph::FromSnapshot: ") + side +
+        " offsets must start at 0 and end at the edge count");
+  }
+  // Branchless accumulator scans so both O(V+E) checks vectorize — this is
+  // the hot path of a snapshot load, second only to CRC verification.  The
+  // slow per-element walk runs only on failure, to name the offender.
+  bool monotone = true;
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    monotone &= offsets[i] >= offsets[i - 1];
+  }
+  if (!monotone) {
+    for (std::size_t i = 1; i < offsets.size(); ++i) {
+      if (offsets[i] < offsets[i - 1]) {
+        throw SnapshotFormatError(
+            std::string("BipartiteGraph::FromSnapshot: ") + side +
+            " offsets are not monotone at node " + std::to_string(i - 1));
+      }
+    }
+  }
+  NodeIndex max_value = 0;
+  for (const NodeIndex v : adjacency) {
+    max_value = v > max_value ? v : max_value;
+  }
+  if (!adjacency.empty() && max_value >= num_values) {
+    throw SnapshotFormatError(std::string("BipartiteGraph::FromSnapshot: ") +
+                              side + " adjacency endpoint " +
+                              std::to_string(max_value) + " out of range [0, " +
+                              std::to_string(num_values) + ")");
+  }
+}
+
 }  // namespace
 
 BipartiteGraph::BipartiteGraph(NodeIndex num_left, NodeIndex num_right,
@@ -44,32 +98,59 @@ BipartiteGraph::BipartiteGraph(NodeIndex num_left, NodeIndex num_right,
       throw std::out_of_range("BipartiteGraph: edge endpoint out of range");
     }
   }
-  BuildCsr(edges, num_left_, Side::kLeft, left_offsets_, left_adjacency_);
-  BuildCsr(edges, num_right_, Side::kRight, right_offsets_, right_adjacency_);
+  std::vector<EdgeCount> offsets;
+  std::vector<NodeIndex> adjacency;
+  BuildCsr(edges, num_left_, Side::kLeft, offsets, adjacency);
+  left_offsets_ = gdp::storage::ColumnView<EdgeCount>(std::move(offsets));
+  left_adjacency_ = gdp::storage::ColumnView<NodeIndex>(std::move(adjacency));
+  BuildCsr(edges, num_right_, Side::kRight, offsets, adjacency);
+  right_offsets_ = gdp::storage::ColumnView<EdgeCount>(std::move(offsets));
+  right_adjacency_ = gdp::storage::ColumnView<NodeIndex>(std::move(adjacency));
+}
+
+BipartiteGraph BipartiteGraph::FromSnapshot(
+    NodeIndex num_left, NodeIndex num_right, EdgeCount num_edges,
+    gdp::storage::ColumnView<EdgeCount> left_offsets,
+    gdp::storage::ColumnView<NodeIndex> left_adjacency,
+    gdp::storage::ColumnView<EdgeCount> right_offsets,
+    gdp::storage::ColumnView<NodeIndex> right_adjacency) {
+  CheckCsrColumns("left", num_left, num_right, num_edges, left_offsets.view(),
+                  left_adjacency.view());
+  CheckCsrColumns("right", num_right, num_left, num_edges, right_offsets.view(),
+                  right_adjacency.view());
+  BipartiteGraph graph;
+  graph.num_left_ = num_left;
+  graph.num_right_ = num_right;
+  graph.num_edges_ = num_edges;
+  graph.left_offsets_ = std::move(left_offsets);
+  graph.left_adjacency_ = std::move(left_adjacency);
+  graph.right_offsets_ = std::move(right_offsets);
+  graph.right_adjacency_ = std::move(right_adjacency);
+  return graph;
 }
 
 std::span<const NodeIndex> BipartiteGraph::Neighbors(Side side, NodeIndex v) const {
   if (v >= num_nodes(side)) {
     throw std::out_of_range("BipartiteGraph::Neighbors: node out of range");
   }
-  const auto& off = offsets(side);
-  const auto& adj = adjacency(side);
+  const auto off = offsets(side);
+  const auto adj = adjacency(side);
   const auto begin = static_cast<std::size_t>(off[v]);
   const auto end = static_cast<std::size_t>(off[static_cast<std::size_t>(v) + 1]);
-  return {adj.data() + begin, end - begin};
+  return adj.subspan(begin, end - begin);
 }
 
 EdgeCount BipartiteGraph::Degree(Side side, NodeIndex v) const {
   if (v >= num_nodes(side)) {
     throw std::out_of_range("BipartiteGraph::Degree: node out of range");
   }
-  const auto& off = offsets(side);
+  const auto off = offsets(side);
   return off[static_cast<std::size_t>(v) + 1] - off[v];
 }
 
 std::vector<EdgeCount> BipartiteGraph::Degrees(Side side) const {
   const NodeIndex n = num_nodes(side);
-  const auto& off = offsets(side);
+  const auto off = offsets(side);
   std::vector<EdgeCount> out(n);
   for (NodeIndex v = 0; v < n; ++v) {
     out[v] = off[static_cast<std::size_t>(v) + 1] - off[v];
@@ -79,7 +160,7 @@ std::vector<EdgeCount> BipartiteGraph::Degrees(Side side) const {
 
 EdgeCount BipartiteGraph::MaxDegree(Side side) const noexcept {
   const NodeIndex n = num_nodes(side);
-  const auto& off = offsets(side);
+  const auto off = offsets(side);
   EdgeCount best = 0;
   for (NodeIndex v = 0; v < n; ++v) {
     best = std::max(best, off[static_cast<std::size_t>(v) + 1] - off[v]);
@@ -88,13 +169,15 @@ EdgeCount BipartiteGraph::MaxDegree(Side side) const noexcept {
 }
 
 std::vector<Edge> BipartiteGraph::EdgeList() const {
+  const auto off = offsets(Side::kLeft);
+  const auto adj = adjacency(Side::kLeft);
   std::vector<Edge> out;
   out.reserve(static_cast<std::size_t>(num_edges_));
   for (NodeIndex l = 0; l < num_left_; ++l) {
-    const auto begin = static_cast<std::size_t>(left_offsets_[l]);
-    const auto end = static_cast<std::size_t>(left_offsets_[static_cast<std::size_t>(l) + 1]);
+    const auto begin = static_cast<std::size_t>(off[l]);
+    const auto end = static_cast<std::size_t>(off[static_cast<std::size_t>(l) + 1]);
     for (std::size_t i = begin; i < end; ++i) {
-      out.push_back(Edge{l, left_adjacency_[i]});
+      out.push_back(Edge{l, adj[i]});
     }
   }
   return out;

@@ -8,12 +8,21 @@
 // The graph is built once via BipartiteGraphBuilder and is immutable after
 // construction (Core Guidelines C.2: invariant — offsets/adjacency arrays are
 // mutually consistent — is established in the constructor and never broken).
+//
+// Storage is columnar (storage::ColumnView): the edge-list constructor owns
+// its CSR vectors exactly as before, while FromSnapshot borrows the four CSR
+// columns zero-copy out of an mmap'd GDPSNAP01 buffer the views keep alive.
+// Both representations are validated to the same invariants and serve the
+// same spans, so releases computed over either are bit-identical
+// (snapshot_test pins this).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "storage/buffer.hpp"
 
 namespace gdp::graph {
 
@@ -47,6 +56,22 @@ class BipartiteGraph {
   // BipartiteGraphBuilder::DeduplicateEdges() to drop them.
   BipartiteGraph(NodeIndex num_left, NodeIndex num_right, std::vector<Edge> edges);
 
+  // Adopt pre-built CSR columns — the zero-copy snapshot load path.  The
+  // columns typically borrow straight out of a snapshot buffer (which they
+  // keep alive); owning columns are equally valid.  All four columns are
+  // validated against the declared shape: sizes, offsets[0] == 0, monotone
+  // offsets ending at num_edges, and every adjacency entry within the
+  // opposite side.  Throws gdp::common::SnapshotFormatError — the columns
+  // are presumed to come from an untrusted file.  A graph built this way is
+  // indistinguishable from (and bit-identical to) the edge-list constructor
+  // fed the same edges.
+  [[nodiscard]] static BipartiteGraph FromSnapshot(
+      NodeIndex num_left, NodeIndex num_right, EdgeCount num_edges,
+      gdp::storage::ColumnView<EdgeCount> left_offsets,
+      gdp::storage::ColumnView<NodeIndex> left_adjacency,
+      gdp::storage::ColumnView<EdgeCount> right_offsets,
+      gdp::storage::ColumnView<NodeIndex> right_adjacency);
+
   [[nodiscard]] NodeIndex num_left() const noexcept { return num_left_; }
   [[nodiscard]] NodeIndex num_right() const noexcept { return num_right_; }
   [[nodiscard]] NodeIndex num_nodes(Side side) const noexcept {
@@ -75,21 +100,26 @@ class BipartiteGraph {
   // Human-readable one-line summary for logs.
   [[nodiscard]] std::string Summary() const;
 
- private:
-  [[nodiscard]] const std::vector<EdgeCount>& offsets(Side side) const noexcept {
-    return side == Side::kLeft ? left_offsets_ : right_offsets_;
+  // Raw CSR columns (the storage contract GDPSNAP01 serializes): offsets is
+  // size num_nodes(side)+1, adjacency holds the opposite-side endpoint of
+  // each incident edge in node order.
+  [[nodiscard]] std::span<const EdgeCount> offsets(Side side) const noexcept {
+    return (side == Side::kLeft ? left_offsets_ : right_offsets_).view();
   }
-  [[nodiscard]] const std::vector<NodeIndex>& adjacency(Side side) const noexcept {
-    return side == Side::kLeft ? left_adjacency_ : right_adjacency_;
+  [[nodiscard]] std::span<const NodeIndex> adjacency(Side side) const noexcept {
+    return (side == Side::kLeft ? left_adjacency_ : right_adjacency_).view();
   }
 
-  NodeIndex num_left_;
-  NodeIndex num_right_;
-  EdgeCount num_edges_;
-  std::vector<EdgeCount> left_offsets_;    // size num_left+1
-  std::vector<NodeIndex> left_adjacency_;  // right endpoints, size |E|
-  std::vector<EdgeCount> right_offsets_;   // size num_right+1
-  std::vector<NodeIndex> right_adjacency_; // left endpoints, size |E|
+ private:
+  BipartiteGraph() = default;  // FromSnapshot fills every member
+
+  NodeIndex num_left_{0};
+  NodeIndex num_right_{0};
+  EdgeCount num_edges_{0};
+  gdp::storage::ColumnView<EdgeCount> left_offsets_;    // size num_left+1
+  gdp::storage::ColumnView<NodeIndex> left_adjacency_;  // right endpoints, |E|
+  gdp::storage::ColumnView<EdgeCount> right_offsets_;   // size num_right+1
+  gdp::storage::ColumnView<NodeIndex> right_adjacency_; // left endpoints, |E|
 };
 
 // Incremental builder: collect edges, then Build().

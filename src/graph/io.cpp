@@ -1,8 +1,11 @@
 #include "graph/io.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <fstream>
-#include <sstream>
+#include <limits>
 #include <string>
+#include <system_error>
 
 #include "common/error.hpp"
 
@@ -11,6 +14,8 @@ namespace gdp::graph {
 using gdp::common::IoError;
 
 namespace {
+
+constexpr std::uint64_t kMaxNodeIndex = std::numeric_limits<NodeIndex>::max();
 
 bool IsCommentOrBlank(const std::string& line) {
   for (const char c : line) {
@@ -24,18 +29,42 @@ bool IsCommentOrBlank(const std::string& line) {
   return true;  // all whitespace
 }
 
-std::uint64_t ParseField(std::istringstream& ss, const char* what, int line_no) {
+const char* SkipFieldSeparators(const char* p, const char* end) {
+  while (p != end && (*p == ' ' || *p == '\t' || *p == '\r')) {
+    ++p;
+  }
+  return p;
+}
+
+std::uint64_t ParseField(const char*& p, const char* end, const char* what,
+                         int line_no) {
+  p = SkipFieldSeparators(p, end);
   std::uint64_t value = 0;
-  if (!(ss >> value)) {
+  const auto [next, ec] = std::from_chars(p, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    throw IoError("edge list line " + std::to_string(line_no) + ": " + what +
+                  " overflows 64-bit range");
+  }
+  if (ec != std::errc() || next == p) {
     throw IoError("edge list line " + std::to_string(line_no) + ": expected " +
                   what);
   }
+  p = next;
   return value;
+}
+
+NodeIndex CheckNodeField(std::uint64_t value, const char* what, int line_no) {
+  if (value > kMaxNodeIndex) {
+    throw IoError("edge list line " + std::to_string(line_no) + ": " + what +
+                  " " + std::to_string(value) +
+                  " exceeds the 32-bit node index range");
+  }
+  return static_cast<NodeIndex>(value);
 }
 
 }  // namespace
 
-BipartiteGraph ReadEdgeList(std::istream& in) {
+BipartiteGraph ReadEdgeList(std::istream& in, std::size_t edge_reserve_hint) {
   std::string line;
   int line_no = 0;
   // Header.
@@ -47,9 +76,14 @@ BipartiteGraph ReadEdgeList(std::istream& in) {
     if (IsCommentOrBlank(line)) {
       continue;
     }
-    std::istringstream ss(line);
-    num_left = static_cast<NodeIndex>(ParseField(ss, "num_left", line_no));
-    num_right = static_cast<NodeIndex>(ParseField(ss, "num_right", line_no));
+    const char* p = line.data();
+    const char* const end = line.data() + line.size();
+    num_left =
+        CheckNodeField(ParseField(p, end, "num_left", line_no), "num_left",
+                       line_no);
+    num_right =
+        CheckNodeField(ParseField(p, end, "num_right", line_no), "num_right",
+                       line_no);
     have_header = true;
     break;
   }
@@ -57,29 +91,40 @@ BipartiteGraph ReadEdgeList(std::istream& in) {
     throw IoError("edge list: missing header line '<num_left> <num_right>'");
   }
   std::vector<Edge> edges;
+  edges.reserve(edge_reserve_hint);
   while (std::getline(in, line)) {
     ++line_no;
     if (IsCommentOrBlank(line)) {
       continue;
     }
-    std::istringstream ss(line);
-    const auto l = ParseField(ss, "left index", line_no);
-    const auto r = ParseField(ss, "right index", line_no);
+    const char* p = line.data();
+    const char* const end = line.data() + line.size();
+    const NodeIndex l = CheckNodeField(
+        ParseField(p, end, "left index", line_no), "left index", line_no);
+    const NodeIndex r = CheckNodeField(
+        ParseField(p, end, "right index", line_no), "right index", line_no);
     if (l >= num_left || r >= num_right) {
       throw IoError("edge list line " + std::to_string(line_no) +
                     ": endpoint out of range");
     }
-    edges.push_back(Edge{static_cast<NodeIndex>(l), static_cast<NodeIndex>(r)});
+    edges.push_back(Edge{l, r});
   }
   return BipartiteGraph(num_left, num_right, std::move(edges));
 }
 
 BipartiteGraph ReadEdgeListFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) {
     throw IoError("cannot open edge list file: " + path);
   }
-  return ReadEdgeList(in);
+  // File size / shortest-possible edge line ("0\t0\n" = 4 bytes) bounds the
+  // edge count from above; one reserve up front instead of log2(E)
+  // reallocation-and-copy cycles during the read.
+  const std::streamoff bytes = in.tellg();
+  in.seekg(0, std::ios::beg);
+  const std::size_t hint =
+      bytes > 0 ? static_cast<std::size_t>(bytes) / 4 : 0;
+  return ReadEdgeList(in, hint);
 }
 
 void WriteEdgeList(const BipartiteGraph& graph, std::ostream& out) {

@@ -9,6 +9,7 @@
 // pipeline would emit the same file.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -17,11 +18,15 @@
 namespace gdp::graph {
 
 // Parse a graph from a stream.  Throws gdp::common::IoError on malformed
-// input (bad header, non-numeric fields, out-of-range endpoints).
-[[nodiscard]] BipartiteGraph ReadEdgeList(std::istream& in);
+// input (bad header, non-numeric fields, out-of-range endpoints, or any
+// index that does not fit the 32-bit NodeIndex — rejected with a clear
+// error, never silently truncated).  `edge_reserve_hint` pre-sizes the edge
+// buffer; pass an upper bound when one is known to avoid reallocation.
+[[nodiscard]] BipartiteGraph ReadEdgeList(std::istream& in,
+                                          std::size_t edge_reserve_hint = 0);
 
-// Read from a file path.  Throws gdp::common::IoError if the file cannot be
-// opened.
+// Read from a file path, deriving the reserve hint from the file size.
+// Throws gdp::common::IoError if the file cannot be opened.
 [[nodiscard]] BipartiteGraph ReadEdgeListFile(const std::string& path);
 
 // Serialise a graph (header + one edge per line, left-sorted).

@@ -7,16 +7,44 @@
 namespace gdp::serve {
 
 void DatasetCatalog::Register(std::string name, Dataset dataset) {
+  auto entry = std::make_unique<Entry>();
+  entry->publication = dataset.publication;
+  entry->compile_seed = dataset.compile_seed;
+  entry->access_levels = dataset.access_levels;
+  std::call_once(entry->once, [&entry, &dataset] {
+    entry->dataset = std::make_unique<const Dataset>(std::move(dataset));
+    entry->materialized.store(true, std::memory_order_release);
+  });
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = datasets_.try_emplace(
-      std::move(name), std::make_unique<const Dataset>(std::move(dataset)));
+  const auto [it, inserted] =
+      datasets_.try_emplace(std::move(name), std::move(entry));
   if (!inserted) {
     throw gdp::common::StateError("DatasetCatalog: dataset '" + it->first +
                                   "' is already registered");
   }
 }
 
-const Dataset& DatasetCatalog::Get(const std::string& name) const {
+void DatasetCatalog::RegisterSnapshot(std::string name,
+                                      std::string snapshot_path,
+                                      gdp::core::SessionSpec publication,
+                                      std::uint64_t compile_seed,
+                                      std::vector<int> access_levels) {
+  auto entry = std::make_unique<Entry>();
+  entry->snapshot_path = std::move(snapshot_path);
+  entry->publication = std::move(publication);
+  entry->compile_seed = compile_seed;
+  entry->access_levels = std::move(access_levels);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      datasets_.try_emplace(std::move(name), std::move(entry));
+  if (!inserted) {
+    throw gdp::common::StateError("DatasetCatalog: dataset '" + it->first +
+                                  "' is already registered");
+  }
+}
+
+const DatasetCatalog::Entry& DatasetCatalog::Find(
+    const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = datasets_.find(name);
   if (it == datasets_.end()) {
@@ -26,9 +54,30 @@ const Dataset& DatasetCatalog::Get(const std::string& name) const {
   return *it->second;
 }
 
+const Dataset& DatasetCatalog::Get(const std::string& name) const {
+  const Entry& entry = Find(name);
+  // Materialization runs OUTSIDE the catalog mutex: mmap'ing and verifying
+  // one multi-GB snapshot must not stall Gets of every other dataset.
+  // call_once still makes concurrent first-Gets of THIS entry load once.
+  std::call_once(entry.once, [&entry] {
+    auto snapshot = gdp::storage::Snapshot::Load(entry.snapshot_path);
+    // The graph copy is cheap: its columns are borrowed views that alias
+    // (and keep alive) the snapshot's mapping.
+    entry.dataset = std::make_unique<const Dataset>(
+        Dataset{snapshot->graph(), entry.publication, entry.compile_seed,
+                entry.access_levels, std::move(snapshot)});
+    entry.materialized.store(true, std::memory_order_release);
+  });
+  return *entry.dataset;
+}
+
 bool DatasetCatalog::Contains(const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return datasets_.find(name) != datasets_.end();
+}
+
+bool DatasetCatalog::Materialized(const std::string& name) const {
+  return Find(name).materialized.load(std::memory_order_acquire);
 }
 
 std::size_t DatasetCatalog::size() const {

@@ -7,12 +7,27 @@
 // deterministic compile seed, and optionally an explicit privilege→level
 // access mapping.
 //
+// Two registration paths:
+//
+//   * Register(name, Dataset) — eager: the caller already holds the graph
+//     (built from a text edge list or synthesized) and the entry is ready
+//     immediately.
+//   * RegisterSnapshot(name, path, ...) — lazy: only the path is recorded;
+//     the GDPSNAP01 file is mmap'd, CRC-verified, and turned into a Dataset
+//     on the FIRST Get of that name.  A catalog of a thousand packed
+//     datasets costs nothing at startup for the ones nobody touches; a
+//     corrupt file surfaces as SnapshotFormatError from the first Get (and
+//     the entry stays retryable — a later Get after the file is repaired
+//     loads normally).
+//
 // Entries are registered once and never removed (a published dataset cannot
 // be unpublished out from under live compiled artifacts, which hold raw
 // references to the graph), so Get's reference stays valid for the catalog's
-// lifetime.  Thread-safe: Register/Get/Contains may race freely.
+// lifetime.  Thread-safe: Register/Get/Contains may race freely; concurrent
+// first-Gets of one snapshot entry materialize it exactly once (call_once).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -22,6 +37,7 @@
 
 #include "core/compiled_disclosure.hpp"
 #include "graph/bipartite_graph.hpp"
+#include "storage/snapshot.hpp"
 
 namespace gdp::serve {
 
@@ -38,6 +54,11 @@ struct Dataset {
   // AccessPolicy::Uniform over the compiled hierarchy's levels: the lowest
   // tier gets the coarsest view, the highest tier level 0.
   std::vector<int> access_levels;
+  // Set for snapshot-backed entries: the mmap'd GDPSNAP01 the graph's
+  // columns borrow from.  Holding it here keeps the mapping alive for as
+  // long as the Dataset (and any artifact compiled from its graph) can be
+  // reached, and hands SessionRegistry the embedded plan to adopt.
+  std::shared_ptr<const gdp::storage::Snapshot> snapshot;
 };
 
 class DatasetCatalog {
@@ -45,18 +66,53 @@ class DatasetCatalog {
   // Throws gdp::common::StateError when `name` is already registered.
   void Register(std::string name, Dataset dataset);
 
-  // Throws gdp::common::NotFoundError for an unknown name.  The reference
-  // stays valid for the catalog's lifetime.
+  // Record a GDPSNAP01 file for lazy loading: nothing is read here; the
+  // first Get(name) mmaps + validates the file and builds the Dataset (its
+  // graph borrowing the mapping zero-copy).  Throws StateError when `name`
+  // is already registered.  The publication/seed pair is the identity the
+  // snapshot's embedded plan (if any) is matched against at compile time —
+  // a mismatch is not an error here, it just means the registry falls back
+  // to a fresh compile.
+  void RegisterSnapshot(std::string name, std::string snapshot_path,
+                        gdp::core::SessionSpec publication,
+                        std::uint64_t compile_seed = 42,
+                        std::vector<int> access_levels = {});
+
+  // Throws gdp::common::NotFoundError for an unknown name.  For a snapshot
+  // entry the first call materializes it (IoError/SnapshotFormatError on a
+  // missing/corrupt file; the entry stays registered and a later Get
+  // retries).  The reference stays valid for the catalog's lifetime.
   [[nodiscard]] const Dataset& Get(const std::string& name) const;
 
   [[nodiscard]] bool Contains(const std::string& name) const;
+  // True once the entry's Dataset exists in memory — immediately for eager
+  // entries, after the first successful Get for snapshot entries.  Pins the
+  // "untouched datasets cost nothing" contract in tests.  Throws
+  // NotFoundError for an unknown name.
+  [[nodiscard]] bool Materialized(const std::string& name) const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::vector<std::string> Names() const;
 
  private:
+  struct Entry {
+    // Empty for eager entries; the file to load for snapshot entries.
+    std::string snapshot_path;
+    gdp::core::SessionSpec publication;
+    std::uint64_t compile_seed{42};
+    std::vector<int> access_levels;
+    // call_once propagates exceptions WITHOUT flipping the flag, which is
+    // exactly the retry semantics a transient I/O failure wants.
+    mutable std::once_flag once;
+    mutable std::unique_ptr<const Dataset> dataset;
+    mutable std::atomic<bool> materialized{false};
+  };
+
+  // Find the entry or throw NotFoundError; the pointer stays valid forever
+  // (entries are never removed and unique_ptr keeps addresses stable).
+  [[nodiscard]] const Entry& Find(const std::string& name) const;
+
   mutable std::mutex mutex_;
-  // unique_ptr keeps each Dataset's address stable across map growth.
-  std::map<std::string, std::unique_ptr<const Dataset>> datasets_;
+  std::map<std::string, std::unique_ptr<Entry>> datasets_;
 };
 
 }  // namespace gdp::serve

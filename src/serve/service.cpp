@@ -218,7 +218,8 @@ ServeResult DisclosureService::Serve(const std::string& tenant,
       entry != nullptr ? entry->session.compiled()
                        : registry_.GetOrCompile(dataset, ds.graph,
                                                 ds.publication,
-                                                ds.compile_seed);
+                                                ds.compile_seed,
+                                                ds.snapshot.get());
 
   // Resolve the entitled level BEFORE any charge or draw: a tier the policy
   // cannot map — including an explicit access_levels entry pointing past

@@ -42,7 +42,9 @@ std::shared_ptr<const gdp::core::CompiledDisclosure>
 SessionRegistry::GetOrCompile(const std::string& dataset,
                               const gdp::graph::BipartiteGraph& graph,
                               const gdp::core::SessionSpec& spec,
-                              std::uint64_t compile_seed) {
+                              std::uint64_t compile_seed,
+                              const gdp::storage::Snapshot* snapshot) {
+  const std::string fingerprint = Fingerprint(spec, compile_seed);
   // The key folds in the graph's shape so a caller that rebinds a dataset
   // name to a different graph cannot silently hit an artifact compiled from
   // (and holding a reference into) the old one.  Shape is a cheap O(1)
@@ -51,8 +53,7 @@ SessionRegistry::GetOrCompile(const std::string& dataset,
   // append-only catalog guarantees this by construction).
   std::string key = dataset + "|V=" + std::to_string(graph.num_left()) + "x" +
                     std::to_string(graph.num_right()) +
-                    ";E=" + std::to_string(graph.num_edges()) + "|" +
-                    Fingerprint(spec, compile_seed);
+                    ";E=" + std::to_string(graph.num_edges()) + "|" + fingerprint;
   const std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     ++stats_.hits;
@@ -67,8 +68,21 @@ SessionRegistry::GetOrCompile(const std::string& dataset,
     lru_.pop_back();
     ++stats_.evictions;
   }
-  gdp::common::Rng rng(compile_seed);
-  auto compiled = gdp::core::CompiledDisclosure::Compile(graph, spec, rng);
+  std::shared_ptr<const gdp::core::CompiledDisclosure> compiled;
+  if (snapshot != nullptr && snapshot->has_plan() &&
+      snapshot->fingerprint() == fingerprint) {
+    // The stored fingerprint proves the embedded plan was compiled under
+    // exactly this spec + seed, so adopting it is bit-identical to the
+    // Compile below — minus the EM build and the node scan it skips.
+    compiled = gdp::core::CompiledDisclosure::FromPrecompiled(
+        graph, spec, snapshot->BuildHierarchy(),
+        gdp::core::ReleasePlan(snapshot->plan()),
+        snapshot->phase1_epsilon_spent());
+    ++stats_.snapshot_adoptions;
+  } else {
+    gdp::common::Rng rng(compile_seed);
+    compiled = gdp::core::CompiledDisclosure::Compile(graph, spec, rng);
+  }
   lru_.emplace_front(key, compiled);
   index_.emplace(key, lru_.begin());
   return compiled;

@@ -38,6 +38,7 @@
 
 #include "core/compiled_disclosure.hpp"
 #include "graph/bipartite_graph.hpp"
+#include "storage/snapshot.hpp"
 
 namespace gdp::serve {
 
@@ -47,6 +48,9 @@ class SessionRegistry {
     std::uint64_t hits{0};
     std::uint64_t misses{0};
     std::uint64_t evictions{0};
+    // Misses served by adopting a snapshot-embedded plan instead of
+    // compiling (subset of misses).
+    std::uint64_t snapshot_adoptions{0};
   };
 
   // Throws std::invalid_argument when capacity == 0.
@@ -63,10 +67,23 @@ class SessionRegistry {
   // compile it from `graph` with a fresh Rng(compile_seed) on miss (evicting
   // the LRU entry if at capacity).  `graph` must outlive the artifact; it is
   // only read on miss.
+  //
+  // When `snapshot` is non-null and embeds a plan whose stored fingerprint
+  // EQUALS Fingerprint(spec, compile_seed), a miss adopts the snapshot's
+  // hierarchy + plan (CompiledDisclosure::FromPrecompiled — no EM build, no
+  // node scan) instead of compiling.  The fingerprint discipline is what
+  // makes this sound: the stored fingerprint canonically encodes the spec +
+  // seed the plan was compiled under, so a snapshot packed under ANY other
+  // publication silently falls back to a fresh compile — never to wrong
+  // statistics.  Adoption is bit-identical to the compile it replaces
+  // (pinned by snapshot_serve_test); `snapshot` must outlive the artifact
+  // whenever its graph is the `graph` passed here (the usual catalog
+  // arrangement — Dataset keeps the snapshot handle alive).
   [[nodiscard]] std::shared_ptr<const gdp::core::CompiledDisclosure>
   GetOrCompile(const std::string& dataset,
                const gdp::graph::BipartiteGraph& graph,
-               const gdp::core::SessionSpec& spec, std::uint64_t compile_seed);
+               const gdp::core::SessionSpec& spec, std::uint64_t compile_seed,
+               const gdp::storage::Snapshot* snapshot = nullptr);
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;

@@ -1,0 +1,74 @@
+#include "storage/buffer.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace gdp::storage {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& op, const std::string& path) {
+  throw gdp::common::IoError("Buffer: " + op + " failed for '" + path +
+                             "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::shared_ptr<const Buffer> Buffer::FromBytes(std::vector<std::byte> bytes) {
+  // Not make_shared: the constructor is private to force construction
+  // through the factories; the control-block indirection is irrelevant next
+  // to the payload.
+  std::shared_ptr<Buffer> buffer(new Buffer());
+  buffer->owned_ = std::move(bytes);
+  buffer->data_ = buffer->owned_.data();
+  buffer->size_ = buffer->owned_.size();
+  return buffer;
+}
+
+std::shared_ptr<const Buffer> Buffer::MapFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    ThrowErrno("open", path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    ThrowErrno("fstat", path);
+  }
+  std::shared_ptr<Buffer> buffer(new Buffer());
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      ThrowErrno("mmap", path);
+    }
+    buffer->map_base_ = base;
+    buffer->map_length_ = size;
+    buffer->data_ = static_cast<const std::byte*>(base);
+    buffer->size_ = size;
+  }
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed past mmap.
+  ::close(fd);
+  return buffer;
+}
+
+Buffer::~Buffer() {
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_length_);
+  }
+}
+
+}  // namespace gdp::storage

@@ -1,0 +1,140 @@
+// Buffer + ColumnView: the zero-copy storage substrate.
+//
+// A Buffer is an immutable, shared, contiguous byte blob — either an owning
+// std::vector<std::byte> or a read-only mmap of a file.  A ColumnView<T> is
+// a typed column over such bytes: it either OWNS a std::vector<T> (the
+// builder path — exactly what the pre-storage-layer code stored) or BORROWS
+// a span out of a Buffer it keeps alive via shared_ptr (the snapshot path).
+// Consumers only ever see std::span<const T>, so the two representations are
+// indistinguishable downstream — which is what makes mmap-loaded graphs
+// bit-identical to builder-constructed ones.
+//
+// Lifetime rule: a borrowed ColumnView co-owns its Buffer, so a
+// BipartiteGraph or ReleasePlan built over a snapshot keeps the mapping
+// alive for as long as the object (or any copy of it) lives; no caller has
+// to sequence munmap against artifact teardown.
+//
+// Thread safety: Buffer and ColumnView are immutable after construction and
+// safe to read concurrently.  mmap'd pages are faulted in lazily by the
+// kernel — loading a snapshot touches only what validation reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gdp::storage {
+
+class Buffer {
+ public:
+  // An owning buffer over `bytes` (moved in; no copy).
+  [[nodiscard]] static std::shared_ptr<const Buffer> FromBytes(
+      std::vector<std::byte> bytes);
+
+  // Map `path` read-only (MAP_PRIVATE).  Throws gdp::common::IoError when
+  // the file cannot be opened, stat'd, or mapped.  An empty file maps to an
+  // empty buffer.
+  [[nodiscard]] static std::shared_ptr<const Buffer> MapFile(
+      const std::string& path);
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  ~Buffer();
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {data_, size_};
+  }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  // True when backed by a file mapping rather than owned memory.
+  [[nodiscard]] bool mapped() const noexcept { return map_base_ != nullptr; }
+
+ private:
+  Buffer() = default;
+
+  std::vector<std::byte> owned_;
+  const std::byte* data_{nullptr};
+  std::size_t size_{0};
+  void* map_base_{nullptr};  // munmap target; null for owning buffers
+  std::size_t map_length_{0};
+};
+
+// A typed immutable column: owning vector OR borrowed span + keep-alive.
+// Copy of an owning view deep-copies (value semantics, as the vectors it
+// replaces had); copy of a borrowed view aliases the same buffer (cheap).
+template <typename T>
+class ColumnView {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ColumnView columns must be trivially copyable (they are "
+                "memcpy'd to and reinterpreted from disk bytes)");
+
+ public:
+  ColumnView() = default;
+
+  // Owning: adopt `values`.
+  explicit ColumnView(std::vector<T> values) : owned_(std::move(values)) {}
+
+  // Borrowed: `data`/`count` must lie inside `keepalive` (ViewColumn below
+  // is the checked way to build one) and `keepalive` must be non-null.
+  ColumnView(std::shared_ptr<const Buffer> keepalive, const T* data,
+             std::size_t count)
+      : keepalive_(std::move(keepalive)), data_(data), size_(count) {}
+
+  [[nodiscard]] std::span<const T> view() const noexcept {
+    return keepalive_ != nullptr ? std::span<const T>(data_, size_)
+                                 : std::span<const T>(owned_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return keepalive_ != nullptr ? size_ : owned_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const T* data() const noexcept { return view().data(); }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return view()[i];
+  }
+  [[nodiscard]] bool borrowed() const noexcept { return keepalive_ != nullptr; }
+
+ private:
+  std::vector<T> owned_;
+  std::shared_ptr<const Buffer> keepalive_;
+  const T* data_{nullptr};
+  std::size_t size_{0};
+};
+
+// Bounds- and alignment-checked borrow of `count` elements of T starting at
+// `byte_offset` within `buffer`.  Throws gdp::common::SnapshotFormatError on
+// any violation — offsets in snapshot section tables are attacker-controlled.
+template <typename T>
+[[nodiscard]] ColumnView<T> ViewColumn(std::shared_ptr<const Buffer> buffer,
+                                       std::size_t byte_offset,
+                                       std::size_t count) {
+  if (buffer == nullptr) {
+    throw gdp::common::SnapshotFormatError("ViewColumn: null buffer");
+  }
+  // Overflow-safe: count*sizeof(T) could wrap, so divide instead.
+  if (byte_offset > buffer->size() ||
+      count > (buffer->size() - byte_offset) / sizeof(T)) {
+    throw gdp::common::SnapshotFormatError(
+        "ViewColumn: column [" + std::to_string(byte_offset) + ", +" +
+        std::to_string(count) + "*" + std::to_string(sizeof(T)) +
+        ") exceeds buffer of " + std::to_string(buffer->size()) + " bytes");
+  }
+  if (byte_offset % alignof(T) != 0) {
+    throw gdp::common::SnapshotFormatError(
+        "ViewColumn: byte offset " + std::to_string(byte_offset) +
+        " is not aligned for a " + std::to_string(alignof(T)) +
+        "-byte-aligned element type");
+  }
+  const T* data =
+      reinterpret_cast<const T*>(buffer->data() + byte_offset);  // NOLINT
+  return ColumnView<T>(std::move(buffer), data, count);
+}
+
+}  // namespace gdp::storage

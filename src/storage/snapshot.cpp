@@ -1,0 +1,770 @@
+#include "storage/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string_view>
+#include <utility>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace gdp::storage {
+
+using gdp::common::Crc32;
+using gdp::common::IoError;
+using gdp::common::SnapshotFormatError;
+using gdp::graph::EdgeCount;
+using gdp::graph::NodeIndex;
+
+namespace {
+
+constexpr char kMagic[10] = {'G', 'D', 'P', 'S', 'N', 'A', 'P', '0', '1', '\0'};
+constexpr std::uint16_t kHeaderVersion = 1;
+// Written natively; a reader on the other endianness sees the bytes
+// reversed and rejects the file instead of mis-typing every column.
+constexpr std::uint32_t kByteOrderSentinel = 0x0A0B0C0Du;
+constexpr std::size_t kHeaderSize = 48;
+constexpr std::size_t kSectionEntrySize = 32;
+constexpr std::size_t kPayloadAlignment = 64;
+// A snapshot has at most 10 sections today; anything bigger is hostile or
+// version skew, and bounding it keeps the table read trivially safe.
+constexpr std::uint32_t kMaxSections = 64;
+constexpr std::uint32_t kMaxHierLevels = 256;
+
+enum SectionId : std::uint32_t {
+  kGraphMeta = 1,
+  kLeftOffsets = 2,
+  kLeftAdjacency = 3,
+  kRightOffsets = 4,
+  kRightAdjacency = 5,
+  kHierMeta = 6,
+  kHierLabels = 7,
+  kGroupSides = 8,
+  kGroupSizes = 9,
+  kGroupParents = 10,
+  kPlanMeta = 11,
+  kPlanLevelOffsets = 12,
+  kPlanSums = 13,
+  kPlanMaxSums = 14,
+  kFingerprint = 15,
+};
+
+[[nodiscard]] bool KnownSectionId(std::uint32_t id) {
+  return id >= kGraphMeta && id <= kFingerprint;
+}
+
+// --- little-endian primitives (same conventions as the WAL) ---------------
+
+void PutU16(std::vector<std::byte>& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutF64(std::vector<std::byte>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+// Bounds-checked little-endian cursor over untrusted bytes.
+struct ByteReader {
+  std::span<const std::byte> data;
+  std::size_t pos{0};
+  const char* origin;
+
+  void Need(std::size_t n) const {
+    if (pos + n > data.size()) {
+      throw SnapshotFormatError(std::string(origin) +
+                                ": payload truncated mid-field");
+    }
+  }
+  std::uint16_t U16() {
+    Need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(std::to_integer<unsigned>(data[pos++]))
+                  << (8 * i));
+    }
+    return v;
+  }
+  std::uint32_t U32() {
+    Need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(std::to_integer<unsigned>(data[pos++]))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t U64() {
+    Need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(std::to_integer<unsigned>(data[pos++]))
+           << (8 * i);
+    }
+    return v;
+  }
+  double F64() {
+    const std::uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+[[nodiscard]] std::string_view AsStringView(std::span<const std::byte> bytes) {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};  // NOLINT
+}
+
+template <typename T>
+[[nodiscard]] std::span<const std::byte> AsBytes(std::span<const T> values) {
+  return std::as_bytes(values);
+}
+
+// One section the writer will emit: id + the byte chunks that concatenate
+// into its payload (chunks avoid materialising multi-hundred-MB copies of
+// columns that already sit contiguous in memory).
+struct PendingSection {
+  std::uint32_t id{0};
+  std::vector<std::span<const std::byte>> chunks;
+
+  [[nodiscard]] std::uint64_t length() const {
+    std::uint64_t total = 0;
+    for (const auto& c : chunks) {
+      total += c.size();
+    }
+    return total;
+  }
+  [[nodiscard]] std::uint32_t crc() const {
+    std::uint32_t crc = 0;
+    for (const auto& c : chunks) {
+      crc = Crc32(AsStringView(c), crc);
+    }
+    return crc;
+  }
+};
+
+[[nodiscard]] std::size_t AlignUp(std::size_t v, std::size_t alignment) {
+  return (v + alignment - 1) / alignment * alignment;
+}
+
+void ValidateContents(const SnapshotContents& contents) {
+  if (contents.graph == nullptr) {
+    throw std::invalid_argument("SerializeSnapshot: contents.graph is null");
+  }
+  const auto& graph = *contents.graph;
+  if (contents.hierarchy != nullptr) {
+    const auto& h = *contents.hierarchy;
+    if (h.level(0).num_left_nodes() != graph.num_left() ||
+        h.level(0).num_right_nodes() != graph.num_right()) {
+      throw std::invalid_argument(
+          "SerializeSnapshot: hierarchy node counts do not match the graph");
+    }
+    if (h.num_levels() > static_cast<int>(kMaxHierLevels)) {
+      throw std::invalid_argument(
+          "SerializeSnapshot: hierarchy exceeds the format's level bound");
+    }
+  }
+  if (contents.plan != nullptr) {
+    if (contents.hierarchy == nullptr) {
+      throw std::invalid_argument(
+          "SerializeSnapshot: an embedded plan requires its hierarchy");
+    }
+    if (contents.fingerprint.empty()) {
+      throw std::invalid_argument(
+          "SerializeSnapshot: an embedded plan requires the compile "
+          "fingerprint that makes it adoptable");
+    }
+    if (!(contents.phase1_epsilon_spent >= 0.0) ||
+        !std::isfinite(contents.phase1_epsilon_spent)) {
+      throw std::invalid_argument(
+          "SerializeSnapshot: phase1_epsilon_spent must be finite and >= 0");
+    }
+    const auto& plan = *contents.plan;
+    const auto& h = *contents.hierarchy;
+    if (plan.num_levels() != h.num_levels()) {
+      throw std::invalid_argument(
+          "SerializeSnapshot: plan and hierarchy level counts disagree");
+    }
+    if (plan.num_edges() != graph.num_edges()) {
+      throw std::invalid_argument(
+          "SerializeSnapshot: plan edge count does not match the graph");
+    }
+    for (int l = 0; l < h.num_levels(); ++l) {
+      if (plan.GroupDegreeSums(l).size() != h.level(l).num_groups()) {
+        throw std::invalid_argument(
+            "SerializeSnapshot: plan level " + std::to_string(l) +
+            " group count does not match the hierarchy");
+      }
+    }
+  } else if (!contents.fingerprint.empty()) {
+    throw std::invalid_argument(
+        "SerializeSnapshot: a fingerprint without a plan is meaningless");
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> SerializeSnapshot(const SnapshotContents& contents) {
+  ValidateContents(contents);
+  const auto& graph = *contents.graph;
+  using gdp::graph::Side;
+
+  // Small metadata payloads are built up front and referenced as chunks,
+  // like the big columns; this storage must outlive the final memcpy pass.
+  std::vector<std::byte> graph_meta;
+  PutU32(graph_meta, graph.num_left());
+  PutU32(graph_meta, graph.num_right());
+  PutU64(graph_meta, graph.num_edges());
+
+  std::vector<PendingSection> sections;
+  sections.push_back({kGraphMeta, {std::span<const std::byte>(graph_meta)}});
+  sections.push_back({kLeftOffsets, {AsBytes(graph.offsets(Side::kLeft))}});
+  sections.push_back({kLeftAdjacency, {AsBytes(graph.adjacency(Side::kLeft))}});
+  sections.push_back({kRightOffsets, {AsBytes(graph.offsets(Side::kRight))}});
+  sections.push_back(
+      {kRightAdjacency, {AsBytes(graph.adjacency(Side::kRight))}});
+
+  std::vector<std::byte> hier_meta;
+  std::vector<std::vector<std::uint8_t>> level_sides;
+  std::vector<std::vector<std::uint32_t>> level_sizes;
+  std::vector<std::vector<std::uint32_t>> level_parents;
+  if (contents.hierarchy != nullptr) {
+    const auto& h = *contents.hierarchy;
+    const int num_levels = h.num_levels();
+    PutU32(hier_meta, static_cast<std::uint32_t>(num_levels));
+    for (int l = 0; l < num_levels; ++l) {
+      PutU32(hier_meta, h.level(l).num_groups());
+    }
+    PendingSection labels{kHierLabels, {}};
+    PendingSection sides{kGroupSides, {}};
+    PendingSection sizes{kGroupSizes, {}};
+    PendingSection parents{kGroupParents, {}};
+    level_sides.resize(static_cast<std::size_t>(num_levels));
+    level_sizes.resize(static_cast<std::size_t>(num_levels));
+    level_parents.resize(static_cast<std::size_t>(num_levels));
+    for (int l = 0; l < num_levels; ++l) {
+      const gdp::hier::Partition& p = h.level(l);
+      labels.chunks.push_back(AsBytes(p.labels(Side::kLeft)));
+      labels.chunks.push_back(AsBytes(p.labels(Side::kRight)));
+      // GroupInfo is AoS in memory; the format stores it as three columns.
+      auto& sd = level_sides[static_cast<std::size_t>(l)];
+      auto& sz = level_sizes[static_cast<std::size_t>(l)];
+      auto& pr = level_parents[static_cast<std::size_t>(l)];
+      sd.reserve(p.num_groups());
+      sz.reserve(p.num_groups());
+      pr.reserve(p.num_groups());
+      for (const gdp::hier::GroupInfo& g : p.groups()) {
+        sd.push_back(static_cast<std::uint8_t>(g.side));
+        sz.push_back(g.size);
+        pr.push_back(g.parent);
+      }
+      sides.chunks.push_back(AsBytes(std::span<const std::uint8_t>(sd)));
+      sizes.chunks.push_back(AsBytes(std::span<const std::uint32_t>(sz)));
+      parents.chunks.push_back(AsBytes(std::span<const std::uint32_t>(pr)));
+    }
+    sections.push_back({kHierMeta, {std::span<const std::byte>(hier_meta)}});
+    sections.push_back(std::move(labels));
+    sections.push_back(std::move(sides));
+    sections.push_back(std::move(sizes));
+    sections.push_back(std::move(parents));
+  }
+
+  std::vector<std::byte> plan_meta;
+  if (contents.plan != nullptr) {
+    const auto& plan = *contents.plan;
+    PutU32(plan_meta, static_cast<std::uint32_t>(plan.num_levels()));
+    PutU32(plan_meta, 0);  // reserved
+    PutU64(plan_meta, plan.num_edges());
+    PutF64(plan_meta, contents.phase1_epsilon_spent);
+    sections.push_back({kPlanMeta, {std::span<const std::byte>(plan_meta)}});
+    sections.push_back({kPlanLevelOffsets, {AsBytes(plan.LevelOffsets())}});
+    sections.push_back({kPlanSums, {AsBytes(plan.FlatSums())}});
+    sections.push_back({kPlanMaxSums, {AsBytes(plan.LevelSensitivities())}});
+    sections.push_back(
+        {kFingerprint,
+         {std::as_bytes(std::span<const char>(contents.fingerprint.data(),
+                                              contents.fingerprint.size()))}});
+  }
+
+  // Layout: header, table, then 64-byte-aligned payloads in table order.
+  const std::size_t table_size = sections.size() * kSectionEntrySize;
+  std::vector<std::uint64_t> offsets(sections.size());
+  std::size_t cursor = kHeaderSize + table_size;
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    cursor = AlignUp(cursor, kPayloadAlignment);
+    offsets[i] = cursor;
+    cursor += static_cast<std::size_t>(sections[i].length());
+  }
+  const std::size_t file_size = cursor;
+
+  // Section table.
+  std::vector<std::byte> table;
+  table.reserve(table_size);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    PutU32(table, sections[i].id);
+    PutU32(table, 0);  // reserved
+    PutU64(table, offsets[i]);
+    PutU64(table, sections[i].length());
+    PutU32(table, sections[i].crc());
+    PutU32(table, 0);  // reserved
+  }
+
+  // Header.
+  std::vector<std::byte> header;
+  header.reserve(kHeaderSize);
+  for (const char c : kMagic) {
+    header.push_back(static_cast<std::byte>(c));
+  }
+  PutU16(header, kHeaderVersion);
+  PutU32(header, kByteOrderSentinel);
+  PutU32(header, static_cast<std::uint32_t>(sections.size()));
+  PutU32(header, 0);  // reserved
+  PutU64(header, file_size);
+  PutU32(header, Crc32(AsStringView(std::span<const std::byte>(table))));
+  PutU32(header, Crc32(AsStringView(std::span<const std::byte>(header))));
+  header.resize(kHeaderSize, std::byte{0});
+
+  std::vector<std::byte> out(file_size, std::byte{0});
+  std::memcpy(out.data(), header.data(), header.size());
+  std::memcpy(out.data() + kHeaderSize, table.data(), table.size());
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    std::size_t pos = static_cast<std::size_t>(offsets[i]);
+    for (const auto& chunk : sections[i].chunks) {
+      if (!chunk.empty()) {
+        std::memcpy(out.data() + pos, chunk.data(), chunk.size());
+      }
+      pos += chunk.size();
+    }
+  }
+  return out;
+}
+
+void WriteSnapshotFile(const std::string& path,
+                       const SnapshotContents& contents) {
+  const std::vector<std::byte> bytes = SerializeSnapshot(contents);
+  // Write-to-temp + fsync + rename: a crashed pack leaves either the old
+  // snapshot or none, never a torn one (the CRCs would catch a torn file,
+  // but an operator script should not have to handle that case at all).
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw IoError("WriteSnapshotFile: cannot create '" + tmp +
+                  "': " + std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written,
+                              bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw IoError("WriteSnapshotFile: write to '" + tmp + "' failed: " + err);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    throw IoError("WriteSnapshotFile: fsync/close of '" + tmp +
+                  "' failed: " + err);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    throw IoError("WriteSnapshotFile: rename to '" + path +
+                  "' failed: " + err);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Loader
+// --------------------------------------------------------------------------
+
+namespace {
+
+struct SectionRef {
+  std::uint64_t offset{0};
+  std::uint64_t length{0};
+};
+
+[[noreturn]] void Bad(const std::string& origin, const std::string& what) {
+  throw SnapshotFormatError("Snapshot '" + origin + "': " + what);
+}
+
+}  // namespace
+
+std::shared_ptr<const Snapshot> Snapshot::Load(const std::string& path) {
+  return Parse(Buffer::MapFile(path), path);
+}
+
+std::shared_ptr<const Snapshot> Snapshot::Parse(
+    std::shared_ptr<const Buffer> buffer, std::string origin) {
+  if (buffer == nullptr) {
+    throw SnapshotFormatError("Snapshot::Parse: null buffer");
+  }
+  const std::span<const std::byte> bytes = buffer->bytes();
+  if (bytes.size() < kHeaderSize) {
+    Bad(origin, "file of " + std::to_string(bytes.size()) +
+                    " bytes is smaller than the header");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    Bad(origin, "bad magic (not a GDPSNAP01 snapshot, or an unsupported "
+                "major version)");
+  }
+  ByteReader header{bytes.first(kHeaderSize), sizeof(kMagic), origin.c_str()};
+  const std::uint16_t version = header.U16();
+  const std::uint32_t byte_order = header.U32();
+  const std::uint32_t section_count = header.U32();
+  (void)header.U32();  // reserved
+  const std::uint64_t declared_size = header.U64();
+  const std::uint32_t table_crc = header.U32();
+  const std::size_t header_crc_pos = header.pos;
+  const std::uint32_t header_crc = header.U32();
+  if (byte_order != kByteOrderSentinel) {
+    Bad(origin,
+        "endianness sentinel mismatch — snapshot was written on a host with "
+        "different byte order");
+  }
+  if (version != kHeaderVersion) {
+    Bad(origin, "unsupported header version " + std::to_string(version));
+  }
+  if (Crc32(AsStringView(bytes.first(header_crc_pos))) != header_crc) {
+    Bad(origin, "header CRC mismatch");
+  }
+  if (declared_size != bytes.size()) {
+    Bad(origin, "declared file size " + std::to_string(declared_size) +
+                    " != actual " + std::to_string(bytes.size()) +
+                    " (truncated or padded file)");
+  }
+  if (section_count == 0 || section_count > kMaxSections) {
+    Bad(origin, "implausible section count " + std::to_string(section_count));
+  }
+  const std::size_t table_size =
+      static_cast<std::size_t>(section_count) * kSectionEntrySize;
+  if (kHeaderSize + table_size > bytes.size()) {
+    Bad(origin, "section table extends past end of file");
+  }
+  const std::span<const std::byte> table =
+      bytes.subspan(kHeaderSize, table_size);
+  if (Crc32(AsStringView(table)) != table_crc) {
+    Bad(origin, "section table CRC mismatch");
+  }
+
+  // Decode + structurally validate the table before touching any payload.
+  std::map<std::uint32_t, SectionRef> refs;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> extents;  // offset,end
+  ByteReader entries{table, 0, origin.c_str()};
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint32_t id = entries.U32();
+    (void)entries.U32();  // reserved
+    const std::uint64_t offset = entries.U64();
+    const std::uint64_t length = entries.U64();
+    const std::uint32_t crc = entries.U32();
+    (void)entries.U32();  // reserved
+    if (!KnownSectionId(id)) {
+      Bad(origin, "unknown section id " + std::to_string(id));
+    }
+    if (refs.contains(id)) {
+      Bad(origin, "duplicate section id " + std::to_string(id));
+    }
+    if (offset % kPayloadAlignment != 0) {
+      Bad(origin, "section " + std::to_string(id) + " offset " +
+                      std::to_string(offset) + " is not 64-byte aligned");
+    }
+    if (offset < kHeaderSize + table_size || offset > bytes.size() ||
+        length > bytes.size() - offset) {
+      Bad(origin, "section " + std::to_string(id) +
+                      " extends outside the file (offset " +
+                      std::to_string(offset) + ", length " +
+                      std::to_string(length) + ")");
+    }
+    if (Crc32(AsStringView(bytes.subspan(static_cast<std::size_t>(offset),
+                                         static_cast<std::size_t>(length)))) !=
+        crc) {
+      Bad(origin, "section " + std::to_string(id) + " payload CRC mismatch");
+    }
+    refs[id] = SectionRef{offset, length};
+    extents.emplace_back(offset, offset + length);
+  }
+  std::sort(extents.begin(), extents.end());
+  for (std::size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i].first < extents[i - 1].second) {
+      Bad(origin, "section payloads overlap");
+    }
+  }
+
+  const auto require = [&](std::uint32_t id, const char* name) -> SectionRef {
+    const auto it = refs.find(id);
+    if (it == refs.end()) {
+      Bad(origin, std::string("missing required section: ") + name);
+    }
+    return it->second;
+  };
+  const auto payload = [&](const SectionRef& ref) {
+    return bytes.subspan(static_cast<std::size_t>(ref.offset),
+                         static_cast<std::size_t>(ref.length));
+  };
+  // Borrow `count` elements of T at `ref.offset + byte_shift`; the section
+  // bounds were validated above, this only re-checks the carve fits.
+  const auto column = [&]<typename T>(const SectionRef& ref,
+                                      std::uint64_t byte_shift,
+                                      std::uint64_t count,
+                                      const char* what) -> ColumnView<T> {
+    if (byte_shift > ref.length ||
+        count > (ref.length - byte_shift) / sizeof(T)) {
+      Bad(origin, std::string(what) + " does not fit its section");
+    }
+    return ViewColumn<T>(buffer,
+                         static_cast<std::size_t>(ref.offset + byte_shift),
+                         static_cast<std::size_t>(count));
+  };
+
+  std::shared_ptr<Snapshot> snap(new Snapshot());
+  snap->buffer_ = buffer;
+
+  // --- graph ---------------------------------------------------------------
+  {
+    const SectionRef meta_ref = require(kGraphMeta, "graph meta");
+    ByteReader meta{payload(meta_ref), 0, origin.c_str()};
+    const std::uint32_t num_left = meta.U32();
+    const std::uint32_t num_right = meta.U32();
+    const std::uint64_t num_edges = meta.U64();
+    if (num_edges > std::numeric_limits<std::size_t>::max() / sizeof(NodeIndex)) {
+      Bad(origin, "edge count overflows addressable memory");
+    }
+    auto left_off = column.template operator()<EdgeCount>(
+        require(kLeftOffsets, "left offsets"), 0,
+        static_cast<std::uint64_t>(num_left) + 1, "left offsets");
+    auto left_adj = column.template operator()<NodeIndex>(
+        require(kLeftAdjacency, "left adjacency"), 0, num_edges,
+        "left adjacency");
+    auto right_off = column.template operator()<EdgeCount>(
+        require(kRightOffsets, "right offsets"), 0,
+        static_cast<std::uint64_t>(num_right) + 1, "right offsets");
+    auto right_adj = column.template operator()<NodeIndex>(
+        require(kRightAdjacency, "right adjacency"), 0, num_edges,
+        "right adjacency");
+    // Lengths must match exactly — trailing slack would be unverifiable
+    // dead bytes inside a CRC'd section.
+    if (require(kLeftOffsets, "left offsets").length !=
+            (static_cast<std::uint64_t>(num_left) + 1) * sizeof(EdgeCount) ||
+        require(kRightOffsets, "right offsets").length !=
+            (static_cast<std::uint64_t>(num_right) + 1) * sizeof(EdgeCount) ||
+        require(kLeftAdjacency, "left adjacency").length !=
+            num_edges * sizeof(NodeIndex) ||
+        require(kRightAdjacency, "right adjacency").length !=
+            num_edges * sizeof(NodeIndex)) {
+      Bad(origin, "graph section lengths disagree with the declared shape");
+    }
+    snap->graph_ = gdp::graph::BipartiteGraph::FromSnapshot(
+        num_left, num_right, num_edges, std::move(left_off),
+        std::move(left_adj), std::move(right_off), std::move(right_adj));
+  }
+
+  // --- hierarchy (optional, all-or-none) -----------------------------------
+  const bool any_hier = refs.contains(kHierMeta) || refs.contains(kHierLabels) ||
+                        refs.contains(kGroupSides) ||
+                        refs.contains(kGroupSizes) ||
+                        refs.contains(kGroupParents);
+  if (any_hier) {
+    const SectionRef meta_ref = require(kHierMeta, "hierarchy meta");
+    ByteReader meta{payload(meta_ref), 0, origin.c_str()};
+    const std::uint32_t num_levels = meta.U32();
+    if (num_levels < 2 || num_levels > kMaxHierLevels) {
+      Bad(origin, "implausible hierarchy level count " +
+                      std::to_string(num_levels));
+    }
+    std::vector<std::uint32_t> group_counts(num_levels);
+    std::uint64_t total_groups = 0;
+    for (std::uint32_t l = 0; l < num_levels; ++l) {
+      group_counts[l] = meta.U32();
+      if (group_counts[l] == 0) {
+        Bad(origin, "hierarchy level " + std::to_string(l) + " has no groups");
+      }
+      total_groups += group_counts[l];
+    }
+    const std::uint64_t num_left = snap->graph_->num_left();
+    const std::uint64_t num_right = snap->graph_->num_right();
+    const std::uint64_t nodes = num_left + num_right;
+    const SectionRef labels_ref = require(kHierLabels, "hierarchy labels");
+    const SectionRef sides_ref = require(kGroupSides, "group sides");
+    const SectionRef sizes_ref = require(kGroupSizes, "group sizes");
+    const SectionRef parents_ref = require(kGroupParents, "group parents");
+    if (labels_ref.length != num_levels * nodes * sizeof(std::uint32_t) ||
+        sides_ref.length != total_groups ||
+        sizes_ref.length != total_groups * sizeof(std::uint32_t) ||
+        parents_ref.length != total_groups * sizeof(std::uint32_t)) {
+      Bad(origin,
+          "hierarchy section lengths disagree with the declared shape");
+    }
+    std::uint64_t label_cursor = 0;
+    std::uint64_t group_cursor = 0;
+    for (std::uint32_t l = 0; l < num_levels; ++l) {
+      HierLevel level;
+      level.left_labels = column.template operator()<std::uint32_t>(
+          labels_ref, label_cursor * sizeof(std::uint32_t), num_left,
+          "left labels");
+      level.right_labels = column.template operator()<std::uint32_t>(
+          labels_ref, (label_cursor + num_left) * sizeof(std::uint32_t),
+          num_right, "right labels");
+      label_cursor += nodes;
+      level.sides = column.template operator()<std::uint8_t>(
+          sides_ref, group_cursor, group_counts[l], "group sides");
+      level.sizes = column.template operator()<std::uint32_t>(
+          sizes_ref, group_cursor * sizeof(std::uint32_t), group_counts[l],
+          "group sizes");
+      level.parents = column.template operator()<std::uint32_t>(
+          parents_ref, group_cursor * sizeof(std::uint32_t), group_counts[l],
+          "group parents");
+      group_cursor += group_counts[l];
+      snap->hier_levels_.push_back(std::move(level));
+    }
+  }
+
+  // --- plan (optional, all-or-none, requires the hierarchy) ----------------
+  const bool any_plan = refs.contains(kPlanMeta) ||
+                        refs.contains(kPlanLevelOffsets) ||
+                        refs.contains(kPlanSums) ||
+                        refs.contains(kPlanMaxSums) ||
+                        refs.contains(kFingerprint);
+  if (any_plan) {
+    if (!any_hier) {
+      Bad(origin, "an embedded plan requires its hierarchy sections");
+    }
+    const SectionRef meta_ref = require(kPlanMeta, "plan meta");
+    ByteReader meta{payload(meta_ref), 0, origin.c_str()};
+    const std::uint32_t num_levels = meta.U32();
+    (void)meta.U32();  // reserved
+    const std::uint64_t num_edges = meta.U64();
+    const double phase1_spent = meta.F64();
+    if (num_levels != snap->hier_levels_.size()) {
+      Bad(origin, "plan level count disagrees with the hierarchy");
+    }
+    if (num_edges != snap->graph_->num_edges()) {
+      Bad(origin, "plan edge count disagrees with the graph");
+    }
+    if (!(phase1_spent >= 0.0) || !std::isfinite(phase1_spent)) {
+      Bad(origin, "plan phase-1 spend is not a finite non-negative value");
+    }
+    auto level_offsets = column.template operator()<std::uint64_t>(
+        require(kPlanLevelOffsets, "plan level offsets"), 0,
+        static_cast<std::uint64_t>(num_levels) + 1, "plan level offsets");
+    const SectionRef sums_ref = require(kPlanSums, "plan sums");
+    auto sums = column.template operator()<EdgeCount>(
+        sums_ref, 0, sums_ref.length / sizeof(EdgeCount), "plan sums");
+    auto max_sums = column.template operator()<EdgeCount>(
+        require(kPlanMaxSums, "plan max sums"), 0, num_levels,
+        "plan max sums");
+    // Per-level widths must match the hierarchy's group counts, or the
+    // engine would index groups that do not exist.
+    for (std::uint32_t l = 0; l < num_levels; ++l) {
+      if (level_offsets[l + 1] < level_offsets[l] ||
+          level_offsets[l + 1] - level_offsets[l] !=
+              snap->hier_levels_[l].sizes.size()) {
+        Bad(origin, "plan level " + std::to_string(l) +
+                        " width disagrees with the hierarchy");
+      }
+    }
+    snap->plan_ = gdp::core::ReleasePlan::FromColumns(
+        num_edges, std::move(level_offsets), std::move(sums),
+        std::move(max_sums));
+    snap->phase1_epsilon_spent_ = phase1_spent;
+    const SectionRef fp_ref = require(kFingerprint, "fingerprint");
+    if (fp_ref.length == 0) {
+      Bad(origin, "empty fingerprint section");
+    }
+    snap->fingerprint_ = std::string(AsStringView(payload(fp_ref)));
+  }
+
+  return snap;
+}
+
+gdp::hier::GroupHierarchy Snapshot::BuildHierarchy() const {
+  if (!has_hierarchy()) {
+    throw gdp::common::StateError(
+        "Snapshot::BuildHierarchy: snapshot carries no hierarchy sections");
+  }
+  std::vector<gdp::hier::Partition> levels;
+  levels.reserve(hier_levels_.size());
+  for (std::size_t l = 0; l < hier_levels_.size(); ++l) {
+    const HierLevel& packed = hier_levels_[l];
+    std::vector<gdp::hier::GroupInfo> groups;
+    groups.reserve(packed.sides.size());
+    for (std::size_t g = 0; g < packed.sides.size(); ++g) {
+      const std::uint8_t side = packed.sides[g];
+      if (side > 1) {
+        throw SnapshotFormatError(
+            "Snapshot::BuildHierarchy: group side byte " +
+            std::to_string(side) + " at level " + std::to_string(l) +
+            " is neither left nor right");
+      }
+      groups.push_back(gdp::hier::GroupInfo{
+          side == 0 ? gdp::hier::Side::kLeft : gdp::hier::Side::kRight,
+          packed.sizes[g], packed.parents[g]});
+    }
+    const auto left = packed.left_labels.view();
+    const auto right = packed.right_labels.view();
+    try {
+      // The Partition constructor re-proves label ranges, side purity and
+      // size consistency on these untrusted columns.
+      levels.emplace_back(
+          std::vector<std::uint32_t>(left.begin(), left.end()),
+          std::vector<std::uint32_t>(right.begin(), right.end()),
+          std::move(groups));
+    } catch (const std::exception& e) {
+      throw SnapshotFormatError(
+          "Snapshot::BuildHierarchy: level " + std::to_string(l) +
+          " fails partition validation: " + e.what());
+    }
+  }
+  try {
+    // validate=true re-proves refinement level by level: the snapshot's
+    // parent links feed the plan rollup and drilldown, so a tampered
+    // hierarchy must not survive loading.
+    return gdp::hier::GroupHierarchy(std::move(levels), /*validate=*/true);
+  } catch (const std::exception& e) {
+    throw SnapshotFormatError(
+        std::string("Snapshot::BuildHierarchy: hierarchy fails refinement "
+                    "validation: ") +
+        e.what());
+  }
+}
+
+const gdp::core::ReleasePlan& Snapshot::plan() const {
+  if (!has_plan()) {
+    throw gdp::common::StateError(
+        "Snapshot::plan: snapshot carries no plan sections");
+  }
+  return *plan_;
+}
+
+}  // namespace gdp::storage

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -23,6 +25,11 @@ using gdp::hier::GroupId;
 using gdp::hier::GroupInfo;
 using gdp::hier::Partition;
 using gdp::hier::Side;
+
+// Span accessors materialised for gtest's operator== against vectors.
+std::vector<EdgeCount> ToVec(std::span<const EdgeCount> s) {
+  return {s.begin(), s.end()};
+}
 
 // Hand-built 3-level hierarchy over a 4x4 graph:
 //   level 2 (top):  {L0..L3} {R0..R3}
@@ -67,16 +74,16 @@ TEST(ReleasePlanTest, RollupMatchesDirectScanOnHandBuiltHierarchy) {
   ASSERT_EQ(plan.num_levels(), h.num_levels());
   EXPECT_EQ(plan.num_edges(), g.num_edges());
   for (int lvl = 0; lvl < h.num_levels(); ++lvl) {
-    EXPECT_EQ(plan.GroupDegreeSums(lvl), h.level(lvl).GroupDegreeSums(g))
+    EXPECT_EQ(ToVec(plan.GroupDegreeSums(lvl)), h.level(lvl).GroupDegreeSums(g))
         << "level " << lvl;
     EXPECT_EQ(plan.CountSensitivity(lvl), h.level(lvl).MaxGroupDegreeSum(g))
         << "level " << lvl;
   }
   // Known values: left degrees 2,1,2,1 / right degrees 2,1,1,2.
-  EXPECT_EQ(plan.GroupDegreeSums(0),
+  EXPECT_EQ(ToVec(plan.GroupDegreeSums(0)),
             (std::vector<EdgeCount>{2, 1, 2, 1, 2, 1, 1, 2}));
-  EXPECT_EQ(plan.GroupDegreeSums(1), (std::vector<EdgeCount>{3, 3, 3, 3}));
-  EXPECT_EQ(plan.GroupDegreeSums(2), (std::vector<EdgeCount>{6, 6}));
+  EXPECT_EQ(ToVec(plan.GroupDegreeSums(1)), (std::vector<EdgeCount>{3, 3, 3, 3}));
+  EXPECT_EQ(ToVec(plan.GroupDegreeSums(2)), (std::vector<EdgeCount>{6, 6}));
   EXPECT_EQ(plan.CountSensitivity(2), g.num_edges());
 }
 
@@ -125,10 +132,10 @@ TEST(ReleasePlanTest, MatchesDirectScansOnSpecializerHierarchy) {
 
   const ReleasePlan plan = ReleasePlan::Build(g, h);
   for (int lvl = 0; lvl < h.num_levels(); ++lvl) {
-    EXPECT_EQ(plan.GroupDegreeSums(lvl), h.level(lvl).GroupDegreeSums(g))
+    EXPECT_EQ(ToVec(plan.GroupDegreeSums(lvl)), h.level(lvl).GroupDegreeSums(g))
         << "level " << lvl;
   }
-  EXPECT_EQ(plan.LevelSensitivities(), CountSensitivities(g, h));
+  EXPECT_EQ(ToVec(plan.LevelSensitivities()), CountSensitivities(g, h));
 }
 
 TEST(ReleasePlanTest, ShardedBuildExactlyEqualsSequentialBuild) {
@@ -151,10 +158,10 @@ TEST(ReleasePlanTest, ShardedBuildExactlyEqualsSequentialBuild) {
   ASSERT_EQ(sharded.num_levels(), sequential.num_levels());
   EXPECT_EQ(sharded.num_edges(), sequential.num_edges());
   for (int lvl = 0; lvl < sequential.num_levels(); ++lvl) {
-    EXPECT_EQ(sharded.GroupDegreeSums(lvl), sequential.GroupDegreeSums(lvl))
+    EXPECT_EQ(ToVec(sharded.GroupDegreeSums(lvl)), ToVec(sequential.GroupDegreeSums(lvl)))
         << "level " << lvl;
   }
-  EXPECT_EQ(sharded.LevelSensitivities(), sequential.LevelSensitivities());
+  EXPECT_EQ(ToVec(sharded.LevelSensitivities()), ToVec(sequential.LevelSensitivities()));
 }
 
 TEST(ReleasePlanTest, VectorSensitivityMatchesSqrtTwoBound) {
@@ -211,7 +218,7 @@ TEST(ReleasePlanTest, BrokenParentLinksFallBackToDirectScan) {
 
   const ReleasePlan plan = ReleasePlan::Build(g, h);
   for (int lvl = 0; lvl < h.num_levels(); ++lvl) {
-    EXPECT_EQ(plan.GroupDegreeSums(lvl), h.level(lvl).GroupDegreeSums(g))
+    EXPECT_EQ(ToVec(plan.GroupDegreeSums(lvl)), h.level(lvl).GroupDegreeSums(g))
         << "level " << lvl;
   }
 }

@@ -40,7 +40,7 @@ gdp::core::SessionSpec SmallSpec() {
 
 Dataset SmallDataset(std::uint64_t graph_seed = 3,
                      std::uint64_t compile_seed = 7) {
-  return Dataset{TestGraph(graph_seed), SmallSpec(), compile_seed, {}};
+  return Dataset{TestGraph(graph_seed), SmallSpec(), compile_seed, {}, {}};
 }
 
 // ---------- DatasetCatalog ----------

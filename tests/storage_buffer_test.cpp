@@ -1,0 +1,124 @@
+// Buffer / ColumnView: the owning-or-borrowed column abstraction under the
+// snapshot format.  Pins the keepalive contract (a borrowed view holds the
+// Buffer alive on its own), value semantics of copies, and ViewColumn's
+// bounds/alignment rejection of hostile offsets.
+#include "storage/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gdp::storage {
+namespace {
+
+using gdp::common::SnapshotFormatError;
+
+std::vector<std::byte> BytesOf(const std::vector<std::uint32_t>& values) {
+  std::vector<std::byte> bytes(values.size() * sizeof(std::uint32_t));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(BufferTest, FromBytesOwnsData) {
+  auto buffer = Buffer::FromBytes(BytesOf({1, 2, 3}));
+  ASSERT_EQ(buffer->size(), 12u);
+  EXPECT_FALSE(buffer->mapped());
+  std::uint32_t first = 0;
+  std::memcpy(&first, buffer->data(), sizeof(first));
+  EXPECT_EQ(first, 1u);
+}
+
+TEST(BufferTest, MapFileRoundTrip) {
+  const std::string path = TempPath("gdp_buffer_test.bin");
+  const std::vector<std::uint32_t> values{7, 8, 9, 10};
+  {
+    std::ofstream out(path, std::ios::binary);
+    const auto bytes = BytesOf(values);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  auto buffer = Buffer::MapFile(path);
+  EXPECT_TRUE(buffer->mapped());
+  ASSERT_EQ(buffer->size(), values.size() * sizeof(std::uint32_t));
+  const auto view = ViewColumn<std::uint32_t>(buffer, 0, values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(view[i], values[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BufferTest, MapFileMissingThrows) {
+  EXPECT_THROW((void)Buffer::MapFile(TempPath("gdp_buffer_test_missing.bin")),
+               gdp::common::IoError);
+}
+
+TEST(BufferTest, MapEmptyFileYieldsEmptyBuffer) {
+  const std::string path = TempPath("gdp_buffer_test_empty.bin");
+  { std::ofstream out(path, std::ios::binary); }
+  auto buffer = Buffer::MapFile(path);
+  EXPECT_EQ(buffer->size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ColumnViewTest, OwningCopyIsDeep) {
+  ColumnView<std::uint32_t> a(std::vector<std::uint32_t>{1, 2, 3});
+  ColumnView<std::uint32_t> b = a;
+  EXPECT_FALSE(a.borrowed());
+  EXPECT_NE(a.view().data(), b.view().data());
+  EXPECT_EQ(b[2], 3u);
+}
+
+TEST(ColumnViewTest, BorrowedCopyAliasesAndKeepsBufferAlive) {
+  ColumnView<std::uint32_t> outlives;
+  {
+    auto buffer = Buffer::FromBytes(BytesOf({4, 5, 6}));
+    const auto view = ViewColumn<std::uint32_t>(buffer, 0, 3);
+    EXPECT_TRUE(view.borrowed());
+    outlives = view;  // the copy must alias AND hold the buffer alive
+    EXPECT_EQ(outlives.view().data(), view.view().data());
+  }
+  // The only remaining owner of the bytes is the view's keepalive.
+  ASSERT_EQ(outlives.size(), 3u);
+  EXPECT_EQ(outlives[0], 4u);
+  EXPECT_EQ(outlives[2], 6u);
+}
+
+TEST(ColumnViewTest, ViewColumnRejectsHostileExtents) {
+  auto buffer = Buffer::FromBytes(BytesOf({1, 2, 3}));  // 12 bytes
+  // Count past the end.
+  EXPECT_THROW((void)ViewColumn<std::uint32_t>(buffer, 0, 4),
+               SnapshotFormatError);
+  // Offset past the end.
+  EXPECT_THROW((void)ViewColumn<std::uint32_t>(buffer, 16, 1),
+               SnapshotFormatError);
+  // Offset + count overflowing: count chosen so offset + count*4 wraps.
+  EXPECT_THROW((void)ViewColumn<std::uint32_t>(
+                   buffer, 4, std::numeric_limits<std::size_t>::max() / 2),
+               SnapshotFormatError);
+  // Misaligned offset for the element type.
+  EXPECT_THROW((void)ViewColumn<std::uint32_t>(buffer, 2, 1),
+               SnapshotFormatError);
+  // Null buffer.
+  EXPECT_THROW((void)ViewColumn<std::uint32_t>(nullptr, 0, 0),
+               SnapshotFormatError);
+  // An in-bounds aligned carve succeeds.
+  const auto ok = ViewColumn<std::uint32_t>(buffer, 4, 2);
+  EXPECT_EQ(ok[0], 2u);
+  EXPECT_EQ(ok[1], 3u);
+}
+
+}  // namespace
+}  // namespace gdp::storage
