@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <map>
@@ -11,6 +13,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,6 +28,8 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "hier/io.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "serve/audit_wal.hpp"
 #include "serve/service.hpp"
 #include "serve/session_registry.hpp"
@@ -77,6 +82,19 @@ std::vector<std::pair<std::string, double>> ParseSweepList(
   return points;
 }
 
+// "--accounting" with an optional "strict-" prefix: "strict-rdp" selects the
+// rdp ledger policy AND strict per-level charging (docs/ACCOUNTING.md's
+// cross-level caveat taken literally: a release charges num_levels sequential
+// mechanisms instead of one width-num_levels parallel event).
+gdp::dp::AccountingPolicy ParseAccountingFlag(const std::string& value,
+                                              bool& strict) {
+  constexpr const char kPrefix[] = "strict-";
+  constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  strict = value.compare(0, kPrefixLen, kPrefix) == 0;
+  return gdp::dp::ParseAccountingPolicy(strict ? value.substr(kPrefixLen)
+                                               : value);
+}
+
 bool IsCommentOrBlank(const std::string& line) {
   for (const char c : line) {
     if (c == '#') {
@@ -111,11 +129,14 @@ gdp::graph::BipartiteGraph LoadGraphInput(const Args& args) {
 }
 
 // tenants.tsv: one tenant per line, `tenant_id epsilon_cap delta_cap
-// privilege [accounting]` (whitespace-separated; # comments and blank lines
-// skipped).  The optional 5th field overrides `default_accounting` (the
-// --accounting flag) per tenant.  A malformed ROW is skipped with a warning
-// instead of aborting the batch — one bad tenant must not take down serving
-// for every valid one; `skipped` counts the rows dropped.
+// privilege [accounting [max_in_flight]]` (whitespace-separated; # comments
+// and blank lines skipped).  The optional 5th field overrides
+// `default_accounting` (the --accounting flag) per tenant; the optional 6th
+// caps the tenant's concurrently queued requests on the socket server (0 =
+// unlimited; ignored by the batch driver, which is sequential anyway).  A
+// malformed ROW is skipped with a warning instead of aborting the batch —
+// one bad tenant must not take down serving for every valid one; `skipped`
+// counts the rows dropped.
 std::vector<std::pair<std::string, gdp::serve::TenantProfile>> ReadTenantSpecs(
     const std::string& path, gdp::dp::AccountingPolicy default_accounting,
     std::ostream& out, std::size_t& skipped) {
@@ -144,7 +165,7 @@ std::vector<std::pair<std::string, gdp::serve::TenantProfile>> ReadTenantSpecs(
     if (!(ss >> id >> profile.epsilon_cap >> profile.delta_cap >>
           profile.privilege)) {
       skip("expected 'tenant_id epsilon_cap delta_cap privilege "
-           "[accounting]'");
+           "[accounting [max_in_flight]]'");
       continue;
     }
     if (std::string policy_token; ss >> policy_token) {
@@ -154,8 +175,17 @@ std::vector<std::pair<std::string, gdp::serve::TenantProfile>> ReadTenantSpecs(
         skip(e.what());
         continue;
       }
-      if (std::string extra; ss >> extra) {
-        skip("unexpected trailing field '" + extra + "'");
+      if (ss >> profile.max_in_flight) {
+        if (profile.max_in_flight < 0) {
+          skip("max_in_flight must be >= 0");
+          continue;
+        }
+        if (std::string extra; ss >> extra) {
+          skip("unexpected trailing field '" + extra + "'");
+          continue;
+        }
+      } else if (!ss.eof()) {
+        skip("bad max_in_flight field");
         continue;
       }
     }
@@ -222,6 +252,174 @@ std::vector<ServeRequest> ReadServeRequests(const std::string& path) {
   return requests;
 }
 
+// --- socket serving (serve --listen) ---------------------------------------
+
+// SIGTERM/SIGINT set a flag the serve loop polls; the loop then runs the
+// server's drain-on-shutdown (in-flight jobs finish, responses flush, the
+// WAL stays consistent) instead of the process dying mid-charge.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int ServeListenLoop(const Args& args, gdp::serve::DisclosureService& service,
+                    std::uint64_t seed, std::ostream& out) {
+  gdp::net::ServerConfig server_config;
+  server_config.port = static_cast<std::uint16_t>(args.GetInt("listen", 0));
+  server_config.num_workers =
+      static_cast<std::size_t>(args.GetInt("workers", 2));
+  server_config.queue_capacity =
+      static_cast<std::size_t>(args.GetInt("queue-depth", 64));
+  server_config.seed = seed;
+  const std::int64_t max_requests = args.GetInt("max-requests", 0);
+
+  gdp::net::Server server(service, server_config);
+  // The port file is how scripts (and the parity test) find an ephemeral
+  // --listen 0 port; written and closed before the "listening" line so a
+  // watcher that saw the line can trust the file.
+  if (const auto port_file = args.Get("port-file")) {
+    std::ofstream pf(*port_file);
+    if (!pf) {
+      throw gdp::common::IoError("cannot open port file '" + *port_file + "'");
+    }
+    pf << server.port() << '\n';
+  }
+  out << "listening on 127.0.0.1:" << server.port() << " ("
+      << server_config.num_workers << " workers, queue depth "
+      << server_config.queue_capacity << ")\n";
+  out.flush();
+
+  g_stop_requested = 0;
+  const auto old_term = std::signal(SIGTERM, HandleStopSignal);
+  const auto old_int = std::signal(SIGINT, HandleStopSignal);
+  while (g_stop_requested == 0 &&
+         (max_requests == 0 ||
+          server.requests_completed() <
+              static_cast<std::uint64_t>(max_requests))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.Stop();
+  std::signal(SIGTERM, old_term);
+  std::signal(SIGINT, old_int);
+
+  const gdp::net::wire::StatsResponse stats = server.GetStats();
+  out << "served " << stats.requests_completed << " requests ("
+      << stats.shed_queue_full + stats.shed_tenant_inflight << " shed, "
+      << stats.protocol_errors << " protocol errors) over "
+      << stats.connections_accepted << " connections\n";
+  return 0;
+}
+
+// --- client subcommand helpers ---------------------------------------------
+
+struct HostPort {
+  std::string host;
+  std::uint16_t port{0};
+};
+
+HostPort ParseHostPort(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw std::invalid_argument("--connect expects HOST:PORT, got '" + spec +
+                                "'");
+  }
+  const std::string port_token = spec.substr(colon + 1);
+  std::size_t parsed = 0;
+  long port = 0;
+  try {
+    port = std::stol(port_token, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  if (parsed != port_token.size() || port < 1 || port > 65535) {
+    throw std::invalid_argument("--connect: bad port '" + port_token + "'");
+  }
+  return HostPort{spec.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+// "--answer assoc,group,degree[:left|right[:MAXDEG]]" — query shapes, never
+// levels: the server instantiates the workload at the tenant's entitled
+// level, so a remote caller cannot name a finer partition than its tier.
+std::vector<gdp::net::wire::WireQuery> ParseAnswerSpecs(
+    const std::string& list) {
+  std::vector<gdp::net::wire::WireQuery> queries;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string token =
+        list.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    std::istringstream ss(token);
+    std::string head;
+    std::getline(ss, head, ':');
+    gdp::net::wire::WireQuery query;
+    if (head == "assoc") {
+      query.kind = 0;  // serve::QuerySpec::Kind::kAssociationCount
+    } else if (head == "group") {
+      query.kind = 1;  // kGroupCount
+    } else if (head == "degree") {
+      query.kind = 2;  // kDegreeHistogram
+      query.param = 8;
+      if (std::string side; std::getline(ss, side, ':')) {
+        if (side == "left") {
+          query.side = 0;
+        } else if (side == "right") {
+          query.side = 1;
+        } else {
+          throw std::invalid_argument("--answer: bad side '" + side +
+                                      "' in '" + token + "'");
+        }
+        if (std::string max_token; std::getline(ss, max_token, ':')) {
+          std::size_t parsed = 0;
+          long max_degree = 0;
+          try {
+            max_degree = std::stol(max_token, &parsed);
+          } catch (const std::exception&) {
+            parsed = 0;
+          }
+          if (parsed != max_token.size() || max_degree < 1) {
+            throw std::invalid_argument("--answer: bad max degree '" +
+                                        max_token + "' in '" + token + "'");
+          }
+          query.param = static_cast<std::uint32_t>(max_degree);
+        }
+      }
+    } else {
+      throw std::invalid_argument(
+          "--answer: bad query '" + token +
+          "' (want assoc | group | degree[:left|right[:MAX]])");
+    }
+    queries.push_back(query);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  if (queries.empty()) {
+    throw std::invalid_argument("--answer: empty query list");
+  }
+  return queries;
+}
+
+std::string AccountingName(std::uint8_t wire_policy) {
+  return gdp::dp::AccountingPolicyName(
+      static_cast<gdp::dp::AccountingPolicy>(wire_policy));
+}
+
+// One outcome row in the shared batch format (gdp_tool serve --out and
+// gdp_tool client --out write byte-identical files; net_parity_test pins it).
+void WriteResultRow(std::ostream& results_file, std::size_t index,
+                    const std::string& tenant, const std::string& status,
+                    const gdp::net::wire::ServeOutcome& outcome) {
+  const std::string noisy =
+      outcome.granted ? gdp::common::FormatDouble(outcome.view.noisy_total, 1)
+                      : "-";
+  results_file << index << '\t' << tenant << '\t' << outcome.privilege << '\t'
+               << outcome.level << '\t' << status << '\t' << noisy << '\t'
+               << outcome.epsilon_spent << '\t' << outcome.epsilon_remaining
+               << '\t' << AccountingName(outcome.accounting) << '\t'
+               << outcome.accounted_epsilon << '\n';
+}
+
 }  // namespace
 
 int RunGenerate(const Args& args, std::ostream& out) {
@@ -259,8 +457,8 @@ int RunDisclose(const Args& args, std::ostream& out) {
   config.arity = static_cast<int>(args.GetInt("arity", 4));
   config.enforce_consistency = args.HasSwitch("consistent");
   config.num_threads = static_cast<int>(args.GetInt("threads", 1));
-  config.accounting =
-      gdp::dp::ParseAccountingPolicy(args.GetOr("accounting", "sequential"));
+  config.accounting = ParseAccountingFlag(args.GetOr("accounting", "sequential"),
+                                          config.strict_level_charging);
   const std::int64_t grain = args.GetInt(
       "noise-grain",
       static_cast<std::int64_t>(gdp::core::DisclosureConfig{}.noise_chunk_grain));
@@ -390,7 +588,28 @@ int RunServe(const Args& args, std::ostream& out) {
         "serve needs exactly one of --graph or --snapshot");
   }
   const std::string tenants_path = Require(args, "tenants");
-  const std::string requests_path = Require(args, "requests");
+  const auto requests_path = args.Get("requests");
+  const auto listen = args.Get("listen");
+  if (static_cast<bool>(requests_path) == static_cast<bool>(listen)) {
+    throw std::invalid_argument(
+        "serve needs exactly one of --requests (batch driver) or --listen "
+        "(socket server)");
+  }
+  if (listen) {
+    const std::int64_t port = args.GetInt("listen", 0);
+    if (port < 0 || port > 65535) {
+      throw std::invalid_argument("--listen must be a port in [0, 65535]");
+    }
+    if (args.GetInt("workers", 2) <= 0) {
+      throw std::invalid_argument("--workers must be > 0");
+    }
+    if (args.GetInt("queue-depth", 64) <= 0) {
+      throw std::invalid_argument("--queue-depth must be > 0");
+    }
+    if (args.GetInt("max-requests", 0) < 0) {
+      throw std::invalid_argument("--max-requests must be >= 0");
+    }
+  }
   const std::int64_t capacity = args.GetInt("registry-capacity", 8);
   if (capacity <= 0) {
     throw std::invalid_argument("--registry-capacity must be > 0");
@@ -410,8 +629,8 @@ int RunServe(const Args& args, std::ostream& out) {
   }
   config.noise_chunk_grain = static_cast<std::size_t>(grain);
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
-  const gdp::dp::AccountingPolicy default_accounting =
-      gdp::dp::ParseAccountingPolicy(args.GetOr("accounting", "sequential"));
+  const gdp::dp::AccountingPolicy default_accounting = ParseAccountingFlag(
+      args.GetOr("accounting", "sequential"), config.strict_level_charging);
 
   const double dataset_eps_cap = args.GetDouble("dataset-eps-cap", 0.0);
   const double dataset_delta_cap = args.GetDouble("dataset-delta-cap", 0.0);
@@ -422,7 +641,10 @@ int RunServe(const Args& args, std::ostream& out) {
   std::size_t tenants_skipped = 0;
   const auto tenants =
       ReadTenantSpecs(tenants_path, default_accounting, out, tenants_skipped);
-  const auto requests = ReadServeRequests(requests_path);
+  std::vector<ServeRequest> requests;
+  if (requests_path) {
+    requests = ReadServeRequests(*requests_path);
+  }
 
   const std::string dataset_name = args.GetOr("dataset", "default");
   std::optional<gdp::serve::Dataset> dataset;
@@ -440,7 +662,11 @@ int RunServe(const Args& args, std::ostream& out) {
   if (tenants_skipped > 0) {
     out << " (" << tenants_skipped << " malformed rows skipped)";
   }
-  out << " (" << requests.size() << " requests)\n";
+  if (requests_path) {
+    out << " (" << requests.size() << " requests)\n";
+  } else {
+    out << " (socket mode)\n";
+  }
 
   // Registration shared by the durable and in-memory paths.  A tenant whose
   // caps the broker rejects is skipped with a warning, same policy as a
@@ -487,6 +713,13 @@ int RunServe(const Args& args, std::ostream& out) {
     configure(*service_ptr);
   }
   gdp::serve::DisclosureService& service = *service_ptr;
+
+  if (listen) {
+    // Socket mode: same configured service, same Rng(seed).Fork(1) request
+    // stream (inside net::Server), so a sequential remote client gets
+    // bit-identical results to the batch loop below (net_parity_test).
+    return ServeListenLoop(args, service, seed, out);
+  }
 
   // Request noise comes from a stream forked off the compile seed, so one
   // --seed reproduces the whole batch (compile AND draws) bit-for-bit.
@@ -538,12 +771,8 @@ int RunServe(const Args& args, std::ostream& out) {
                   gdp::dp::AccountingPolicyName(result.accounting),
                   gdp::common::FormatDouble(result.accounted_epsilon, 4)});
     if (results_file.is_open()) {
-      results_file << i << '\t' << req.tenant << '\t' << result.privilege
-                   << '\t' << result.level << '\t' << status << '\t' << noisy
-                   << '\t' << result.epsilon_spent << '\t'
-                   << result.epsilon_remaining << '\t'
-                   << gdp::dp::AccountingPolicyName(result.accounting) << '\t'
-                   << result.accounted_epsilon << '\n';
+      WriteResultRow(results_file, i, req.tenant, status,
+                     gdp::net::wire::ServeOutcome::FromResult(result));
     }
   }
   table.Print(out);
@@ -571,6 +800,268 @@ int RunServe(const Args& args, std::ostream& out) {
         << dstats.dataset_denials << " dataset denials\n";
   }
   return 0;
+}
+
+int RunClient(const Args& args, std::ostream& out) {
+  namespace wire = gdp::net::wire;
+  const HostPort endpoint = ParseHostPort(Require(args, "connect"));
+  const std::string dataset = args.GetOr("dataset", "default");
+
+  // Exactly one mode; validated before dialing the server.
+  const bool want_stats = args.HasSwitch("stats");
+  const auto requests_path = args.Get("requests");
+  const auto tenant = args.Get("tenant");
+  if (static_cast<int>(want_stats) + static_cast<int>(bool(requests_path)) +
+          static_cast<int>(bool(tenant)) !=
+      1) {
+    throw std::invalid_argument(
+        "client needs exactly one of --stats, --requests, or --tenant");
+  }
+
+  // A typed refusal from the server is data, not an exception: print it and
+  // exit non-zero so scripts notice.
+  const auto refusal = [&out](const auto& reply) -> int {
+    if (reply.status == gdp::net::ReplyStatus::kOverloaded) {
+      out << "overloaded: " << reply.message << '\n';
+    } else {
+      out << "error (" << wire::ErrorCodeName(reply.error_code)
+          << "): " << reply.message << '\n';
+    }
+    return 1;
+  };
+  const auto print_outcome = [&out](const wire::ServeOutcome& o) -> int {
+    gdp::common::TextTable table({"tier", "level", "status", "noisy_total",
+                                  "eps_spent", "eps_left", "accounting",
+                                  "acct_eps"});
+    table.AddRow(
+        {std::to_string(o.privilege), "L" + std::to_string(o.level),
+         o.granted ? "served" : "denied",
+         o.granted ? gdp::common::FormatDouble(o.view.noisy_total, 1) : "-",
+         gdp::common::FormatDouble(o.epsilon_spent, 4),
+         gdp::common::FormatDouble(o.epsilon_remaining, 4),
+         AccountingName(o.accounting),
+         gdp::common::FormatDouble(o.accounted_epsilon, 4)});
+    table.Print(out);
+    if (!o.granted) {
+      out << "denied: " << o.denial_reason << '\n';
+    }
+    return o.granted ? 0 : 1;
+  };
+
+  if (want_stats) {
+    gdp::net::Client client(endpoint.host, endpoint.port);
+    const auto reply = client.Stats();
+    if (!reply.ok()) {
+      return refusal(reply);
+    }
+    const wire::StatsResponse& s = reply.value;
+    gdp::common::TextTable table({"stat", "value"});
+    const auto add = [&table](const char* name, std::uint64_t value) {
+      table.AddRow({name, std::to_string(value)});
+    };
+    add("registry_hits", s.registry_hits);
+    add("registry_misses", s.registry_misses);
+    add("registry_evictions", s.registry_evictions);
+    add("registry_snapshot_adoptions", s.registry_snapshot_adoptions);
+    add("registry_size", s.registry_size);
+    add("registry_capacity", s.registry_capacity);
+    add("catalog_datasets", s.catalog_datasets);
+    add("broker_tenants", s.broker_tenants);
+    add("wal_enabled", s.wal_enabled);
+    add("failed_closed", s.failed_closed);
+    add("wal_appends", s.wal_appends);
+    add("wal_failures", s.wal_failures);
+    add("fail_closed_rejections", s.fail_closed_rejections);
+    add("dataset_denials", s.dataset_denials);
+    add("connections_accepted", s.connections_accepted);
+    add("connections_open", s.connections_open);
+    add("requests_enqueued", s.requests_enqueued);
+    add("requests_completed", s.requests_completed);
+    add("shed_queue_full", s.shed_queue_full);
+    add("shed_tenant_inflight", s.shed_tenant_inflight);
+    add("protocol_errors", s.protocol_errors);
+    add("queue_depth", s.queue_depth);
+    add("queue_capacity", s.queue_capacity);
+    add("queue_high_watermark", s.queue_high_watermark);
+    add("workers", s.workers);
+    table.Print(out);
+    return 0;
+  }
+
+  wire::WireBudget base_budget;
+  base_budget.epsilon_g = args.GetDouble("eps", base_budget.epsilon_g);
+  base_budget.delta = args.GetDouble("delta", base_budget.delta);
+
+  if (requests_path) {
+    // Batch mode: the same reqs.tsv the in-process driver consumes, the same
+    // results-file format (WriteResultRow — net_parity_test compares the
+    // files byte for byte).
+    const auto requests = ReadServeRequests(*requests_path);
+    std::ofstream results_file;
+    if (const auto out_path = args.Get("out")) {
+      results_file.open(*out_path);
+      if (!results_file) {
+        throw gdp::common::IoError("cannot open results file '" + *out_path +
+                                   "'");
+      }
+      results_file << "# req\ttenant\ttier\tlevel\tstatus\tnoisy_total\t"
+                      "eps_spent\teps_left\taccounting\tacct_eps\n";
+    }
+    gdp::net::Client client(endpoint.host, endpoint.port);
+    gdp::common::TextTable table({"req", "tenant", "tier", "level", "status",
+                                  "noisy_total", "eps_spent", "eps_left",
+                                  "accounting", "acct_eps"});
+    std::size_t granted = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const ServeRequest& req = requests[i];
+      wire::ServeRequest wire_req;
+      wire_req.tenant = req.tenant;
+      wire_req.dataset = dataset;
+      wire_req.budget = base_budget;
+      wire_req.budget.epsilon_g = req.epsilon_g;
+      if (req.delta > 0.0) {
+        wire_req.budget.delta = req.delta;
+      }
+      const auto reply = client.Serve(wire_req);
+      wire::ServeOutcome outcome;
+      std::string status;
+      if (reply.ok()) {
+        outcome = reply.value;
+        status = outcome.granted ? "served" : "denied";
+      } else if (reply.status == gdp::net::ReplyStatus::kError &&
+                 reply.error_code == wire::ErrorCode::kNotFound) {
+        // Same policy as the batch driver: an unknown tenant/dataset must
+        // not abort the whole batch.
+        status = "unknown";
+        out << "warning: request " << i << " skipped: " << reply.message
+            << '\n';
+      } else if (reply.status == gdp::net::ReplyStatus::kOverloaded) {
+        status = "overloaded";
+      } else {
+        throw gdp::common::IoError(
+            std::string("server error (") +
+            wire::ErrorCodeName(reply.error_code) + "): " + reply.message);
+      }
+      granted += outcome.granted ? 1 : 0;
+      const std::string noisy =
+          outcome.granted
+              ? gdp::common::FormatDouble(outcome.view.noisy_total, 1)
+              : "-";
+      table.AddRow({std::to_string(i), req.tenant,
+                    std::to_string(outcome.privilege),
+                    "L" + std::to_string(outcome.level), status, noisy,
+                    gdp::common::FormatDouble(outcome.epsilon_spent, 4),
+                    gdp::common::FormatDouble(outcome.epsilon_remaining, 4),
+                    AccountingName(outcome.accounting),
+                    gdp::common::FormatDouble(outcome.accounted_epsilon, 4)});
+      if (results_file.is_open()) {
+        WriteResultRow(results_file, i, req.tenant, status, outcome);
+      }
+    }
+    table.Print(out);
+    out << "served " << granted << "/" << requests.size() << " requests\n";
+    return 0;
+  }
+
+  gdp::net::Client client(endpoint.host, endpoint.port);
+
+  if (const auto sweep_list = args.Get("sweep")) {
+    const auto points = ParseSweepList(*sweep_list);
+    wire::SweepRequest req;
+    req.tenant = *tenant;
+    req.dataset = dataset;
+    for (const auto& point : points) {
+      wire::WireBudget budget = base_budget;
+      budget.epsilon_g = point.second;
+      req.budgets.push_back(budget);
+    }
+    const auto reply = client.Sweep(req);
+    if (!reply.ok()) {
+      return refusal(reply);
+    }
+    gdp::common::TextTable table({"eps_g", "tier", "level", "status",
+                                  "noisy_total", "eps_left", "acct_eps"});
+    for (std::size_t i = 0; i < reply.value.outcomes.size(); ++i) {
+      const wire::ServeOutcome& o = reply.value.outcomes[i];
+      table.AddRow(
+          {points[i].first, std::to_string(o.privilege),
+           "L" + std::to_string(o.level), o.granted ? "served" : "denied",
+           o.granted ? gdp::common::FormatDouble(o.view.noisy_total, 1) : "-",
+           gdp::common::FormatDouble(o.epsilon_remaining, 4),
+           gdp::common::FormatDouble(o.accounted_epsilon, 4)});
+    }
+    table.Print(out);
+    return 0;
+  }
+
+  if (args.HasSwitch("drilldown")) {
+    const std::string side_name = Require(args, "side");
+    wire::DrilldownRequest req;
+    req.tenant = *tenant;
+    req.dataset = dataset;
+    req.budget = base_budget;
+    if (side_name == "left") {
+      req.side = 0;
+    } else if (side_name == "right") {
+      req.side = 1;
+    } else {
+      throw std::invalid_argument("--side must be 'left' or 'right'");
+    }
+    req.node = static_cast<std::uint32_t>(args.GetInt("node", 0));
+    const auto reply = client.Drilldown(req);
+    if (!reply.ok()) {
+      return refusal(reply);
+    }
+    if (const int rc = print_outcome(reply.value.outcome); rc != 0) {
+      return rc;
+    }
+    gdp::common::TextTable table(
+        {"level", "group", "group_size", "noisy_count"});
+    for (const wire::WireDrillEntry& entry : reply.value.chain) {
+      table.AddRow({"L" + std::to_string(entry.level),
+                    std::to_string(entry.group),
+                    std::to_string(entry.group_size),
+                    gdp::common::FormatDouble(entry.noisy_count, 1)});
+    }
+    table.Print(out);
+    return 0;
+  }
+
+  if (const auto answer_list = args.Get("answer")) {
+    wire::AnswerRequest req;
+    req.tenant = *tenant;
+    req.dataset = dataset;
+    req.budget = base_budget;
+    req.queries = ParseAnswerSpecs(*answer_list);
+    const auto reply = client.Answer(req);
+    if (!reply.ok()) {
+      return refusal(reply);
+    }
+    if (const int rc = print_outcome(reply.value.outcome); rc != 0) {
+      return rc;
+    }
+    gdp::common::TextTable table({"query", "sensitivity", "noise_sigma",
+                                  "mean_rer", "mae", "rmse"});
+    for (const wire::WireQueryResult& r : reply.value.results) {
+      table.AddRow({r.query_name, gdp::common::FormatDouble(r.sensitivity, 1),
+                    gdp::common::FormatDouble(r.noise_stddev, 2),
+                    gdp::common::FormatDouble(r.mean_rer, 4),
+                    gdp::common::FormatDouble(r.mae, 2),
+                    gdp::common::FormatDouble(r.rmse, 2)});
+    }
+    table.Print(out);
+    return 0;
+  }
+
+  wire::ServeRequest req;
+  req.tenant = *tenant;
+  req.dataset = dataset;
+  req.budget = base_budget;
+  const auto reply = client.Serve(req);
+  if (!reply.ok()) {
+    return refusal(reply);
+  }
+  return print_outcome(reply.value);
 }
 
 int RunPack(const Args& args, std::ostream& out) {
@@ -841,9 +1332,10 @@ std::string UsageText() {
          "            [--eps E] [--delta D] [--depth K] [--arity A] [--seed S]\n"
          "            [--threads T] [--noise-grain G] [--consistent]"
          " [--strip-truth]\n"
-         "            [--accounting sequential|advanced|rdp]  ledger policy\n"
-         "            (released values identical; the audit's cumulative\n"
-         "            (eps, delta) tightens for multi-release sessions)\n"
+         "            [--accounting [strict-]sequential|advanced|rdp]\n"
+         "            ledger policy (released values identical; the audit's\n"
+         "            cumulative (eps, delta) tightens for multi-release\n"
+         "            sessions; strict- charges per level sequentially)\n"
          "            [--sweep E1,E2,...]  one DisclosureSession, one release\n"
          "            file per swept eps (r.tsv.epsE1, ...); Phase 1 and the\n"
          "            plan run once, --eps sets the Phase-1 budget\n"
@@ -852,21 +1344,49 @@ std::string UsageText() {
          " --node V\n"
          "            [--max-level L] [--min-level l]\n"
          "  serve     --graph g.tsv | --snapshot d.gdps\n"
-         "            --tenants tenants.tsv --requests reqs.tsv\n"
+         "            --tenants tenants.tsv\n"
+         "            (--requests reqs.tsv | --listen PORT)\n"
          "            (--snapshot entries load lazily on first request; an\n"
          "            embedded plan with a matching fingerprint is adopted\n"
          "            instead of recompiled)\n"
          "            [--dataset NAME] [--eps E] [--delta D] [--depth K]\n"
          "            [--arity A] [--seed S] [--threads T] [--noise-grain G]\n"
          "            [--registry-capacity C] [--out results.tsv]\n"
-         "            [--accounting sequential|advanced|rdp]  default tenant\n"
-         "            ledger policy (an rdp tenant composes Gaussian\n"
-         "            releases tighter and outlasts a sequential one)\n"
+         "            [--accounting [strict-]sequential|advanced|rdp]\n"
+         "            default tenant ledger policy (an rdp tenant composes\n"
+         "            Gaussian releases tighter and outlasts a sequential\n"
+         "            one); the strict- prefix charges each release as\n"
+         "            num_levels sequential mechanisms instead of one\n"
+         "            parallel event (docs/ACCOUNTING.md cross-level caveat)\n"
          "            multi-tenant batch driver: compile once per dataset\n"
          "            (SessionRegistry), per-tenant ledgers + privilege-tier\n"
          "            level views.  tenants.tsv: 'id eps_cap delta_cap tier"
-         " [accounting]';\n"
+         " [accounting [max_in_flight]]';\n"
          "            reqs.tsv: 'id eps_g [delta]'\n"
+         "            --listen PORT: GDPNET01 socket server on 127.0.0.1\n"
+         "            (0 = ephemeral) instead of the batch loop; same seed =>\n"
+         "            bit-identical results for a sequential client\n"
+         "            [--port-file f]  write the bound port (for --listen 0)\n"
+         "            [--workers N] [--queue-depth D]  job-queue pipeline;\n"
+         "            a full queue or a tenant past max_in_flight is shed\n"
+         "            with a typed Overloaded response, never a dropped\n"
+         "            connection\n"
+         "            [--max-requests N]  exit after N completed requests\n"
+         "            (tests/scripts); SIGTERM/SIGINT drain in-flight jobs\n"
+         "            and flush responses before exit either way\n"
+         "  client    --connect HOST:PORT  GDPNET01 client\n"
+         "            --stats                     server/queue/registry"
+         " counters\n"
+         "            | --requests reqs.tsv [--out results.tsv]  batch mode\n"
+         "            (same files as serve --requests; byte-identical\n"
+         "            results at the same server seed)\n"
+         "            | --tenant T [--eps E] [--delta D] one-off serve, or:\n"
+         "              [--sweep E1,E2,...]         one outcome per eps\n"
+         "              [--drilldown --side left|right --node V]  chain from\n"
+         "              the coarsest level down to the entitled level\n"
+         "              [--answer assoc,group,degree[:left|right[:MAX]],...]\n"
+         "              noisy query answers at the entitled level\n"
+         "            [--dataset NAME]\n"
          "            [--wal audit.wal]  durable write-ahead audit ledger:\n"
          "            every charge fsync'd before noise is drawn; reopening\n"
          "            with the same --wal replays it (budgets survive crash\n"
@@ -926,7 +1446,16 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
                            "dataset", "eps", "delta", "depth", "arity", "seed",
                            "threads", "noise-grain", "registry-capacity",
                            "out", "accounting", "wal", "dataset-eps-cap",
-                           "dataset-delta-cap"}),
+                           "dataset-delta-cap", "listen", "port-file",
+                           "workers", "queue-depth", "max-requests"}),
+        out);
+  }
+  if (command == "client") {
+    return RunClient(
+        Args::Parse(rest,
+                    {"connect", "requests", "out", "dataset", "tenant", "eps",
+                     "delta", "sweep", "side", "node", "answer"},
+                    {"stats", "drilldown"}),
         out);
   }
   if (command == "audit") {

@@ -17,12 +17,19 @@
 //   drilldown --release r.tsv --hierarchy h.tsv --side left|right --node V
 //             [--max-level L] [--min-level l]
 //   serve     --graph g.tsv | --snapshot d.gdps
-//             --tenants tenants.tsv --requests reqs.tsv
+//             --tenants tenants.tsv
+//             (--requests reqs.tsv | --listen PORT [--port-file f]
+//              [--workers N] [--queue-depth D] [--max-requests N])
 //             [--eps 0.999] [--delta 1e-5] [--depth 9] [--arity 4]
 //             [--seed S] [--threads T] [--noise-grain G]
 //             [--registry-capacity C] [--out results.tsv]
-//             [--accounting sequential|advanced|rdp]
+//             [--accounting [strict-]sequential|advanced|rdp]
 //             [--wal audit.wal] [--dataset-eps-cap E] [--dataset-delta-cap D]
+//   client    --connect HOST:PORT
+//             (--stats | --requests reqs.tsv [--out results.tsv] |
+//              --tenant T [--sweep E1,E2,... | --drilldown --side S --node V |
+//                          --answer SPECS] [--eps E] [--delta D])
+//             [--dataset NAME]
 //   audit     --verify audit.wal [--tolerate-tail]
 #pragma once
 
@@ -42,6 +49,7 @@ int RunDisclose(const Args& args, std::ostream& out);
 int RunInspect(const Args& args, std::ostream& out);
 int RunDrilldown(const Args& args, std::ostream& out);
 int RunServe(const Args& args, std::ostream& out);
+int RunClient(const Args& args, std::ostream& out);
 int RunAudit(const Args& args, std::ostream& out);
 
 // Dispatch a full command line (tokens exclude the program name).

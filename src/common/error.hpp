@@ -64,6 +64,18 @@ class SnapshotFormatError : public IoError {
   explicit SnapshotFormatError(const std::string& what) : IoError(what) {}
 };
 
+// Raised when a GDPNET01 wire frame or message fails validation: bad
+// connection magic, a CRC mismatch, a declared length that exceeds the frame
+// cap, or message fields inconsistent with the remaining payload.  Every
+// byte off the socket is attacker-controlled (same stance as the snapshot
+// loader), so decoders throw this BEFORE any allocation or access sized
+// from an unvalidated field.  Derives from IoError: to callers that do not
+// care why, a hostile peer is an unreadable input.
+class NetProtocolError : public IoError {
+ public:
+  explicit NetProtocolError(const std::string& what) : IoError(what) {}
+};
+
 // Raised when an operation is invoked on an object in the wrong state
 // (e.g. querying a hierarchy level that was never built).
 class StateError : public std::logic_error {

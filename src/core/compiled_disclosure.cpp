@@ -213,14 +213,25 @@ gdp::dp::MechanismEvent CompiledDisclosure::ChargeEventFor(
   // distinct (kind, ε, δ) for the artifact's lifetime — the admission path
   // of every tenant's every request reuses it, exactly like DrawRelease
   // reuses the per-level calibrations.
+  // Default (paper) reading: ONE event of parallel_width = num_levels — the
+  // levels partition the same tree, so the release costs one level's (ε, δ).
+  // Strict mode (docs/ACCOUNTING.md's cross-level caveat) multiplies the
+  // width back in: num_levels SEQUENTIAL mechanisms, parallel_width = 1.
+  // Either way the released bits are identical; only the charge differs.
+  const bool strict = spec_.strict_level_charging;
+  const int count = strict ? width : 1;
+  const int parallel_width = strict ? 1 : width;
   if (budget.noise == NoiseKind::kGaussian ||
       budget.noise == NoiseKind::kAnalyticGaussian) {
     const double multiplier =
         mech_cache_.Get(budget.noise, eps2, budget.delta, 1.0).NoiseStddev();
-    return gdp::dp::MechanismEvent::Gaussian(eps2, budget.delta, multiplier, 1,
-                                             width);
+    return gdp::dp::MechanismEvent::Gaussian(eps2, budget.delta, multiplier,
+                                             count, parallel_width);
   }
-  return MechanismEventFor(budget.noise, eps2, budget.delta, width);
+  gdp::dp::MechanismEvent event =
+      MechanismEventFor(budget.noise, eps2, budget.delta, parallel_width);
+  event.count = count;
+  return event;
 }
 
 void CompiledDisclosure::CheckLevel(int level, const char* where) const {

@@ -126,6 +126,17 @@ struct SessionSpec {
   // session threads through (see docs/ACCOUNTING.md) and require
   // delta_cap > 0.
   gdp::dp::AccountingPolicy accounting{gdp::dp::AccountingPolicy::kSequential};
+  // Opt-in strict reading of the cross-level caveat in docs/ACCOUNTING.md:
+  // when true, ChargeEventFor multiplies the hierarchy width back into the
+  // charge (count = num_levels, parallel_width = 1), so one release is
+  // accounted as num_levels sequential mechanisms instead of one
+  // parallel-composed event.  The paper's per-level reading (the default)
+  // relies on the levels being released over the same partition tree; a
+  // deployment that does not want to lean on that argument pays the
+  // sequential price here.  NOT part of the artifact fingerprint — it
+  // changes what a release CHARGES, never what it RELEASES, so artifacts
+  // compiled either way are interchangeable bits.
+  bool strict_level_charging{false};
 };
 
 // Shape validation of the (ε, δ, fraction) triple alone, independent of any

@@ -41,6 +41,7 @@ SessionSpec DisclosureConfig::ToSessionSpec() const {
   spec.epsilon_cap = epsilon_g;
   spec.delta_cap = delta * 2.0;  // per-level δ headroom
   spec.accounting = accounting;
+  spec.strict_level_charging = strict_level_charging;
   return spec;
 }
 

@@ -59,6 +59,10 @@ struct DisclosureConfig {
   // multi-release sessions.  Accounting is post-hoc arithmetic over the
   // charges — the released values are bit-identical across policies.
   gdp::dp::AccountingPolicy accounting{gdp::dp::AccountingPolicy::kSequential};
+  // Strict per-level charging (`--accounting strict-*`): charge each release
+  // as num_levels sequential mechanisms instead of one width-num_levels
+  // parallel event.  See SessionSpec::strict_level_charging.
+  bool strict_level_charging{false};
 
   // The orthogonal-spec views of this flat config (the migration path).
   [[nodiscard]] HierarchySpec ToHierarchySpec() const;

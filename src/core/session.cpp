@@ -85,6 +85,28 @@ std::string DefaultReleaseLabel(int release_index, const BudgetSpec& budget) {
          " (" + NoiseKindName(budget.noise) + ")";
 }
 
+std::string DefaultAnswerLabel(int answer_index, std::size_t workload_size,
+                               int level, const BudgetSpec& budget) {
+  return "answer[" + std::to_string(answer_index) + "]: " +
+         std::to_string(workload_size) + " queries at L" +
+         std::to_string(level) +
+         ", eps=" + std::to_string(budget.phase2_epsilon()) + " each (" +
+         NoiseKindName(budget.noise) + ")";
+}
+
+// The event ONE Answer charges: k identical mechanisms at (ε₂, δ) under
+// sequential workload composition; an empty workload claims nothing.
+gdp::dp::MechanismEvent AnswerEventFor(std::size_t workload_size,
+                                       const BudgetSpec& budget) {
+  gdp::dp::MechanismEvent event =
+      workload_size == 0
+          ? gdp::dp::MechanismEvent::Opaque(0.0, 0.0)
+          : MechanismEventFor(budget.noise, budget.phase2_epsilon(),
+                              budget.delta);
+  event.count = std::max<int>(1, static_cast<int>(workload_size));
+  return event;
+}
+
 }  // namespace
 
 MultiLevelRelease DisclosureSession::Release(const BudgetSpec& budget,
@@ -198,11 +220,7 @@ std::vector<gdp::query::QueryRunResult> DisclosureSession::Answer(
   // call must not leave phantom spend on the ledger.
   compiled_->CheckLevel(level, "DisclosureSession::Answer");
   if (label.empty()) {
-    label = "answer[" + std::to_string(num_answers_) + "]: " +
-            std::to_string(workload.size()) + " queries at L" +
-            std::to_string(level) +
-            ", eps=" + std::to_string(budget.phase2_epsilon()) + " each (" +
-            NoiseKindName(budget.noise) + ")";
+    label = DefaultAnswerLabel(num_answers_, workload.size(), level, budget);
   }
   // Same order as Release: commit the spend, then draw (the artifact
   // re-checks the already-validated shape and level, both O(1)).  One event
@@ -210,12 +228,30 @@ std::vector<gdp::query::QueryRunResult> DisclosureSession::Answer(
   // semantics): k identical mechanisms at (ε₂, δ), each against its own
   // query sensitivity but — both Gaussian calibrations being scale-free —
   // all at the same noise multiplier.  An empty workload claims nothing.
-  gdp::dp::MechanismEvent event =
-      workload.size() == 0
-          ? gdp::dp::MechanismEvent::Opaque(0.0, 0.0)
-          : MechanismEventFor(budget.noise, budget.phase2_epsilon(),
-                              budget.delta);
-  event.count = std::max<int>(1, static_cast<int>(workload.size()));
+  ledger_.Charge(AnswerEventFor(workload.size(), budget), std::move(label));
+  ++num_answers_;
+  return compiled_->Answer(workload, level, budget, rng);
+}
+
+std::optional<std::vector<gdp::query::QueryRunResult>>
+DisclosureSession::TryAnswer(const gdp::query::Workload& workload, int level,
+                             const BudgetSpec& budget, gdp::common::Rng& rng,
+                             std::string label, const ChargeGate& gate) {
+  ValidateBudgetShape(budget);
+  compiled_->CheckLevel(level, "DisclosureSession::TryAnswer");
+  if (label.empty()) {
+    label = DefaultAnswerLabel(num_answers_, workload.size(), level, budget);
+  }
+  const gdp::dp::MechanismEvent event = AnswerEventFor(workload.size(), budget);
+  // Same admission order as the gated TryRelease: own ledger first (an
+  // inadmissible charge must never reach a gate that persists events), then
+  // the gate with ledger and rng still untouched, then commit and draw.
+  if (ledger_.WouldExceed(event)) {
+    return std::nullopt;
+  }
+  if (gate && !gate(event)) {
+    return std::nullopt;
+  }
   ledger_.Charge(event, std::move(label));
   ++num_answers_;
   return compiled_->Answer(workload, level, budget, rng);

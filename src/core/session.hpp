@@ -193,6 +193,19 @@ class DisclosureSession {
       const gdp::query::Workload& workload, int level,
       const BudgetSpec& budget, gdp::common::Rng& rng, std::string label = {});
 
+  // Check-and-answer for the serving layer: TryRelease's contract applied to
+  // Answer.  The order of operations is the same write-ahead discipline:
+  //   1. validate the budget shape and the level (throws — nothing spent),
+  //   2. check this session's own ledger (nullopt — nothing spent),
+  //   3. run `gate(event)`: false or a throw denies/aborts, nothing spent,
+  //   4. commit the ledger charge, then evaluate and draw.
+  // The charged event is identical to Answer's (count = workload size under
+  // sequential workload composition).  A null gate skips step 3.
+  [[nodiscard]] std::optional<std::vector<gdp::query::QueryRunResult>>
+  TryAnswer(const gdp::query::Workload& workload, int level,
+            const BudgetSpec& budget, gdp::common::Rng& rng, std::string label,
+            const ChargeGate& gate);
+
   // See CompiledDisclosure::ValidateBudget.
   void ValidateBudget(const BudgetSpec& budget) const {
     compiled_->ValidateBudget(budget);

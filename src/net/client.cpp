@@ -1,0 +1,172 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace gdp::net {
+namespace {
+
+using gdp::common::IoError;
+using gdp::common::NetProtocolError;
+
+// Dispatch the three response shapes every RPC shares: the expected kind, a
+// typed Overloaded, or a typed Error.  Anything else is a protocol
+// violation from the server's side.
+template <typename T, typename DecodeFn>
+Reply<T> ParseReply(const std::string& payload, wire::MsgKind expected,
+                    DecodeFn&& decode) {
+  Reply<T> reply;
+  const wire::MsgKind kind = wire::PeekKind(payload);
+  if (kind == expected) {
+    reply.value = decode(payload);
+    return reply;
+  }
+  if (kind == wire::MsgKind::kOverloaded) {
+    reply.status = ReplyStatus::kOverloaded;
+    reply.message = wire::DecodeOverloaded(payload).reason;
+    return reply;
+  }
+  if (kind == wire::MsgKind::kError) {
+    const wire::ErrorResponse err = wire::DecodeError(payload);
+    reply.status = ReplyStatus::kError;
+    reply.error_code = err.code;
+    reply.message = err.message;
+    return reply;
+  }
+  throw NetProtocolError(std::string("net::Client: expected ") +
+                         wire::MsgKindName(expected) + " but the server sent " +
+                         wire::MsgKindName(kind));
+}
+
+int ConnectTo(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    throw IoError("net::Client: cannot resolve '" + host +
+                  "': " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string err = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      err = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    }
+    err = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    throw IoError("net::Client: connect " + host + ":" +
+                  std::to_string(port) + ": " + err);
+  }
+  return fd;
+}
+
+void SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw IoError(std::string("net::Client: send(): ") +
+                    std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Client::Client(std::uint16_t port) : Client("127.0.0.1", port) {}
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : fd_(ConnectTo(host, port)) {
+  SendAll(fd_, wire::kMagic, wire::kMagicSize);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+std::string Client::RoundTrip(const std::string& payload) {
+  const std::string framed = wire::Frame(payload);
+  SendAll(fd_, framed.data(), framed.size());
+  std::string buffer;
+  char chunk[16 * 1024];
+  for (;;) {
+    std::optional<std::string> response = wire::TryDeframe(buffer);
+    if (response.has_value()) {
+      return *response;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      throw IoError(
+          "net::Client: server closed the connection mid-response (a framing "
+          "violation on our side, a server shutdown, or a read timeout)");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw IoError(std::string("net::Client: recv(): ") +
+                    std::strerror(errno));
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Reply<wire::ServeOutcome> Client::Serve(const wire::ServeRequest& req) {
+  return ParseReply<wire::ServeOutcome>(RoundTrip(wire::Encode(req)),
+                                        wire::MsgKind::kServeResponse,
+                                        wire::DecodeServeResponse);
+}
+
+Reply<wire::SweepResponse> Client::Sweep(const wire::SweepRequest& req) {
+  return ParseReply<wire::SweepResponse>(RoundTrip(wire::Encode(req)),
+                                         wire::MsgKind::kSweepResponse,
+                                         wire::DecodeSweepResponse);
+}
+
+Reply<wire::DrilldownResponse> Client::Drilldown(
+    const wire::DrilldownRequest& req) {
+  return ParseReply<wire::DrilldownResponse>(RoundTrip(wire::Encode(req)),
+                                             wire::MsgKind::kDrilldownResponse,
+                                             wire::DecodeDrilldownResponse);
+}
+
+Reply<wire::AnswerResponse> Client::Answer(const wire::AnswerRequest& req) {
+  return ParseReply<wire::AnswerResponse>(RoundTrip(wire::Encode(req)),
+                                          wire::MsgKind::kAnswerResponse,
+                                          wire::DecodeAnswerResponse);
+}
+
+Reply<wire::StatsResponse> Client::Stats() {
+  return ParseReply<wire::StatsResponse>(RoundTrip(wire::EncodeStatsRequest()),
+                                         wire::MsgKind::kStatsResponse,
+                                         wire::DecodeStatsResponse);
+}
+
+}  // namespace gdp::net

@@ -1,0 +1,539 @@
+#include "net/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace gdp::net {
+namespace {
+
+using gdp::common::NetProtocolError;
+
+// Reader-side receive chunk; frames reassemble across chunks.
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+}  // namespace
+
+Server::Server(gdp::serve::DisclosureService& service,
+               const ServerConfig& config)
+    : service_(service),
+      config_(config),
+      queue_(config.num_workers, config.queue_capacity),
+      rng_(gdp::common::Rng(config.seed).Fork(1)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw gdp::common::IoError(std::string("net::Server: socket(): ") +
+                               std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only: the server speaks an unauthenticated protocol; exposing
+  // it beyond the host is a deployment decision a proxy should make, not a
+  // default this constructor takes.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw gdp::common::IoError("net::Server: bind(port=" +
+                               std::to_string(config.port) + "): " + err);
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw gdp::common::IoError(std::string("net::Server: listen(): ") + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  // 1. Stop accepting: unblock accept() so the acceptor exits.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // 2. Wake every reader: no further frames will be read, so no new jobs
+  //    can be enqueued, but the write sides stay open for the drain.
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_) {
+      // A reader that saw a peer close may be closing this fd right now
+      // under write_mutex; shutting down a concurrently-closed (and possibly
+      // reused) descriptor would hit a stranger's fd, so take the same lock.
+      const std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+      if (conn->fd >= 0) {
+        ::shutdown(conn->fd, SHUT_RD);
+      }
+    }
+  }
+  std::vector<std::thread> readers;
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    readers.swap(readers_);
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  // 3. Drain: every job accepted before this point runs to completion and
+  //    its response reaches the socket before the fd closes below — the
+  //    WAL-consistency half of the contract (an admitted charge is both
+  //    durable and answered).
+  queue_.Shutdown();
+  // 4. Now the connections can die.
+  const std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (const auto& conn : conns_) {
+    if (conn->fd >= 0) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+      ::close(conn->fd);
+      conn->fd = -1;
+      conn->alive.store(false, std::memory_order_release);
+    }
+  }
+  conns_.clear();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // shutdown() or a dead listener: stop accepting
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_open_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void Server::ReaderLoop(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  bool got_magic = false;
+  char chunk[kRecvChunk];
+  for (;;) {
+    // A peer is only on the clock while it owes us bytes: before the magic,
+    // or with a frame started but incomplete.  An idle connection between
+    // requests may sit forever.
+    const bool mid_message = !got_magic || !buffer.empty();
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, mid_message ? config_.read_timeout_ms : -1);
+    if (ready < 0 && errno == EINTR) {
+      continue;
+    }
+    if (ready == 0) {
+      // Slow-loris: a partial magic/frame outwaited the read timeout.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;  // peer closed, error, or Stop()'s SHUT_RD
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (!got_magic) {
+      if (buffer.size() < wire::kMagicSize) {
+        continue;
+      }
+      if (std::memcmp(buffer.data(), wire::kMagic, wire::kMagicSize) != 0) {
+        // Not our protocol; close without a frame (the peer would not parse
+        // one anyway).
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      buffer.erase(0, wire::kMagicSize);
+      got_magic = true;
+    }
+    bool close_conn = false;
+    try {
+      for (;;) {
+        std::optional<std::string> payload = wire::TryDeframe(buffer);
+        if (!payload.has_value()) {
+          break;
+        }
+        if (!HandlePayload(conn, *payload)) {
+          close_conn = true;
+          break;
+        }
+      }
+    } catch (const NetProtocolError& e) {
+      // Framing-level violation (bad declared length, CRC mismatch): the
+      // stream is unsynchronized — answer typed, then close.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, wire::ErrorCode::kBadRequest, e.what());
+      close_conn = true;
+    }
+    if (close_conn) {
+      break;
+    }
+  }
+  // Stop()'s SHUT_RD wakes this loop so no NEW frames are admitted, but the
+  // write side must outlive the reader: jobs already queued still owe this
+  // peer their responses, and Stop() closes the fd itself after the drain.
+  if (stopping_.load(std::memory_order_acquire)) {
+    connections_open_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  // Peer-initiated close or protocol violation: stop writers racing on a
+  // dying fd — mark dead first, then close under the write mutex so no
+  // in-flight Send holds the old fd.
+  conn->alive.store(false, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Server::HandlePayload(const std::shared_ptr<Connection>& conn,
+                           const std::string& payload) {
+  wire::MsgKind kind{};
+  try {
+    kind = wire::PeekKind(payload);
+  } catch (const NetProtocolError& e) {
+    // Unknown kind inside a CRC-valid frame: the stream is still
+    // synchronized, so answer typed and keep the connection.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, wire::ErrorCode::kBadRequest, e.what());
+    return true;
+  }
+  switch (kind) {
+    case wire::MsgKind::kStatsRequest:
+      // Inline on the reader thread: observability must survive a saturated
+      // queue (that is when you need it).
+      try {
+        wire::DecodeStatsRequest(payload);
+        Send(conn, wire::Encode(GetStats()));
+      } catch (const NetProtocolError& e) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, wire::ErrorCode::kBadRequest, e.what());
+      }
+      return true;
+    case wire::MsgKind::kServeRequest:
+    case wire::MsgKind::kSweepRequest:
+    case wire::MsgKind::kDrilldownRequest:
+    case wire::MsgKind::kAnswerRequest:
+      break;
+    default:
+      // A response kind sent by a client: structurally valid, semantically
+      // backwards.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, wire::ErrorCode::kBadRequest,
+                std::string("unexpected message kind ") +
+                    wire::MsgKindName(kind));
+      return true;
+  }
+
+  // Admission.  Decode just far enough for the tenant id — the full decode
+  // (and any expensive work) belongs to the worker; a malformed body is
+  // caught there and answered typed.
+  std::string tenant;
+  try {
+    switch (kind) {
+      case wire::MsgKind::kServeRequest:
+        tenant = wire::DecodeServeRequest(payload).tenant;
+        break;
+      case wire::MsgKind::kSweepRequest:
+        tenant = wire::DecodeSweepRequest(payload).tenant;
+        break;
+      case wire::MsgKind::kDrilldownRequest:
+        tenant = wire::DecodeDrilldownRequest(payload).tenant;
+        break;
+      default:
+        tenant = wire::DecodeAnswerRequest(payload).tenant;
+        break;
+    }
+  } catch (const NetProtocolError& e) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, wire::ErrorCode::kBadRequest, e.what());
+    return true;
+  }
+  int max_in_flight = 0;
+  try {
+    max_in_flight = service_.broker().Profile(tenant).max_in_flight;
+  } catch (const gdp::common::NotFoundError& e) {
+    SendError(conn, wire::ErrorCode::kNotFound, e.what());
+    return true;
+  }
+  if (!TryAcquireTenant(tenant, max_in_flight)) {
+    shed_tenant_inflight_.fetch_add(1, std::memory_order_relaxed);
+    Send(conn, wire::Encode(wire::OverloadedResponse{
+                   "tenant '" + tenant + "' is at its in-flight cap (" +
+                   std::to_string(max_in_flight) + "); retry later"}));
+    return true;
+  }
+  std::string job_payload = payload;
+  const bool accepted = queue_.TrySubmit([this, conn, tenant,
+                                          job_payload = std::move(
+                                              job_payload)]() {
+    RunJob(conn, job_payload);
+    ReleaseTenant(tenant);
+  });
+  if (!accepted) {
+    ReleaseTenant(tenant);
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    Send(conn, wire::Encode(wire::OverloadedResponse{
+                   "job queue is full (" +
+                   std::to_string(config_.queue_capacity) +
+                   " pending); retry later"}));
+    return true;
+  }
+  requests_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Server::RunJob(const std::shared_ptr<Connection>& conn,
+                    const std::string& payload) {
+  std::string response;
+  try {
+    // Decode outside the rng lock (hostile bytes must not serialize the
+    // fleet), but serve under it: every noise draw comes off the ONE request
+    // stream, in job-execution order — the determinism contract.
+    switch (wire::PeekKind(payload)) {
+      case wire::MsgKind::kServeRequest: {
+        const wire::ServeRequest req = wire::DecodeServeRequest(payload);
+        const std::lock_guard<std::mutex> lock(rng_mutex_);
+        response = wire::Encode(wire::ServeOutcome::FromResult(
+            service_.Serve(req.tenant, req.dataset, req.budget.ToBudgetSpec(),
+                           rng_)));
+        break;
+      }
+      case wire::MsgKind::kSweepRequest: {
+        const wire::SweepRequest req = wire::DecodeSweepRequest(payload);
+        std::vector<gdp::core::BudgetSpec> budgets;
+        budgets.reserve(req.budgets.size());
+        for (const wire::WireBudget& b : req.budgets) {
+          budgets.push_back(b.ToBudgetSpec());
+        }
+        const std::lock_guard<std::mutex> lock(rng_mutex_);
+        const std::vector<gdp::serve::ServeResult> results =
+            service_.ServeSweep(req.tenant, req.dataset, budgets, rng_);
+        wire::SweepResponse out;
+        out.outcomes.reserve(results.size());
+        for (const gdp::serve::ServeResult& r : results) {
+          out.outcomes.push_back(wire::ServeOutcome::FromResult(r));
+        }
+        response = wire::Encode(out);
+        break;
+      }
+      case wire::MsgKind::kDrilldownRequest: {
+        const wire::DrilldownRequest req =
+            wire::DecodeDrilldownRequest(payload);
+        const std::lock_guard<std::mutex> lock(rng_mutex_);
+        const gdp::serve::DrilldownResult result = service_.ServeDrilldown(
+            req.tenant, req.dataset, req.budget.ToBudgetSpec(),
+            static_cast<gdp::graph::Side>(req.side), req.node, rng_);
+        wire::DrilldownResponse out;
+        out.outcome = wire::ServeOutcome::FromResult(result.serve);
+        out.chain.reserve(result.chain.size());
+        for (const gdp::core::DrillDownEntry& e : result.chain) {
+          out.chain.push_back({e.level, e.group, e.group_size, e.noisy_count,
+                               e.true_count});
+        }
+        response = wire::Encode(out);
+        break;
+      }
+      case wire::MsgKind::kAnswerRequest: {
+        const wire::AnswerRequest req = wire::DecodeAnswerRequest(payload);
+        std::vector<gdp::serve::QuerySpec> queries;
+        queries.reserve(req.queries.size());
+        for (const wire::WireQuery& q : req.queries) {
+          gdp::serve::QuerySpec spec;
+          if (q.kind >
+              static_cast<std::uint8_t>(
+                  gdp::serve::QuerySpec::Kind::kDegreeHistogram)) {
+            throw NetProtocolError("GDPNET01 decode: unknown query kind");
+          }
+          spec.kind = static_cast<gdp::serve::QuerySpec::Kind>(q.kind);
+          spec.side = static_cast<gdp::graph::Side>(q.side);
+          spec.max_degree = q.param;
+          queries.push_back(spec);
+        }
+        const std::lock_guard<std::mutex> lock(rng_mutex_);
+        const gdp::serve::AnswerResult result = service_.ServeAnswer(
+            req.tenant, req.dataset, req.budget.ToBudgetSpec(), queries, rng_);
+        wire::AnswerResponse out;
+        out.outcome = wire::ServeOutcome::FromResult(result.serve);
+        out.results.reserve(result.results.size());
+        for (const gdp::query::QueryRunResult& r : result.results) {
+          out.results.push_back({r.query_name, r.sensitivity, r.noise_stddev,
+                                 r.truth, r.noisy, r.mean_rer, r.mae, r.rmse});
+        }
+        response = wire::Encode(out);
+        break;
+      }
+      default:
+        // HandlePayload admits only the four request kinds above.
+        response = wire::Encode(wire::ErrorResponse{
+            wire::ErrorCode::kInternal, "unroutable message kind"});
+        break;
+    }
+  } catch (const NetProtocolError& e) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    response =
+        wire::Encode(wire::ErrorResponse{wire::ErrorCode::kBadRequest,
+                                         e.what()});
+  } catch (const gdp::common::NotFoundError& e) {
+    response =
+        wire::Encode(wire::ErrorResponse{wire::ErrorCode::kNotFound, e.what()});
+  } catch (const gdp::common::AccessPolicyError& e) {
+    response = wire::Encode(
+        wire::ErrorResponse{wire::ErrorCode::kAccessPolicy, e.what()});
+  } catch (const gdp::common::DurabilityError& e) {
+    response = wire::Encode(
+        wire::ErrorResponse{wire::ErrorCode::kDurability, e.what()});
+  } catch (const std::invalid_argument& e) {
+    // InvalidBudgetError and other request-shape rejections.
+    response = wire::Encode(
+        wire::ErrorResponse{wire::ErrorCode::kBadRequest, e.what()});
+  } catch (const std::out_of_range& e) {
+    // Out-of-range drilldown node/level.
+    response = wire::Encode(
+        wire::ErrorResponse{wire::ErrorCode::kBadRequest, e.what()});
+  } catch (const std::exception& e) {
+    response = wire::Encode(
+        wire::ErrorResponse{wire::ErrorCode::kInternal, e.what()});
+  }
+  Send(conn, response);
+  requests_completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::Send(const std::shared_ptr<Connection>& conn,
+                  const std::string& payload) {
+  std::string framed;
+  try {
+    framed = wire::Frame(payload);
+  } catch (const NetProtocolError&) {
+    // A response too large to frame: substitute a typed error (the client
+    // must see SOMETHING for its request).
+    framed = wire::Frame(wire::Encode(wire::ErrorResponse{
+        wire::ErrorCode::kInternal, "response exceeds the frame cap"}));
+  }
+  const std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->fd < 0 || !conn->alive.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(conn->fd, framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      conn->alive.store(false, std::memory_order_release);
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::SendError(const std::shared_ptr<Connection>& conn,
+                       wire::ErrorCode code, const std::string& message) {
+  Send(conn, wire::Encode(wire::ErrorResponse{code, message}));
+}
+
+bool Server::TryAcquireTenant(const std::string& tenant, int max_in_flight) {
+  const std::lock_guard<std::mutex> lock(inflight_mutex_);
+  int& count = inflight_[tenant];
+  if (max_in_flight > 0 && count >= max_in_flight) {
+    return false;
+  }
+  ++count;
+  return true;
+}
+
+void Server::ReleaseTenant(const std::string& tenant) {
+  const std::lock_guard<std::mutex> lock(inflight_mutex_);
+  const auto it = inflight_.find(tenant);
+  if (it != inflight_.end() && --it->second <= 0) {
+    inflight_.erase(it);
+  }
+}
+
+wire::StatsResponse Server::GetStats() const {
+  wire::StatsResponse s;
+  const gdp::serve::SessionRegistry::Stats reg = service_.registry().stats();
+  s.registry_hits = reg.hits;
+  s.registry_misses = reg.misses;
+  s.registry_evictions = reg.evictions;
+  s.registry_snapshot_adoptions = reg.snapshot_adoptions;
+  s.registry_size = service_.registry().size();
+  s.registry_capacity = service_.registry().capacity();
+  s.catalog_datasets = service_.catalog().size();
+  s.broker_tenants = service_.broker().size();
+  s.wal_enabled = service_.wal_enabled() ? 1 : 0;
+  s.failed_closed = service_.failed_closed() ? 1 : 0;
+  const gdp::serve::DurabilityStats dur = service_.durability_stats();
+  s.wal_appends = dur.wal_appends;
+  s.wal_failures = dur.wal_failures;
+  s.fail_closed_rejections = dur.fail_closed_rejections;
+  s.dataset_denials = dur.dataset_denials;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_open = connections_open_.load(std::memory_order_relaxed);
+  s.requests_enqueued = requests_enqueued_.load(std::memory_order_relaxed);
+  s.requests_completed = requests_completed_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_tenant_inflight =
+      shed_tenant_inflight_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  const JobQueue::Stats q = queue_.GetStats();
+  s.queue_depth = q.depth;
+  s.queue_capacity = q.capacity;
+  s.queue_high_watermark = q.high_watermark;
+  s.workers = q.workers;
+  return s;
+}
+
+}  // namespace gdp::net

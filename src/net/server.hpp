@@ -1,0 +1,161 @@
+// Concurrent GDPNET01 socket server over a DisclosureService.
+//
+// The shape is rippled's RPCServer/JobQueue pipeline (ROADMAP's "millions of
+// users" item) applied to the shared-immutable-artifact serving model:
+//
+//   acceptor thread ──▶ one reader thread per connection
+//                          │ frame + decode (wire.hpp) + per-tenant admission
+//                          ▼
+//                      bounded JobQueue ──▶ worker pool ──▶ DisclosureService
+//                          │                                      │
+//                          └── full? ──▶ typed Overloaded          └─▶ framed
+//                                        (never a dropped conn)       response
+//
+// ADMISSION happens on the reader thread, before anything is queued:
+//   1. the tenant must exist (TenantBroker::Profile; unknown → typed Error),
+//   2. the tenant's in-flight cap (TenantProfile::max_in_flight) must have
+//      room — one tenant must not occupy the whole queue,
+//   3. the job queue must have room (queue-depth backpressure).
+// A request failing 2 or 3 is SHED with a typed Overloaded response; the
+// connection stays open and later requests on it are served normally.  Under
+// any overload the server's behavior is "slower, with typed refusals" —
+// never a dropped connection, never a crash (pinned by net_server_test).
+//
+// DETERMINISM: all noise is drawn from ONE request stream, Rng(seed).Fork(1)
+// — the same stream `gdp_tool serve --requests` consumes — guarded by a
+// mutex, so workers serialize exactly the service calls that draw noise
+// (decode, encode, and socket I/O still overlap).  A sequential client
+// therefore receives bit-identical results to the in-process batch driver at
+// the same seed, which is what makes the socket path auditable against the
+// batch path (tests/net_parity_test.cpp).
+//
+// SHUTDOWN drains: Stop() stops accepting, wakes every reader (no new jobs),
+// finishes every accepted job (responses flushed, WAL consistent — an
+// admitted charge always reaches both the log and its client), then closes
+// the connections.  Idempotent; the destructor calls it.
+//
+// Stats requests are answered inline on the reader thread — observability
+// must keep working while the queue is saturated.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/job_queue.hpp"
+#include "net/wire.hpp"
+#include "serve/service.hpp"
+
+namespace gdp::net {
+
+struct ServerConfig {
+  // TCP port on 127.0.0.1; 0 asks the kernel for an ephemeral port (read it
+  // back from port() — tests and the CLI's --port-file use this).
+  std::uint16_t port{0};
+  std::size_t num_workers{2};
+  std::size_t queue_capacity{64};
+  // How long a reader waits for the REST of a partially received frame (or
+  // the connection magic) before declaring the peer a slow-loris and closing.
+  // Idle connections between complete requests are not subject to it.
+  int read_timeout_ms{5000};
+  // Seed for the request noise stream, Rng(seed).Fork(1) — must match the
+  // batch driver's seed for socket-vs-batch parity.
+  std::uint64_t seed{42};
+};
+
+class Server {
+ public:
+  // Binds and starts accepting immediately.  `service` must outlive the
+  // server.  Throws gdp::common::IoError when the socket cannot be bound.
+  Server(gdp::serve::DisclosureService& service, const ServerConfig& config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // The bound port (the kernel's choice when config.port was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  // Drain-and-stop; see the shutdown contract above.  Idempotent.
+  void Stop();
+
+  // The full observability surface the Stats RPC serves.
+  [[nodiscard]] wire::StatsResponse GetStats() const;
+
+  // Monotone count of requests fully processed (response written or the
+  // connection found dead).  The CLI's --max-requests watches this.
+  [[nodiscard]] std::uint64_t requests_completed() const noexcept {
+    return requests_completed_.load(std::memory_order_relaxed);
+  }
+
+  // Test seam: freeze/thaw the worker pool to build deterministic overload
+  // (net_server_test fills the queue while paused and counts the sheds).
+  [[nodiscard]] JobQueue& queue() noexcept { return queue_; }
+
+ private:
+  // One live client connection.  The write mutex serializes response frames
+  // (workers and the reader may interleave responses on one connection).
+  struct Connection {
+    int fd{-1};
+    std::mutex write_mutex;
+    std::atomic<bool> alive{true};
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  // Dispatch one CRC-valid payload: Stats inline, requests through
+  // admission + queue.  Returns false when the connection must close
+  // (framing-level violation).
+  [[nodiscard]] bool HandlePayload(const std::shared_ptr<Connection>& conn,
+                                   const std::string& payload);
+  void RunJob(const std::shared_ptr<Connection>& conn,
+              const std::string& payload);
+  // Frame + write a payload; a failed write marks the connection dead
+  // (the reader notices on its next recv).
+  void Send(const std::shared_ptr<Connection>& conn,
+            const std::string& payload);
+  void SendError(const std::shared_ptr<Connection>& conn, wire::ErrorCode code,
+                 const std::string& message);
+
+  // In-flight accounting for the per-tenant cap.  Returns false (and sheds)
+  // when the tenant is at its cap; on true the caller owes ReleaseTenant.
+  [[nodiscard]] bool TryAcquireTenant(const std::string& tenant,
+                                      int max_in_flight);
+  void ReleaseTenant(const std::string& tenant);
+
+  gdp::serve::DisclosureService& service_;
+  ServerConfig config_;
+  JobQueue queue_;
+  int listen_fd_{-1};
+  std::uint16_t port_{0};
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_{false};  // guarded by conns_mutex_
+
+  // The one request noise stream; guards both the Rng and the draw order.
+  std::mutex rng_mutex_;
+  gdp::common::Rng rng_;
+
+  mutable std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+
+  std::mutex inflight_mutex_;
+  std::map<std::string, int> inflight_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_open_{0};
+  std::atomic<std::uint64_t> requests_enqueued_{0};
+  std::atomic<std::uint64_t> requests_completed_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_tenant_inflight_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace gdp::net

@@ -1,10 +1,13 @@
 #include "serve/service.hpp"
 
+#include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "core/access_policy.hpp"
+#include "query/query.hpp"
 
 namespace gdp::serve {
 
@@ -195,10 +198,9 @@ DisclosureService::TenantEntry* DisclosureService::EntryFor(
   return sessions_.emplace(key, std::move(entry)).first->second.get();
 }
 
-ServeResult DisclosureService::Serve(const std::string& tenant,
-                                     const std::string& dataset,
-                                     const gdp::core::BudgetSpec& budget,
-                                     gdp::common::Rng& rng) {
+DisclosureService::Admission DisclosureService::Admit(
+    const std::string& tenant, const std::string& dataset,
+    ServeResult& result) {
   if (wal_failed_.load(std::memory_order_acquire)) {
     fail_closed_rejections_.fetch_add(1, std::memory_order_relaxed);
     throw gdp::common::DurabilityError(
@@ -206,20 +208,20 @@ ServeResult DisclosureService::Serve(const std::string& tenant,
         "further releases would be unaccounted; reopen the service over the "
         "log (read-only audit queries still work)");
   }
-  const TenantProfile profile = broker_.Profile(tenant);  // NotFoundError
-  const Dataset& ds = catalog_.Get(dataset);              // NotFoundError
+  Admission adm;
+  adm.profile = broker_.Profile(tenant);      // NotFoundError
+  const Dataset& ds = catalog_.Get(dataset);  // NotFoundError
   const std::string fingerprint =
       SessionRegistry::Fingerprint(ds.publication, ds.compile_seed);
   // An already-attached tenant serves from the artifact its session pins —
   // no registry touch, so a registry eviction never forces a recompile for
   // a request the entry can already serve.
-  TenantEntry* entry = FindEntry(tenant, dataset);
-  const std::shared_ptr<const gdp::core::CompiledDisclosure> compiled =
-      entry != nullptr ? entry->session.compiled()
-                       : registry_.GetOrCompile(dataset, ds.graph,
-                                                ds.publication,
-                                                ds.compile_seed,
-                                                ds.snapshot.get());
+  adm.entry = FindEntry(tenant, dataset);
+  adm.compiled = adm.entry != nullptr
+                     ? adm.entry->session.compiled()
+                     : registry_.GetOrCompile(dataset, ds.graph,
+                                              ds.publication, ds.compile_seed,
+                                              ds.snapshot.get());
 
   // Resolve the entitled level BEFORE any charge or draw: a tier the policy
   // cannot map — including an explicit access_levels entry pointing past
@@ -227,23 +229,24 @@ ServeResult DisclosureService::Serve(const std::string& tenant,
   // (AccessPolicyError).
   const gdp::core::AccessPolicy policy =
       ds.access_levels.empty()
-          ? gdp::core::AccessPolicy::Uniform(compiled->hierarchy().num_levels())
+          ? gdp::core::AccessPolicy::Uniform(
+                adm.compiled->hierarchy().num_levels())
           : gdp::core::AccessPolicy(ds.access_levels);
-  const int level = policy.LevelForPrivilege(profile.privilege);
-  if (level >= compiled->hierarchy().num_levels()) {
+  adm.level = policy.LevelForPrivilege(adm.profile.privilege);
+  if (adm.level >= adm.compiled->hierarchy().num_levels()) {
     throw gdp::common::AccessPolicyError(
         "DisclosureService: dataset '" + dataset + "' maps tier " +
-        std::to_string(profile.privilege) + " to level " +
-        std::to_string(level) + " but the compiled hierarchy has levels [0, " +
-        std::to_string(compiled->hierarchy().num_levels()) + ")");
+        std::to_string(adm.profile.privilege) + " to level " +
+        std::to_string(adm.level) +
+        " but the compiled hierarchy has levels [0, " +
+        std::to_string(adm.compiled->hierarchy().num_levels()) + ")");
   }
 
-  ServeResult result;
-  result.privilege = profile.privilege;
-  result.level = level;
-  result.accounting = profile.accounting;
+  result.privilege = adm.profile.privilege;
+  result.level = adm.level;
+  result.accounting = adm.profile.accounting;
 
-  if (entry == nullptr) {
+  if (adm.entry == nullptr) {
     // A retired dataset refuses the tenant BEFORE phase 1 is charged to its
     // ledger: the tenant must not pay for a view it can never draw.
     if (odometer_.IsRetired(dataset)) {
@@ -253,42 +256,42 @@ ServeResult DisclosureService::Serve(const std::string& tenant,
       result.denial_reason =
           "dataset '" + dataset + "' retired by cross-tenant odometer: " +
           (snap.has_value() ? snap->retire_reason : "retired");
-      result.epsilon_remaining = profile.epsilon_cap;
-      return result;
+      result.epsilon_remaining = adm.profile.epsilon_cap;
+      return adm;
     }
     std::string attach_denial;
     try {
-      entry = EntryFor(tenant, dataset, fingerprint, profile, compiled,
-                       attach_denial);
+      adm.entry = EntryFor(tenant, dataset, fingerprint, adm.profile,
+                           adm.compiled, attach_denial);
     } catch (const gdp::common::BudgetExhaustedError& e) {
       // The grant cannot cover even the Phase-1 spend: an admission
       // decision, not a server error.  Nothing was cached, drawn, or
       // charged to the tenant — its whole grant is still unspent.
       result.denial_reason = e.what();
       result.epsilon_spent = 0.0;
-      result.epsilon_remaining = profile.epsilon_cap;
-      return result;
+      result.epsilon_remaining = adm.profile.epsilon_cap;
+      return adm;
     }
-    if (entry == nullptr) {
+    if (adm.entry == nullptr) {
       result.denial_reason = std::move(attach_denial);
-      result.epsilon_remaining = profile.epsilon_cap;
-      return result;
+      result.epsilon_remaining = adm.profile.epsilon_cap;
+      return adm;
     }
   }
+  return adm;
+}
 
-  const std::string label =
-      "serve dataset=" + dataset +
-      ": phase2 noise eps_g=" + std::to_string(budget.phase2_epsilon()) + " (" +
-      gdp::core::NoiseKindName(budget.noise) + ")";
-
-  const std::lock_guard<std::mutex> lock(entry->mutex);
+gdp::core::ChargeGate DisclosureService::MakeGate(const std::string& tenant,
+                                                  const std::string& dataset,
+                                                  TenantEntry& entry,
+                                                  const std::string& label,
+                                                  std::string& gate_denial) {
   // The write-ahead gate: runs after the tenant's own ledger admitted the
   // charge and before anything commits or draws.  Odometer first (cheap,
   // commit-at-admit), then the durable append — so the log never records a
   // charge the odometer refused, and noise never outruns the log.
-  std::string gate_denial;
-  const gdp::core::ChargeGate gate =
-      [&](const gdp::dp::MechanismEvent& event) -> bool {
+  return [this, tenant, dataset, &entry, label,
+          &gate_denial](const gdp::dp::MechanismEvent& event) -> bool {
     const OdometerAdmit admit = odometer_.Charge(dataset, event);
     if (admit != OdometerAdmit::kAdmitted) {
       dataset_denials_.fetch_add(1, std::memory_order_relaxed);
@@ -310,15 +313,20 @@ ServeResult DisclosureService::Serve(const std::string& tenant,
       // Stamp the accountant-tightened cumulative AS OF this charge so an
       // offline verifier can recompute it from the event stream alone.
       const gdp::dp::BudgetCharge accounted =
-          entry->session.ledger().AccountedSpendWith(event);
+          entry.session.ledger().AccountedSpendWith(event);
       WalAppend(WalRecord::Charge(tenant, dataset, event, accounted.epsilon,
                                   accounted.delta, label));
     }
     return true;
   };
-  std::optional<gdp::core::MultiLevelRelease> release =
-      entry->session.TryRelease(budget, rng, label, gate);
-  const gdp::dp::BudgetLedger& ledger = entry->session.ledger();
+}
+
+void DisclosureService::FinishFromLedger(ServeResult& result,
+                                         const TenantEntry& entry,
+                                         const gdp::core::BudgetSpec& budget,
+                                         std::string gate_denial,
+                                         bool granted) {
+  const gdp::dp::BudgetLedger& ledger = entry.session.ledger();
   result.epsilon_spent = ledger.epsilon_spent();
   result.epsilon_remaining = ledger.epsilon_remaining();
   // Report BOTH views of the spend: the naive Σε above and the accountant-
@@ -326,29 +334,162 @@ ServeResult DisclosureService::Serve(const std::string& tenant,
   const gdp::dp::BudgetCharge accounted = ledger.AccountedSpend();
   result.accounted_epsilon = accounted.epsilon;
   result.accounted_delta = accounted.delta;
-  if (!release.has_value()) {
-    if (!gate_denial.empty()) {
-      result.denial_reason = std::move(gate_denial);
-      return result;
-    }
-    // Name the cap that tripped: an epsilon-only message is misleading when
-    // the delta cap was the binding one.
-    const bool eps_binding =
-        ledger.WouldExceed(budget.phase2_epsilon(), 0.0);
-    result.denial_reason =
-        std::string("tenant grant exhausted (") +
-        (eps_binding ? "epsilon" : "delta") + " cap): request needs eps=" +
-        std::to_string(budget.phase2_epsilon()) +
-        ", delta=" + std::to_string(budget.delta) + " but eps=" +
-        std::to_string(ledger.epsilon_remaining()) + ", delta=" +
-        std::to_string(ledger.delta_remaining()) + " remains";
+  if (granted) {
+    result.granted = true;
+    return;
+  }
+  if (!gate_denial.empty()) {
+    result.denial_reason = std::move(gate_denial);
+    return;
+  }
+  // Name the cap that tripped: an epsilon-only message is misleading when
+  // the delta cap was the binding one.
+  const bool eps_binding = ledger.WouldExceed(budget.phase2_epsilon(), 0.0);
+  result.denial_reason =
+      std::string("tenant grant exhausted (") +
+      (eps_binding ? "epsilon" : "delta") + " cap): request needs eps=" +
+      std::to_string(budget.phase2_epsilon()) +
+      ", delta=" + std::to_string(budget.delta) + " but eps=" +
+      std::to_string(ledger.epsilon_remaining()) + ", delta=" +
+      std::to_string(ledger.delta_remaining()) + " remains";
+}
+
+ServeResult DisclosureService::Serve(const std::string& tenant,
+                                     const std::string& dataset,
+                                     const gdp::core::BudgetSpec& budget,
+                                     gdp::common::Rng& rng) {
+  ServeResult result;
+  const Admission adm = Admit(tenant, dataset, result);
+  if (adm.entry == nullptr) {
     return result;
   }
-  result.granted = true;
+  const std::string label =
+      "serve dataset=" + dataset +
+      ": phase2 noise eps_g=" + std::to_string(budget.phase2_epsilon()) + " (" +
+      gdp::core::NoiseKindName(budget.noise) + ")";
+
+  const std::lock_guard<std::mutex> lock(adm.entry->mutex);
+  std::string gate_denial;
+  const gdp::core::ChargeGate gate =
+      MakeGate(tenant, dataset, *adm.entry, label, gate_denial);
+  std::optional<gdp::core::MultiLevelRelease> release =
+      adm.entry->session.TryRelease(budget, rng, label, gate);
+  FinishFromLedger(result, *adm.entry, budget, std::move(gate_denial),
+                   release.has_value());
+  if (!release.has_value()) {
+    return result;
+  }
   // The release is ours and about to die: move the entitled level out
   // instead of deep-copying its per-group vectors.  `level` was bounds-
-  // checked against the hierarchy above.
-  result.view = std::move(*release).TakeLevel(level);
+  // checked against the hierarchy by Admit.
+  result.view = std::move(*release).TakeLevel(adm.level);
+  return result;
+}
+
+std::vector<ServeResult> DisclosureService::ServeSweep(
+    const std::string& tenant, const std::string& dataset,
+    std::span<const gdp::core::BudgetSpec> budgets, gdp::common::Rng& rng) {
+  std::vector<ServeResult> results;
+  results.reserve(budgets.size());
+  for (const gdp::core::BudgetSpec& budget : budgets) {
+    results.push_back(Serve(tenant, dataset, budget, rng));
+  }
+  return results;
+}
+
+DrilldownResult DisclosureService::ServeDrilldown(
+    const std::string& tenant, const std::string& dataset,
+    const gdp::core::BudgetSpec& budget, gdp::graph::Side side,
+    gdp::graph::NodeIndex v, gdp::common::Rng& rng) {
+  DrilldownResult result;
+  const Admission adm = Admit(tenant, dataset, result.serve);
+  if (adm.entry == nullptr) {
+    return result;
+  }
+  const std::string label =
+      "serve+drilldown dataset=" + dataset + ": node (" +
+      (side == gdp::graph::Side::kLeft ? "left" : "right") + ", " +
+      std::to_string(v) +
+      "), phase2 noise eps_g=" + std::to_string(budget.phase2_epsilon()) +
+      " (" + gdp::core::NoiseKindName(budget.noise) + ")";
+
+  const std::lock_guard<std::mutex> lock(adm.entry->mutex);
+  std::string gate_denial;
+  const gdp::core::ChargeGate gate =
+      MakeGate(tenant, dataset, *adm.entry, label, gate_denial);
+  std::optional<gdp::core::MultiLevelRelease> release =
+      adm.entry->session.TryRelease(budget, rng, label, gate);
+  FinishFromLedger(result.serve, *adm.entry, budget, std::move(gate_denial),
+                   release.has_value());
+  if (!release.has_value()) {
+    return result;
+  }
+  // Chain from the COARSEST level down to the entitled one — never finer:
+  // levels below the entitled level belong to higher tiers, and drill-down
+  // must not become a side channel around the access policy.  Pure
+  // post-processing over the release this request already paid for.
+  result.chain = adm.entry->session.Drilldown(
+      *release, side, v, adm.compiled->hierarchy().depth(), adm.level);
+  result.serve.view = std::move(*release).TakeLevel(adm.level);
+  return result;
+}
+
+AnswerResult DisclosureService::ServeAnswer(const std::string& tenant,
+                                            const std::string& dataset,
+                                            const gdp::core::BudgetSpec& budget,
+                                            std::span<const QuerySpec> queries,
+                                            gdp::common::Rng& rng) {
+  if (queries.empty()) {
+    throw std::invalid_argument(
+        "DisclosureService::ServeAnswer: empty query list (an empty workload "
+        "would charge a zero event — reject it at the boundary instead)");
+  }
+  AnswerResult result;
+  const Admission adm = Admit(tenant, dataset, result.serve);
+  if (adm.entry == nullptr) {
+    return result;
+  }
+  // Instantiate the workload at the ENTITLED level: the level partition a
+  // GroupCountQuery reads is owned by the pinned artifact's hierarchy, which
+  // outlives the workload (the session holds the shared_ptr).
+  gdp::query::Workload workload;
+  for (const QuerySpec& q : queries) {
+    switch (q.kind) {
+      case QuerySpec::Kind::kAssociationCount:
+        workload.Add(std::make_unique<gdp::query::AssociationCountQuery>());
+        break;
+      case QuerySpec::Kind::kGroupCount:
+        workload.Add(std::make_unique<gdp::query::GroupCountQuery>(
+            adm.compiled->hierarchy().level(adm.level)));
+        break;
+      case QuerySpec::Kind::kDegreeHistogram:
+        workload.Add(std::make_unique<gdp::query::DegreeHistogramQuery>(
+            q.side, q.max_degree));
+        break;
+      default:
+        throw std::invalid_argument(
+            "DisclosureService::ServeAnswer: unknown query kind");
+    }
+  }
+  const std::string label =
+      "serve+answer dataset=" + dataset + ": " +
+      std::to_string(workload.size()) + " queries at L" +
+      std::to_string(adm.level) +
+      ", eps=" + std::to_string(budget.phase2_epsilon()) + " each (" +
+      gdp::core::NoiseKindName(budget.noise) + ")";
+
+  const std::lock_guard<std::mutex> lock(adm.entry->mutex);
+  std::string gate_denial;
+  const gdp::core::ChargeGate gate =
+      MakeGate(tenant, dataset, *adm.entry, label, gate_denial);
+  std::optional<std::vector<gdp::query::QueryRunResult>> answers =
+      adm.entry->session.TryAnswer(workload, adm.level, budget, rng, label,
+                                   gate);
+  FinishFromLedger(result.serve, *adm.entry, budget, std::move(gate_denial),
+                   answers.has_value());
+  if (answers.has_value()) {
+    result.results = std::move(*answers);
+  }
   return result;
 }
 

@@ -51,12 +51,15 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/session.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "query/workload.hpp"
 #include "serve/audit_wal.hpp"
 #include "serve/dataset_catalog.hpp"
 #include "serve/dataset_odometer.hpp"
@@ -89,6 +92,36 @@ struct ServeResult {
   gdp::dp::AccountingPolicy accounting{gdp::dp::AccountingPolicy::kSequential};
   double accounted_epsilon{0.0};
   double accounted_delta{0.0};
+};
+
+// One query descriptor for the Answer serving path: the serving layer
+// instantiates the concrete query objects at the tenant's ENTITLED level
+// (remote callers name query shapes, never hierarchy levels — the level is
+// an access-control decision, not a request parameter).
+struct QuerySpec {
+  enum class Kind : std::uint8_t {
+    kAssociationCount = 0,
+    kGroupCount = 1,       // per-group counts at the entitled level
+    kDegreeHistogram = 2,  // side + max_degree below
+  };
+  Kind kind{Kind::kAssociationCount};
+  gdp::graph::Side side{gdp::graph::Side::kLeft};
+  std::size_t max_degree{8};
+};
+
+// ServeDrilldown's outcome: the Serve outcome (charged identically to a
+// plain Serve) plus, when granted, the node's enclosing-group chain over the
+// drawn release, restricted to levels the tenant's tier may see.
+struct DrilldownResult {
+  ServeResult serve;
+  std::vector<gdp::core::DrillDownEntry> chain;
+};
+
+// ServeAnswer's outcome: the admission outcome (view stays empty — the
+// product is query results, not a level view) plus the per-query runs.
+struct AnswerResult {
+  ServeResult serve;
+  std::vector<gdp::query::QueryRunResult> results;
 };
 
 // What Open recovered from the write-ahead log.
@@ -171,6 +204,42 @@ class DisclosureService {
                                   const gdp::core::BudgetSpec& budget,
                                   gdp::common::Rng& rng);
 
+  // One Serve per budget, in order, against the SHARED noise stream `rng` —
+  // a sequential sweep, not DisclosureSession::Sweep's forked-stream batch:
+  // each point is admitted, gated, and charged independently, and a denied
+  // point is recorded (granted == false) while later points still run.  The
+  // sweep is NOT atomic across points — by design, since the serving layer's
+  // unit of admission is one request (a half-granted sweep leaves exactly
+  // the charges its granted points made, each durably logged).
+  [[nodiscard]] std::vector<ServeResult> ServeSweep(
+      const std::string& tenant, const std::string& dataset,
+      std::span<const gdp::core::BudgetSpec> budgets, gdp::common::Rng& rng);
+
+  // Serve + drill-down in one request: draw a release exactly as Serve does
+  // (same charge, same denial semantics; the entitled view is in
+  // result.serve.view) and, when granted, walk node (side, v)'s
+  // enclosing-group chain from the hierarchy's coarsest level down to the
+  // ENTITLED level — never below it, because finer levels belong to higher
+  // tiers (drill-down itself is pure post-processing, no extra charge).
+  // Throws std::out_of_range when `v` is not a node of `side`.
+  [[nodiscard]] DrilldownResult ServeDrilldown(
+      const std::string& tenant, const std::string& dataset,
+      const gdp::core::BudgetSpec& budget, gdp::graph::Side side,
+      gdp::graph::NodeIndex v, gdp::common::Rng& rng);
+
+  // Evaluate a query workload for the tenant at its ENTITLED level under
+  // `budget`, with Serve's admission pipeline (broker grant, odometer,
+  // write-ahead gate) around DisclosureSession::TryAnswer's charge — the
+  // workload's sequential cost (k queries → count = k) is what the gate and
+  // ledger see.  Returns granted == false with empty results on an
+  // exhausted grant or retired dataset.  Throws std::invalid_argument on an
+  // empty `queries`.
+  [[nodiscard]] AnswerResult ServeAnswer(const std::string& tenant,
+                                         const std::string& dataset,
+                                         const gdp::core::BudgetSpec& budget,
+                                         std::span<const QuerySpec> queries,
+                                         gdp::common::Rng& rng);
+
   // The tenant's cumulative ledger for `dataset` (audit).  Works while the
   // service is failed closed, and covers tenants recovered from the WAL that
   // have not been re-served yet (their ledger is rebuilt from the replayed
@@ -200,6 +269,45 @@ class DisclosureService {
     std::string fingerprint;
     std::vector<gdp::core::ReplayedCharge> charges;
   };
+
+  // Everything Serve resolves before it can charge: the admitted tenant's
+  // profile, its (possibly just-created) session entry, the artifact the
+  // entry pins, and the entitled level.
+  struct Admission {
+    TenantProfile profile;
+    TenantEntry* entry{nullptr};
+    std::shared_ptr<const gdp::core::CompiledDisclosure> compiled;
+    int level{0};
+  };
+
+  // The shared front half of every serving entry point: fail-closed check
+  // (DurabilityError), profile and dataset lookup (NotFoundError), artifact
+  // resolve/compile, entitled-level resolve (AccessPolicyError), and entry
+  // creation with its phase-1 admission.  On an expected denial (retired
+  // dataset, grant too small for phase 1) fills `result` and returns an
+  // Admission with entry == nullptr.
+  [[nodiscard]] Admission Admit(const std::string& tenant,
+                                const std::string& dataset,
+                                ServeResult& result);
+
+  // The write-ahead charge gate for one admitted request: odometer first
+  // (commit-at-admit), then the durable append — so the log never records a
+  // charge the odometer refused, and noise never outruns the log.  On an
+  // odometer refusal the denial text lands in `gate_denial`.  `entry` and
+  // `gate_denial` must outlive the returned gate; the entry's mutex must be
+  // held while the gate can run.
+  [[nodiscard]] gdp::core::ChargeGate MakeGate(const std::string& tenant,
+                                               const std::string& dataset,
+                                               TenantEntry& entry,
+                                               const std::string& label,
+                                               std::string& gate_denial);
+
+  // Fill `result`'s ledger-derived fields (naive and accounted spend), and —
+  // when the request was denied (`granted` stays false) — the denial reason:
+  // the gate's, if it spoke, else the named-cap exhaustion message.
+  static void FinishFromLedger(ServeResult& result, const TenantEntry& entry,
+                               const gdp::core::BudgetSpec& budget,
+                               std::string gate_denial, bool granted);
 
   // The tenant's existing entry, or nullptr (never creates).
   [[nodiscard]] TenantEntry* FindEntry(const std::string& tenant,

@@ -23,6 +23,12 @@ void TenantBroker::Register(std::string tenant_id, TenantProfile profile) {
     throw std::invalid_argument(
         "TenantBroker: privilege must be >= 0 for tenant '" + tenant_id + "'");
   }
+  if (profile.max_in_flight < 0) {
+    throw std::invalid_argument(
+        "TenantBroker: max_in_flight must be >= 0 (0 = unlimited) for tenant "
+        "'" +
+        tenant_id + "'");
+  }
   if (profile.accounting != gdp::dp::AccountingPolicy::kSequential &&
       !(profile.delta_cap > 0.0)) {
     throw std::invalid_argument(

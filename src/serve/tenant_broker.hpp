@@ -35,6 +35,12 @@ struct TenantProfile {
   // of the same (epsilon_cap, delta_cap) grant.  kAdvanced / kRdp require
   // delta_cap > 0 (rejected at Register).
   gdp::dp::AccountingPolicy accounting{gdp::dp::AccountingPolicy::kSequential};
+  // Admission-control knob for the network front end: at most this many of
+  // the tenant's requests may be queued or running at once (0 = unlimited).
+  // Excess requests are SHED with a typed `overloaded` response, not queued —
+  // one tenant must not be able to occupy the whole job queue
+  // (net::Server::HandleRequest).  Must be >= 0 (rejected at Register).
+  int max_in_flight{0};
 };
 
 class TenantBroker {

@@ -207,6 +207,48 @@ TEST(SessionAccountingTest, PerTenantAttachPolicyOverridesTheSpecDefault) {
   EXPECT_EQ(seq_tenant.ledger().policy(), AccountingPolicy::kSequential);
 }
 
+TEST(SessionAccountingTest, StrictLevelChargingMultipliesTheWidthBackIn) {
+  // The strict knob (docs/ACCOUNTING.md's cross-level caveat) must change
+  // what a release CHARGES — num_levels sequential mechanisms instead of one
+  // parallel-composed event — and NOTHING about what it releases.
+  const BipartiteGraph graph = TestGraph();
+  SessionSpec loose_spec = SpecWithPolicy(AccountingPolicy::kSequential);
+  SessionSpec strict_spec = loose_spec;
+  strict_spec.strict_level_charging = true;
+
+  Rng loose_rng(11);
+  Rng strict_rng(11);
+  DisclosureSession loose = DisclosureSession::Open(graph, loose_spec, loose_rng);
+  DisclosureSession strict =
+      DisclosureSession::Open(graph, strict_spec, strict_rng);
+  const MultiLevelRelease loose_rel = loose.Release(loose_rng);
+  const MultiLevelRelease strict_rel = strict.Release(strict_rng);
+
+  // Identical released bits at identical seeds: the knob is invisible to
+  // the mechanism (and to the artifact fingerprint).
+  ASSERT_EQ(loose_rel.num_levels(), strict_rel.num_levels());
+  for (int l = 0; l < loose_rel.num_levels(); ++l) {
+    EXPECT_EQ(loose_rel.levels()[static_cast<std::size_t>(l)].noisy_group_counts,
+              strict_rel.levels()[static_cast<std::size_t>(l)].noisy_group_counts)
+        << "level " << l;
+  }
+
+  // The ledger sees the difference: count and parallel_width trade places...
+  const int width = loose.hierarchy().num_levels();
+  const MechanismEvent& loose_event = loose.ledger().events().back();
+  const MechanismEvent& strict_event = strict.ledger().events().back();
+  EXPECT_EQ(loose_event.count, 1);
+  EXPECT_EQ(loose_event.parallel_width, width);
+  EXPECT_EQ(strict_event.count, width);
+  EXPECT_EQ(strict_event.parallel_width, 1);
+
+  // ...so the strict session pays (width - 1) extra phase-2 epsilons.
+  const double eps2 = loose.spec().budget.phase2_epsilon();
+  EXPECT_NEAR(
+      strict.ledger().epsilon_spent() - loose.ledger().epsilon_spent(),
+      static_cast<double>(width - 1) * eps2, 1e-12);
+}
+
 TEST(SessionAccountingTest, NoiseMultiplierForCalibratesAKReleaseBudget) {
   // Plan a σ/Δ for an 8-release budget up front, then verify the composed
   // epsilon actually fits (the satellite's round-trip contract).
