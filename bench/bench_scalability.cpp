@@ -491,6 +491,42 @@ BENCHMARK(BM_NetServeLoad)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Connection scaling on the epoll loop: hold N mostly-idle connections open
+// while a small active set serves.  The thread-per-connection design this
+// replaced spent one OS thread per idle socket; here the whole idle mass is
+// epoll interest entries on ONE I/O thread (`io_threads` pins that), and
+// `qps`/`p99_us` of the active set measure its interference with the hot
+// path.  `conns_open` below the arg means the run is invalid (fd limit hit
+// or idle connections dropped) — raise `ulimit -n` past the largest arg.
+void BM_NetConnScale(benchmark::State& state) {
+  net::loadgen::ConnScaleConfig cfg;
+  cfg.connections = static_cast<int>(state.range(0));
+  net::loadgen::ConnScaleResult r;
+  for (auto _ : state) {
+    r = net::loadgen::RunConnScale(cfg);
+  }
+  if (r.connections_open < static_cast<std::uint64_t>(cfg.connections)) {
+    state.SkipWithError("idle connections dropped (check ulimit -n)");
+  }
+  if (r.errors != 0) {
+    state.SkipWithError("typed Error replies under connection load");
+  }
+  state.counters["conns_open"] = static_cast<double>(r.connections_open);
+  state.counters["io_threads"] = static_cast<double>(r.io_threads);
+  state.counters["qps"] = r.qps;
+  state.counters["p50_us"] = r.p50_us;
+  state.counters["p99_us"] = r.p99_us;
+  state.SetItemsProcessed(static_cast<std::int64_t>(r.requests) *
+                          state.iterations());
+}
+BENCHMARK(BM_NetConnScale)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(1024)  // the O(1)-threads-at-1024-connections datapoint
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -7,12 +7,17 @@
 // standalone bench_serve_net tool (interactive load-gen runs).
 #pragma once
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -182,6 +187,169 @@ inline LoadGenResult RunServeLoad(const LoadGenConfig& cfg) {
                    : 0.0;
   result.p50_us = PercentileUs(latencies_us, 0.50);
   result.p95_us = PercentileUs(latencies_us, 0.95);
+  result.p99_us = PercentileUs(latencies_us, 0.99);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Connection-scaling run: hold `connections` mostly-idle connections open on
+// the epoll loop while a small active set serves for a fixed wall-clock
+// `duration_ms`.  This is the datapoint the thread-per-connection design
+// could not produce: N idle sockets cost N reader threads there, but cost
+// one epoll interest entry here.  QPS/latency of the active set measure the
+// interference of the idle mass on the hot path.
+
+struct ConnScaleConfig {
+  int connections{128};   // mostly-idle open connections held for the run
+  int duration_ms{300};   // active-request window (wall clock)
+  int active_tenants{8};  // tenants firing requests during the window
+  std::size_t num_workers{4};
+  std::size_t queue_capacity{256};
+  std::int64_t edges{10'000};
+  int hierarchy_depth{6};
+  std::uint64_t seed{42};
+};
+
+struct ConnScaleResult {
+  std::uint64_t connections_open{0};  // server-side view at steady state
+  std::uint64_t io_threads{0};
+  std::uint64_t requests{0};
+  std::uint64_t errors{0};
+  double elapsed_s{0.0};
+  double qps{0.0};
+  double p50_us{0.0};
+  double p99_us{0.0};
+};
+
+// An idle GDPNET01 connection: connected, magic delivered (so it is off the
+// slow-loris clock), then silent.  Returns the fd; -1 on failure.
+inline int OpenIdleConn(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  std::size_t sent = 0;
+  while (sent < wire::kMagicSize) {
+    const ssize_t n = ::send(fd, wire::kMagic + sent, wire::kMagicSize - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return -1;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return fd;
+}
+
+inline ConnScaleResult RunConnScale(const ConnScaleConfig& cfg) {
+  gdp::core::SessionSpec spec;
+  spec.hierarchy.depth = cfg.hierarchy_depth;
+  spec.hierarchy.validate_hierarchy = false;
+
+  gdp::serve::DisclosureService service(2);
+  service.catalog().Register(
+      "ds0", gdp::serve::Dataset{LoadGenGraph(cfg.edges, cfg.seed + 100),
+                                 spec, cfg.seed, {}, {}});
+  gdp::serve::TenantProfile profile;
+  profile.epsilon_cap = 1e6;
+  profile.delta_cap = 0.5;
+  for (int t = 0; t < cfg.active_tenants; ++t) {
+    profile.privilege = t % (cfg.hierarchy_depth + 1);
+    service.broker().Register("tenant" + std::to_string(t), profile);
+  }
+
+  ServerConfig server_cfg;
+  server_cfg.num_workers = cfg.num_workers;
+  server_cfg.queue_capacity = cfg.queue_capacity;
+  server_cfg.seed = cfg.seed;
+  Server server(service, server_cfg);
+
+  // Pre-warm the artifact outside the timed window.
+  {
+    Client warm(server.port());
+    wire::ServeRequest req;
+    req.tenant = "tenant0";
+    req.dataset = "ds0";
+    (void)warm.Serve(req);
+  }
+
+  // The idle mass.  A failed open here is a result, not an exception — it
+  // shows up as connections_open below the target.
+  std::vector<int> idle_fds;
+  idle_fds.reserve(static_cast<std::size_t>(cfg.connections));
+  for (int i = 0; i < cfg.connections; ++i) {
+    const int fd = OpenIdleConn(server.port());
+    if (fd >= 0) {
+      idle_fds.push_back(fd);
+    }
+  }
+
+  std::atomic<std::uint64_t> errors{0};
+  std::mutex latency_mutex;
+  std::vector<double> latencies_us;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(cfg.duration_ms);
+  std::vector<std::thread> actives;
+  actives.reserve(static_cast<std::size_t>(cfg.active_tenants));
+  for (int t = 0; t < cfg.active_tenants; ++t) {
+    actives.emplace_back([&, t] {
+      Client client(server.port());
+      std::vector<double> local_us;
+      wire::ServeRequest req;
+      req.tenant = "tenant" + std::to_string(t);
+      req.dataset = "ds0";
+      while (std::chrono::steady_clock::now() < deadline) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto reply = client.Serve(req);
+        const auto t1 = std::chrono::steady_clock::now();
+        local_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        if (reply.status == ReplyStatus::kError) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      const std::lock_guard<std::mutex> lock(latency_mutex);
+      latencies_us.insert(latencies_us.end(), local_us.begin(),
+                          local_us.end());
+    });
+  }
+  for (std::thread& t : actives) {
+    t.join();
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Sample the server's view while the idle mass is still attached.
+  const wire::StatsResponse stats = server.GetStats();
+  for (const int fd : idle_fds) {
+    ::close(fd);
+  }
+  server.Stop();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  ConnScaleResult result;
+  result.connections_open = stats.connections_open;
+  result.io_threads = stats.io_threads;
+  result.requests = static_cast<std::uint64_t>(latencies_us.size());
+  result.errors = errors.load();
+  result.elapsed_s = elapsed_s;
+  result.qps = elapsed_s > 0.0
+                   ? static_cast<double>(result.requests) / elapsed_s
+                   : 0.0;
+  result.p50_us = PercentileUs(latencies_us, 0.50);
   result.p99_us = PercentileUs(latencies_us, 0.99);
   return result;
 }

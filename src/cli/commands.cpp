@@ -270,6 +270,12 @@ int ServeListenLoop(const Args& args, gdp::serve::DisclosureService& service,
   server_config.queue_capacity =
       static_cast<std::size_t>(args.GetInt("queue-depth", 64));
   server_config.seed = seed;
+  // Default "shared" keeps socket-vs-batch parity; "per-connection" trades
+  // that for contention-free noise draws (deterministic per accept order).
+  if (args.Get("noise-streams").value_or("shared") == "per-connection") {
+    server_config.noise_streams =
+        gdp::core::NoiseStreamMode::kPerConnection;
+  }
   const std::int64_t max_requests = args.GetInt("max-requests", 0);
 
   gdp::net::Server server(service, server_config);
@@ -285,7 +291,8 @@ int ServeListenLoop(const Args& args, gdp::serve::DisclosureService& service,
   }
   out << "listening on 127.0.0.1:" << server.port() << " ("
       << server_config.num_workers << " workers, queue depth "
-      << server_config.queue_capacity << ")\n";
+      << server_config.queue_capacity << ", noise streams "
+      << gdp::core::NoiseStreamModeName(server_config.noise_streams) << ")\n";
   out.flush();
 
   g_stop_requested = 0;
@@ -609,6 +616,13 @@ int RunServe(const Args& args, std::ostream& out) {
     if (args.GetInt("max-requests", 0) < 0) {
       throw std::invalid_argument("--max-requests must be >= 0");
     }
+    if (const auto noise_streams = args.Get("noise-streams")) {
+      if (*noise_streams != "shared" && *noise_streams != "per-connection") {
+        throw std::invalid_argument(
+            "--noise-streams must be 'shared' or 'per-connection', got '" +
+            *noise_streams + "'");
+      }
+    }
   }
   const std::int64_t capacity = args.GetInt("registry-capacity", 8);
   if (capacity <= 0) {
@@ -884,6 +898,13 @@ int RunClient(const Args& args, std::ostream& out) {
     add("queue_capacity", s.queue_capacity);
     add("queue_high_watermark", s.queue_high_watermark);
     add("workers", s.workers);
+    add("io_threads", s.io_threads);
+    table.AddRow({"noise_streams",
+                  gdp::core::NoiseStreamModeName(
+                      static_cast<gdp::core::NoiseStreamMode>(
+                          s.noise_streams))});
+    add("rng_mutex_acquisitions", s.rng_mutex_acquisitions);
+    add("partial_writes", s.partial_writes);
     table.Print(out);
     return 0;
   }
@@ -1374,6 +1395,10 @@ std::string UsageText() {
          "            [--max-requests N]  exit after N completed requests\n"
          "            (tests/scripts); SIGTERM/SIGINT drain in-flight jobs\n"
          "            and flush responses before exit either way\n"
+         "            [--noise-streams shared|per-connection]  'shared'\n"
+         "            (default) draws all noise from the one batch-parity\n"
+         "            stream; 'per-connection' forks a stream per connection\n"
+         "            (deterministic per accept order, no global RNG lock)\n"
          "  client    --connect HOST:PORT  GDPNET01 client\n"
          "            --stats                     server/queue/registry"
          " counters\n"
@@ -1447,7 +1472,8 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
                            "threads", "noise-grain", "registry-capacity",
                            "out", "accounting", "wal", "dataset-eps-cap",
                            "dataset-delta-cap", "listen", "port-file",
-                           "workers", "queue-depth", "max-requests"}),
+                           "workers", "queue-depth", "max-requests",
+                           "noise-streams"}),
         out);
   }
   if (command == "client") {

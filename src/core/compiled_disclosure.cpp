@@ -10,6 +10,16 @@
 
 namespace gdp::core {
 
+const char* NoiseStreamModeName(NoiseStreamMode mode) noexcept {
+  switch (mode) {
+    case NoiseStreamMode::kShared:
+      return "shared";
+    case NoiseStreamMode::kPerConnection:
+      return "per-connection";
+  }
+  return "unknown";
+}
+
 void ValidateBudgetShape(const BudgetSpec& budget) {
   if (!(budget.phase1_fraction >= 0.0) || !(budget.phase1_fraction < 1.0)) {
     throw gdp::common::InvalidBudgetError(

@@ -63,6 +63,11 @@ struct DisclosureConfig {
   // as num_levels sequential mechanisms instead of one width-num_levels
   // parallel event.  See SessionSpec::strict_level_charging.
   bool strict_level_charging{false};
+  // How a socket front end assigns request noise streams
+  // (`--noise-streams shared|per-connection`).  See
+  // SessionSpec::noise_streams; the batch pipeline itself always draws from
+  // the one stream it is handed.
+  NoiseStreamMode noise_streams{NoiseStreamMode::kShared};
 
   // The orthogonal-spec views of this flat config (the migration path).
   [[nodiscard]] HierarchySpec ToHierarchySpec() const;

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -68,6 +69,31 @@ int ConnectTo(const std::string& host, std::uint16_t port) {
     }
     if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
       break;
+    }
+    if (errno == EINTR) {
+      // A signal interrupted connect(); POSIX says the handshake continues
+      // asynchronously and a second connect() would fail.  Wait for the
+      // socket to become writable, then read the real outcome — retrying
+      // or surfacing a spurious IoError here would drop a good connection.
+      pollfd pfd{fd, POLLOUT, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, -1);
+      } while (ready < 0 && errno == EINTR);
+      int so_error = ready < 0 ? errno : 0;
+      if (ready > 0) {
+        socklen_t len = sizeof(so_error);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0) {
+          so_error = errno;
+        }
+      }
+      if (so_error == 0) {
+        break;  // the interrupted connect completed
+      }
+      err = std::strerror(so_error);
+      ::close(fd);
+      fd = -1;
+      continue;
     }
     err = std::strerror(errno);
     ::close(fd);

@@ -75,7 +75,7 @@ JobQueue::Stats JobQueue::GetStats() const {
   s.capacity = capacity_;
   s.submitted = submitted_;
   s.rejected = rejected_;
-  s.executed = executed_;
+  s.executed = executed_.Total();
   s.high_watermark = high_watermark_;
   s.workers = workers_.size();
   return s;
@@ -96,10 +96,7 @@ void JobQueue::WorkerLoop() {
       jobs_.pop_front();
     }
     job();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++executed_;
-    }
+    executed_.Add();
   }
 }
 

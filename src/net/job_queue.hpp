@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/sharded_counter.hpp"
+
 namespace gdp::net {
 
 class JobQueue {
@@ -75,7 +77,9 @@ class JobQueue {
   bool paused_{false};
   std::uint64_t submitted_{0};
   std::uint64_t rejected_{0};
-  std::uint64_t executed_{0};
+  // Incremented by every worker after every job — sharded so the per-request
+  // accounting does not retake mu_ (or bounce one line) on the hot path.
+  gdp::common::ShardedCounter executed_;
   std::size_t high_watermark_{0};
   std::vector<std::thread> workers_;
 };

@@ -1,17 +1,19 @@
 // Concurrent GDPNET01 socket server over a DisclosureService.
 //
 // The shape is rippled's RPCServer/JobQueue pipeline (ROADMAP's "millions of
-// users" item) applied to the shared-immutable-artifact serving model:
+// users" item) applied to the shared-immutable-artifact serving model, with
+// the reader layer collapsed into ONE epoll-driven I/O thread so the thread
+// count is O(1) in the connection count:
 //
-//   acceptor thread ──▶ one reader thread per connection
-//                          │ frame + decode (wire.hpp) + per-tenant admission
-//                          ▼
-//                      bounded JobQueue ──▶ worker pool ──▶ DisclosureService
-//                          │                                      │
-//                          └── full? ──▶ typed Overloaded          └─▶ framed
-//                                        (never a dropped conn)       response
+//   epoll I/O thread ──▶ nonblocking accept / recv / send for EVERY conn
+//          │ per-conn input buffer + frame decode (wire.hpp) + admission
+//          ▼
+//      bounded JobQueue ──▶ worker pool ──▶ DisclosureService
+//          │                                      │ direct nonblocking send;
+//          └── full? ──▶ typed Overloaded          │ EAGAIN → per-conn outbox,
+//                        (never a dropped conn)    ▼ EPOLLOUT re-arms flush
 //
-// ADMISSION happens on the reader thread, before anything is queued:
+// ADMISSION happens on the I/O thread, before anything is queued:
 //   1. the tenant must exist (TenantBroker::Profile; unknown → typed Error),
 //   2. the tenant's in-flight cap (TenantProfile::max_in_flight) must have
 //      room — one tenant must not occupy the whole queue,
@@ -21,33 +23,54 @@
 // any overload the server's behavior is "slower, with typed refusals" —
 // never a dropped connection, never a crash (pinned by net_server_test).
 //
-// DETERMINISM: all noise is drawn from ONE request stream, Rng(seed).Fork(1)
-// — the same stream `gdp_tool serve --requests` consumes — guarded by a
-// mutex, so workers serialize exactly the service calls that draw noise
-// (decode, encode, and socket I/O still overlap).  A sequential client
-// therefore receives bit-identical results to the in-process batch driver at
-// the same seed, which is what makes the socket path auditable against the
-// batch path (tests/net_parity_test.cpp).
+// SLOW CLIENTS never block a worker: responses are sent nonblocking; a
+// partial write parks the remainder in the connection's outbox and the I/O
+// thread finishes it under EPOLLOUT.  Slow READERS (a partial magic/frame
+// outwaiting read_timeout_ms) are closed by a timerfd sweep; idle
+// connections between complete requests are never on the clock, which is
+// what lets thousands of mostly-idle connections sit on one thread.
 //
-// SHUTDOWN drains: Stop() stops accepting, wakes every reader (no new jobs),
-// finishes every accepted job (responses flushed, WAL consistent — an
-// admitted charge always reaches both the log and its client), then closes
-// the connections.  Idempotent; the destructor calls it.
+// DETERMINISM has two modes (ServerConfig::noise_streams):
+//   - kShared (default): all noise is drawn from ONE request stream,
+//     Rng(seed).Fork(1) — the same stream `gdp_tool serve --requests`
+//     consumes — guarded by rng_mutex_, so workers serialize exactly the
+//     service calls that draw noise.  A sequential client receives
+//     bit-identical results to the in-process batch driver at the same seed
+//     (tests/net_parity_test.cpp).
+//   - kPerConnection: each connection owns Rng(seed).Fork(2).Fork(id) where
+//     id is the accept order (0-based).  No global lock on the hot path
+//     (rng_mutex_acquisitions stays 0 — the Stats seam pins it); results
+//     are a pure function of (seed, id, per-connection request order).
+//     Fork salt 2 keeps the namespace disjoint from the batch stream's
+//     Fork(1), so neither mode can alias the other.
 //
-// Stats requests are answered inline on the reader thread — observability
-// must keep working while the queue is saturated.
+// SHUTDOWN drains in phases: the accept gate closes FIRST (no connection can
+// register mid-stop — the I/O thread is the only registrar and it checks the
+// gate), then reads stop (no new jobs), then every accepted job runs to
+// completion (responses flushed, WAL consistent — an admitted charge always
+// reaches both the log and its client), then outboxes are flushed and the
+// fds close.  Idempotent; the destructor calls it.
+//
+// Stats requests are answered inline on the I/O thread — observability must
+// keep working while the queue is saturated.  Hot-path counters that every
+// request touches are sharded (common/sharded_counter.hpp) so accounting
+// does not bounce one cache line across the worker pool.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/sharded_counter.hpp"
+#include "core/compiled_disclosure.hpp"
 #include "net/job_queue.hpp"
 #include "net/wire.hpp"
 #include "serve/service.hpp"
@@ -60,13 +83,16 @@ struct ServerConfig {
   std::uint16_t port{0};
   std::size_t num_workers{2};
   std::size_t queue_capacity{64};
-  // How long a reader waits for the REST of a partially received frame (or
-  // the connection magic) before declaring the peer a slow-loris and closing.
-  // Idle connections between complete requests are not subject to it.
+  // How long a peer may sit on a partially received frame (or the connection
+  // magic) before the slow-loris sweep closes it.  Idle connections between
+  // complete requests are not subject to it.
   int read_timeout_ms{5000};
-  // Seed for the request noise stream, Rng(seed).Fork(1) — must match the
-  // batch driver's seed for socket-vs-batch parity.
+  // Seed for the request noise stream(s); must match the batch driver's seed
+  // for socket-vs-batch parity in kShared mode.
   std::uint64_t seed{42};
+  // Which noise stream a request draws from; see the determinism contract
+  // above.  kShared is the batch-parity default.
+  gdp::core::NoiseStreamMode noise_streams{gdp::core::NoiseStreamMode::kShared};
 };
 
 class Server {
@@ -91,7 +117,19 @@ class Server {
   // Monotone count of requests fully processed (response written or the
   // connection found dead).  The CLI's --max-requests watches this.
   [[nodiscard]] std::uint64_t requests_completed() const noexcept {
-    return requests_completed_.load(std::memory_order_relaxed);
+    return requests_completed_.Total();
+  }
+
+  // Reader-side thread count — a compile-time property of the epoll design,
+  // exposed so tests can pin "O(1) threads regardless of connection count".
+  [[nodiscard]] static constexpr std::size_t io_threads() noexcept {
+    return 1;
+  }
+
+  // Global rng_mutex_ acquisitions on the request hot path.  The
+  // per-connection-mode test asserts this stays 0 under concurrent load.
+  [[nodiscard]] std::uint64_t rng_mutex_acquisitions() const noexcept {
+    return rng_mutex_acquisitions_.load(std::memory_order_relaxed);
   }
 
   // Test seam: freeze/thaw the worker pool to build deterministic overload
@@ -99,16 +137,48 @@ class Server {
   [[nodiscard]] JobQueue& queue() noexcept { return queue_; }
 
  private:
-  // One live client connection.  The write mutex serializes response frames
-  // (workers and the reader may interleave responses on one connection).
+  // One live client connection.  Reader-side state (inbox, got_magic,
+  // deadline) is touched ONLY by the I/O thread; writer-side state (fd use,
+  // outbox, close_after_flush) is shared between workers and the I/O thread
+  // under write_mutex.  Only the I/O thread closes the fd or talks to epoll.
   struct Connection {
     int fd{-1};
-    std::mutex write_mutex;
+    std::uint64_t id{0};  // accept order; keys the per-connection stream
     std::atomic<bool> alive{true};
+
+    std::mutex write_mutex;
+    std::string outbox;            // bytes awaiting an EPOLLOUT flush
+    bool close_after_flush{false};  // protocol violation: error frame, close
+
+    // I/O-thread-private reader state.
+    std::string inbox;
+    bool got_magic{false};
+    bool on_clock{false};  // owes us bytes (partial magic/frame)
+    std::chrono::steady_clock::time_point deadline{};
+
+    // kPerConnection noise stream.  The mutex serializes draws from
+    // pipelined requests on ONE connection (cross-connection draws never
+    // contend).
+    std::mutex rng_mutex;
+    gdp::common::Rng rng;
   };
 
-  void AcceptLoop();
-  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  void IoLoop();
+  void AcceptReady();
+  void ReadReady(const std::shared_ptr<Connection>& conn);
+  void WriteReady(const std::shared_ptr<Connection>& conn);
+  void SweepClocks();
+  void ArmClockTimer();
+  // epoll_ctl MOD helper: EPOLLIN always, EPOLLOUT iff the outbox has bytes.
+  void UpdateInterest(const std::shared_ptr<Connection>& conn,
+                      bool want_write);
+  // I/O-thread-side close: deregister, close the fd, drop from conns_.
+  void CloseFromIo(const std::shared_ptr<Connection>& conn);
+  // Wake the I/O thread (worker parked bytes / Stop requested).
+  void WakeIo();
+  // Bounded final flush of every outbox after the job drain, then close all.
+  void DrainAndCloseAll();
+
   // Dispatch one CRC-valid payload: Stats inline, requests through
   // admission + queue.  Returns false when the connection must close
   // (framing-level violation).
@@ -116,12 +186,14 @@ class Server {
                                    const std::string& payload);
   void RunJob(const std::shared_ptr<Connection>& conn,
               const std::string& payload);
-  // Frame + write a payload; a failed write marks the connection dead
-  // (the reader notices on its next recv).
+  // Frame + send a payload: direct nonblocking send under write_mutex;
+  // a partial write parks the remainder in the outbox and re-arms EPOLLOUT.
   void Send(const std::shared_ptr<Connection>& conn,
             const std::string& payload);
   void SendError(const std::shared_ptr<Connection>& conn, wire::ErrorCode code,
                  const std::string& message);
+  // Ask the I/O thread to arm EPOLLOUT for conn (callable from any thread).
+  void RequestWrite(const std::shared_ptr<Connection>& conn);
 
   // In-flight accounting for the per-tenant cap.  Returns false (and sheds)
   // when the tenant is at its cap; on true the caller owes ReleaseTenant.
@@ -133,18 +205,37 @@ class Server {
   ServerConfig config_;
   JobQueue queue_;
   int listen_fd_{-1};
+  int epoll_fd_{-1};
+  int wake_fd_{-1};   // eventfd: workers parked bytes / Stop requested
+  int timer_fd_{-1};  // timerfd: slow-loris deadline sweep
   std::uint16_t port_{0};
-  std::thread acceptor_;
+  std::thread io_thread_;
   std::atomic<bool> stopping_{false};
-  bool stopped_{false};  // guarded by conns_mutex_
+  std::atomic<bool> drain_requested_{false};
+  std::mutex stop_mutex_;
+  bool stopped_{false};  // guarded by stop_mutex_
 
-  // The one request noise stream; guards both the Rng and the draw order.
+  // I/O-thread-private shutdown/clock state.
+  bool gate_closed_{false};  // accept gate closed, reads disabled
+  bool timer_armed_{false};
+  std::chrono::steady_clock::time_point timer_next_{};
+
+  // The connection table is I/O-thread-private: only the I/O thread inserts
+  // (accept) and erases (close), so Stop() cannot race a registration — the
+  // accept gate is checked on the same thread that registers.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_{0};  // I/O-thread-private accept order
+
+  // Connections whose outbox gained bytes from a worker; the I/O thread
+  // drains this (under the same mutex) and arms EPOLLOUT.
+  std::mutex pending_mutex_;
+  std::vector<std::shared_ptr<Connection>> pending_writes_;
+
+  // The one shared request noise stream (kShared mode); guards both the Rng
+  // and the draw order.
   std::mutex rng_mutex_;
   gdp::common::Rng rng_;
-
-  mutable std::mutex conns_mutex_;
-  std::vector<std::shared_ptr<Connection>> conns_;
-  std::vector<std::thread> readers_;
+  std::atomic<std::uint64_t> rng_mutex_acquisitions_{0};
 
   std::mutex inflight_mutex_;
   std::map<std::string, int> inflight_;
@@ -152,10 +243,13 @@ class Server {
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_open_{0};
   std::atomic<std::uint64_t> requests_enqueued_{0};
-  std::atomic<std::uint64_t> requests_completed_{0};
+  // Every request increments this from whichever worker ran it — the one
+  // counter hot enough to shard.
+  gdp::common::ShardedCounter requests_completed_;
   std::atomic<std::uint64_t> shed_queue_full_{0};
   std::atomic<std::uint64_t> shed_tenant_inflight_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> partial_writes_{0};
 };
 
 }  // namespace gdp::net

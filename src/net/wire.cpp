@@ -487,6 +487,10 @@ std::string Encode(const StatsResponse& msg) {
   w.U64(msg.queue_capacity);
   w.U64(msg.queue_high_watermark);
   w.U64(msg.workers);
+  w.U64(msg.io_threads);
+  w.U8(msg.noise_streams);
+  w.U64(msg.rng_mutex_acquisitions);
+  w.U64(msg.partial_writes);
   return std::move(w).Take();
 }
 
@@ -661,6 +665,10 @@ StatsResponse DecodeStatsResponse(std::string_view payload) {
   msg.queue_capacity = r.U64();
   msg.queue_high_watermark = r.U64();
   msg.workers = r.U64();
+  msg.io_threads = r.U64();
+  msg.noise_streams = r.U8();
+  msg.rng_mutex_acquisitions = r.U64();
+  msg.partial_writes = r.U64();
   r.ExpectEnd("StatsResponse");
   return msg;
 }

@@ -223,6 +223,16 @@ struct StatsResponse {
   std::uint64_t queue_capacity{0};
   std::uint64_t queue_high_watermark{0};
   std::uint64_t workers{0};
+  // I/O layer (epoll front end).  io_threads is the reader-thread count —
+  // O(1), independent of connections_open (the scalability contract).
+  std::uint64_t io_threads{0};
+  // 0 = shared (batch-parity stream), 1 = per-connection forked streams.
+  std::uint8_t noise_streams{0};
+  // Global rng_mutex_ acquisitions on the request hot path.  Stays flat in
+  // per-connection mode — the test seam for the zero-contention claim.
+  std::uint64_t rng_mutex_acquisitions{0};
+  // Responses that hit EAGAIN mid-frame and finished via EPOLLOUT re-arm.
+  std::uint64_t partial_writes{0};
 };
 
 struct OverloadedResponse {

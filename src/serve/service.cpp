@@ -86,13 +86,13 @@ void DisclosureService::AdoptWal(std::unique_ptr<AuditWal> wal) {
 void DisclosureService::WalAppend(WalRecord record) {
   try {
     wal_->Append(std::move(record));
-    wal_appends_.fetch_add(1, std::memory_order_relaxed);
+    wal_appends_.Add();
   } catch (const gdp::common::DurabilityError&) {
     // The charge may or may not be on disk (a torn frame is truncated on
     // the next open).  Either way nothing was released for it, so the only
     // wrong move — noise without durable accounting — cannot happen; latch
     // and refuse all further releases.
-    wal_failures_.fetch_add(1, std::memory_order_relaxed);
+    wal_failures_.Add();
     wal_failed_.store(true, std::memory_order_release);
     throw;
   }
@@ -100,11 +100,11 @@ void DisclosureService::WalAppend(WalRecord record) {
 
 DurabilityStats DisclosureService::durability_stats() const noexcept {
   DurabilityStats stats;
-  stats.wal_appends = wal_appends_.load(std::memory_order_relaxed);
-  stats.wal_failures = wal_failures_.load(std::memory_order_relaxed);
+  stats.wal_appends = wal_appends_.Total();
+  stats.wal_failures = wal_failures_.Total();
   stats.fail_closed_rejections =
-      fail_closed_rejections_.load(std::memory_order_relaxed);
-  stats.dataset_denials = dataset_denials_.load(std::memory_order_relaxed);
+      fail_closed_rejections_.Total();
+  stats.dataset_denials = dataset_denials_.Total();
   return stats;
 }
 
@@ -165,7 +165,7 @@ DisclosureService::TenantEntry* DisclosureService::EntryFor(
   if (phase1_charged_.find(fp_key) == phase1_charged_.end()) {
     const OdometerAdmit admit = odometer_.Charge(dataset, phase1);
     if (admit != OdometerAdmit::kAdmitted) {
-      dataset_denials_.fetch_add(1, std::memory_order_relaxed);
+      dataset_denials_.Add();
       const std::optional<DatasetOdometer::Snapshot> snap =
           odometer_.Get(dataset);
       denial = "dataset '" + dataset + "' retired by cross-tenant odometer: " +
@@ -202,7 +202,7 @@ DisclosureService::Admission DisclosureService::Admit(
     const std::string& tenant, const std::string& dataset,
     ServeResult& result) {
   if (wal_failed_.load(std::memory_order_acquire)) {
-    fail_closed_rejections_.fetch_add(1, std::memory_order_relaxed);
+    fail_closed_rejections_.Add();
     throw gdp::common::DurabilityError(
         "DisclosureService: failing closed — a write-ahead append failed and "
         "further releases would be unaccounted; reopen the service over the "
@@ -250,7 +250,7 @@ DisclosureService::Admission DisclosureService::Admit(
     // A retired dataset refuses the tenant BEFORE phase 1 is charged to its
     // ledger: the tenant must not pay for a view it can never draw.
     if (odometer_.IsRetired(dataset)) {
-      dataset_denials_.fetch_add(1, std::memory_order_relaxed);
+      dataset_denials_.Add();
       const std::optional<DatasetOdometer::Snapshot> snap =
           odometer_.Get(dataset);
       result.denial_reason =
@@ -294,7 +294,7 @@ gdp::core::ChargeGate DisclosureService::MakeGate(const std::string& tenant,
           &gate_denial](const gdp::dp::MechanismEvent& event) -> bool {
     const OdometerAdmit admit = odometer_.Charge(dataset, event);
     if (admit != OdometerAdmit::kAdmitted) {
-      dataset_denials_.fetch_add(1, std::memory_order_relaxed);
+      dataset_denials_.Add();
       const std::optional<DatasetOdometer::Snapshot> snap =
           odometer_.Get(dataset);
       gate_denial =

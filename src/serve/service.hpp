@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/sharded_counter.hpp"
 #include "core/session.hpp"
 #include "graph/bipartite_graph.hpp"
 #include "query/workload.hpp"
@@ -341,10 +342,13 @@ class DisclosureService {
   std::unique_ptr<AuditWal> wal_;
   std::atomic<bool> wal_failed_{false};
   RecoveryReport recovery_;
-  mutable std::atomic<std::uint64_t> wal_appends_{0};
-  mutable std::atomic<std::uint64_t> wal_failures_{0};
-  mutable std::atomic<std::uint64_t> fail_closed_rejections_{0};
-  mutable std::atomic<std::uint64_t> dataset_denials_{0};
+  // Touched by every served request across the worker pool — sharded so the
+  // accounting does not bounce a cache line (aggregated in
+  // durability_stats()).
+  mutable gdp::common::ShardedCounter wal_appends_;
+  mutable gdp::common::ShardedCounter wal_failures_;
+  mutable gdp::common::ShardedCounter fail_closed_rejections_;
+  mutable gdp::common::ShardedCounter dataset_denials_;
   mutable std::mutex sessions_mutex_;
   // Keyed by (tenant, dataset): a tenant's spend on a dataset survives
   // registry eviction and recompile (the entry pins the artifact it was

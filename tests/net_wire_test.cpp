@@ -266,6 +266,10 @@ TEST(NetWireTest, StatsResponseRoundTripsEveryField) {
   stats.queue_capacity = 21;
   stats.queue_high_watermark = 22;
   stats.workers = 23;
+  stats.io_threads = 24;
+  stats.noise_streams = 1;
+  stats.rng_mutex_acquisitions = 25;
+  stats.partial_writes = 26;
   const StatsResponse got = DecodeStatsResponse(Encode(stats));
   EXPECT_EQ(got.registry_hits, 1u);
   EXPECT_EQ(got.registry_capacity, 6u);
@@ -275,6 +279,10 @@ TEST(NetWireTest, StatsResponseRoundTripsEveryField) {
   EXPECT_EQ(got.shed_tenant_inflight, 18u);
   EXPECT_EQ(got.queue_high_watermark, 22u);
   EXPECT_EQ(got.workers, 23u);
+  EXPECT_EQ(got.io_threads, 24u);
+  EXPECT_EQ(got.noise_streams, 1);
+  EXPECT_EQ(got.rng_mutex_acquisitions, 25u);
+  EXPECT_EQ(got.partial_writes, 26u);
 }
 
 TEST(NetWireTest, OverloadedAndErrorRoundTrip) {
