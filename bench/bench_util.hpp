@@ -1,8 +1,11 @@
 // Shared helpers for the benchmark harnesses.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/logging.hpp"
@@ -12,6 +15,37 @@
 #include "graph/generators.hpp"
 
 namespace gdp::bench {
+
+// Peak resident set size (VmHWM) of this process in bytes, from
+// /proc/self/status; 0 when the field is unavailable (non-Linux).  The
+// high-water mark is process-monotone — call ResetPeakRss() first to scope
+// it to a phase.
+inline std::uint64_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream ss(line.substr(6));
+      std::uint64_t kb = 0;
+      ss >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+// Reset the kernel's RSS high-water mark to the CURRENT RSS (writes "5" to
+// /proc/self/clear_refs).  Best-effort: returns false when the kernel
+// refuses (then PeakRssBytes() still reports the process-lifetime peak,
+// which over-reports but never under-reports a phase).
+inline bool ResetPeakRss() {
+  std::ofstream clear_refs("/proc/self/clear_refs");
+  if (!clear_refs) {
+    return false;
+  }
+  clear_refs << "5";
+  return static_cast<bool>(clear_refs.flush());
+}
 
 // Benchmarks default to 1/10 of the paper's DBLP scale so the whole suite
 // runs in minutes on a laptop.  Environment overrides:

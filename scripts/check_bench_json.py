@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validate the shape of BENCH_*.json trajectories emitted by run_benches.sh.
 
-Usage: scripts/check_bench_json.py [--require NAME ...] BENCH_a.json [...]
+Usage: scripts/check_bench_json.py [--require NAME ...]
+           [--require-counter NAME:COUNTER ...] BENCH_a.json [...]
 
 Checks, per file:
   * valid JSON with a "context" object (date, num_cpus) and a "benchmarks"
@@ -14,9 +15,16 @@ matches nothing everywhere means the trajectory silently rotted), and every
 notices when a pinned datapoint — e.g. BM_WalAppend — falls out of the run
 filter instead of silently passing a shrunken trajectory).
 
+--require-counter NAME:COUNTER additionally demands that some entry of
+benchmark NAME carries the user counter COUNTER as a finite number > 0
+(google-benchmark emits counters as extra numeric keys on the entry).  CI
+pins BM_CompileAtScale:peak_rss_mb this way — the scalability trajectory
+must keep recording peak memory, not just wall time.
+
 Exit code 0 on success; 1 with a diagnostic on the first violation.
 """
 import json
+import math
 import sys
 
 
@@ -25,7 +33,7 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def check_file(path: str, seen_names: set) -> int:
+def check_file(path: str, seen_names: set, seen_entries: list) -> int:
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -49,6 +57,7 @@ def check_file(path: str, seen_names: set) -> int:
         if not isinstance(name, str) or not name:
             fail(f"{path}: benchmarks[{i}] lacks a name")
         seen_names.add(name)
+        seen_entries.append(bench)
         for key in ("real_time", "cpu_time"):
             if not isinstance(bench.get(key), (int, float)):
                 fail(f"{path}: {name} lacks numeric '{key}'")
@@ -60,6 +69,7 @@ def check_file(path: str, seen_names: set) -> int:
 
 def main() -> None:
     required = []
+    required_counters = []
     files = []
     args = sys.argv[1:]
     while args:
@@ -68,12 +78,20 @@ def main() -> None:
             if not args:
                 fail("--require needs a benchmark name")
             required.append(args.pop(0))
+        elif arg == "--require-counter":
+            if not args:
+                fail("--require-counter needs NAME:COUNTER")
+            spec = args.pop(0)
+            if ":" not in spec:
+                fail(f"--require-counter '{spec}' is not NAME:COUNTER")
+            required_counters.append(tuple(spec.split(":", 1)))
         else:
             files.append(arg)
     if not files:
         fail("no files given")
     seen_names: set = set()
-    total = sum(check_file(path, seen_names) for path in files)
+    seen_entries: list = []
+    total = sum(check_file(path, seen_names, seen_entries) for path in files)
     if total == 0:
         fail("no benchmark entries in any file (filter matched nothing?)")
     for name in required:
@@ -82,6 +100,17 @@ def main() -> None:
         if not any(seen == name or seen.startswith(name + "/")
                    for seen in seen_names):
             fail(f"required benchmark '{name}' missing from every file")
+    for name, counter in required_counters:
+        matching = [b for b in seen_entries
+                    if b["name"] == name or b["name"].startswith(name + "/")]
+        if not matching:
+            fail(f"required benchmark '{name}' missing from every file")
+        good = [b for b in matching
+                if isinstance(b.get(counter), (int, float))
+                and math.isfinite(b[counter]) and b[counter] > 0]
+        if not good:
+            fail(f"no '{name}' entry carries counter '{counter}' as a "
+                 "finite number > 0")
 
 
 if __name__ == "__main__":

@@ -3,17 +3,29 @@
 # BENCH_<name>.json in the repo root, so successive PRs accumulate a
 # comparable perf history.
 #
-# usage: scripts/run_benches.sh [build_dir] [benchmark_filter]
+# usage: scripts/run_benches.sh [--large] [build_dir] [benchmark_filter]
+#   --large           sets GDP_LARGE=1 for the bench binaries, registering
+#                     the 10M/100M-edge argument points (nightly mode; far
+#                     too slow for the CI bench-smoke job)
 #   build_dir         defaults to ./build
 #   benchmark_filter  optional --benchmark_filter regex (e.g. 'BM_ReleaseAll.*')
 #
 # Environment: GDP_BENCH_REPS (default 1) sets --benchmark_repetitions.
 set -euo pipefail
 
+large=0
+if [[ "${1:-}" == "--large" ]]; then
+  large=1
+  shift
+fi
+
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 filter="${2:-}"
 reps="${GDP_BENCH_REPS:-1}"
+if [[ "$large" == 1 ]]; then
+  export GDP_LARGE=1
+fi
 
 if [[ ! -d "$build_dir" ]]; then
   echo "build dir '$build_dir' not found; run: cmake -B build -S . && cmake --build build -j" >&2

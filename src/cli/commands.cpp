@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <csignal>
@@ -11,6 +12,7 @@
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -436,12 +438,61 @@ int RunGenerate(const Args& args, std::ostream& out) {
   if (args.Get("scale")) {
     params = gdp::graph::DblpScaledParams(args.GetDouble("scale", 0.01));
   } else {
-    params.num_left =
-        static_cast<gdp::graph::NodeIndex>(args.GetInt("left", 10000));
-    params.num_right =
-        static_cast<gdp::graph::NodeIndex>(args.GetInt("right", 15000));
-    params.num_edges =
-        static_cast<gdp::graph::EdgeCount>(args.GetInt("edges", 50000));
+    // Node counts arrive as 64-bit flag values; reject anything outside the
+    // 32-bit NodeIndex range up front, BEFORE the generator sizes its
+    // permutation/CDF arrays from them.
+    const auto node_count = [&](const char* flag, std::int64_t def) {
+      const std::int64_t v = args.GetInt(flag, def);
+      if (v < 0) {
+        throw std::invalid_argument(std::string("--") + flag +
+                                    " must be >= 0");
+      }
+      return gdp::graph::CheckedNodeCount(static_cast<std::uint64_t>(v),
+                                          flag);
+    };
+    params.num_left = node_count("left", 10000);
+    params.num_right = node_count("right", 15000);
+    const std::int64_t edges = args.GetInt("edges", 50000);
+    if (edges < 0) {
+      throw std::invalid_argument("--edges must be >= 0");
+    }
+    params.num_edges = static_cast<gdp::graph::EdgeCount>(edges);
+  }
+  if (args.HasSwitch("stream")) {
+    // Large-graph path: edges go straight from the sampler to the file in
+    // bounded chunks; the graph (and its dedup set) is never materialised,
+    // so 100M+ edges generate in O(nodes + chunk) memory.
+    constexpr std::size_t kChunkEdges = 1 << 20;
+    std::ofstream file(path, std::ios::binary);
+    if (!file) {
+      throw gdp::common::IoError("cannot open edge list file for writing: " +
+                                 path);
+    }
+    file << "# gdp bipartite edge list\n";
+    file << params.num_left << '\t' << params.num_right << '\n';
+    std::string buf;
+    gdp::graph::GenerateDblpLikeStream(
+        params, rng, kChunkEdges,
+        [&](std::span<const gdp::graph::Edge> edges) {
+          buf.clear();
+          char digits[32];
+          for (const gdp::graph::Edge& e : edges) {
+            auto r = std::to_chars(digits, digits + sizeof(digits), e.left);
+            buf.append(digits, r.ptr);
+            buf.push_back('\t');
+            r = std::to_chars(digits, digits + sizeof(digits), e.right);
+            buf.append(digits, r.ptr);
+            buf.push_back('\n');
+          }
+          file.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+        });
+    if (!file) {
+      throw gdp::common::IoError("write failure on edge list file: " + path);
+    }
+    out << "wrote bipartite graph (" << params.num_left << " left, "
+        << params.num_right << " right, " << params.num_edges
+        << " edges, streamed with replacement) to " << path << '\n';
+    return 0;
   }
   const auto graph = GenerateDblpLike(params, rng);
   gdp::graph::WriteEdgeListFile(graph, path);
@@ -1109,7 +1160,11 @@ int RunPack(const Args& args, std::ostream& out) {
   config.noise_chunk_grain = static_cast<std::size_t>(grain);
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
 
-  const auto graph = gdp::graph::ReadEdgeListFile(graph_path);
+  // Two-pass streaming read: identical graph to ReadEdgeListFile, but the
+  // transient edge vector (3x the CSR at 100M-edge scale) never exists —
+  // pack is the designated large-graph entry point and must stay within a
+  // bounded RSS envelope (docs/PERF.md, SCALE).
+  const auto graph = gdp::graph::ReadEdgeListFileStreaming(graph_path);
   gdp::storage::SnapshotContents contents;
   contents.graph = &graph;
   std::shared_ptr<const gdp::core::CompiledDisclosure> compiled;
@@ -1339,11 +1394,17 @@ std::string UsageText() {
          "commands:\n"
          "  generate  --out g.tsv [--scale F | --left N --right M --edges E]"
          " [--seed S]\n"
+         "            [--stream]  chunked large-graph path: edges go straight\n"
+         "            from the sampler to the file (with replacement, no\n"
+         "            dedup) in O(nodes + chunk) memory — the 100M-edge mode\n"
          "  pack      --graph g.tsv --out d.gdps [--compile] [--verify]\n"
          "            [--eps E] [--delta D] [--depth K] [--arity A] [--seed S]\n"
          "            [--threads T] [--noise-grain G]\n"
          "            pack a text edge list into a GDPSNAP01 snapshot that\n"
-         "            disclose/serve mmap zero-copy (--snapshot).  --compile\n"
+         "            disclose/serve mmap zero-copy (--snapshot).  reads the\n"
+         "            edge list in two streaming passes and writes sections\n"
+         "            straight to disk, so peak memory is bounded by the CSR\n"
+         "            columns themselves at any edge count.  --compile\n"
          "            embeds the Phase-1 hierarchy + release plan under the\n"
          "            given spec flags, so a serve with the SAME flags skips\n"
          "            Phase-1 entirely; --verify re-reads the written file\n"
@@ -1436,7 +1497,8 @@ int Dispatch(const std::vector<std::string>& tokens, std::ostream& out) {
   const std::vector<std::string> rest(tokens.begin() + 1, tokens.end());
   if (command == "generate") {
     return RunGenerate(
-        Args::Parse(rest, {"out", "scale", "left", "right", "edges", "seed"}),
+        Args::Parse(rest, {"out", "scale", "left", "right", "edges", "seed"},
+                    {"stream"}),
         out);
   }
   if (command == "pack") {

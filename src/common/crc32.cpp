@@ -185,4 +185,16 @@ std::uint32_t Crc32(std::string_view data, std::uint32_t seed) noexcept {
   return crc ^ 0xFFFFFFFFu;
 }
 
+std::uint32_t Crc32Chunked(std::string_view data, std::size_t chunk_size,
+                           std::uint32_t seed) noexcept {
+  if (chunk_size == 0) {
+    return Crc32(data, seed);
+  }
+  std::uint32_t crc = seed;  // Crc32 of an empty span is the seed itself.
+  for (std::size_t pos = 0; pos < data.size(); pos += chunk_size) {
+    crc = Crc32(data.substr(pos, chunk_size), crc);
+  }
+  return crc;
+}
+
 }  // namespace gdp::common

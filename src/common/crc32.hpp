@@ -15,4 +15,14 @@ namespace gdp::common {
 [[nodiscard]] std::uint32_t Crc32(std::string_view data,
                                   std::uint32_t seed = 0) noexcept;
 
+// CRC of `data` computed in sub-spans of at most `chunk_size` bytes, chained
+// through the seed parameter.  Algebraically identical to the one-shot
+// Crc32 for every chunk size and split point (the CRC state is the running
+// remainder; pinned by streaming_io_test) — callers use it to verify
+// mmap'd sections without touching more than chunk_size bytes of cold pages
+// between scheduling points.  chunk_size == 0 degrades to one shot.
+[[nodiscard]] std::uint32_t Crc32Chunked(std::string_view data,
+                                         std::size_t chunk_size,
+                                         std::uint32_t seed = 0) noexcept;
+
 }  // namespace gdp::common

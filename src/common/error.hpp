@@ -76,6 +76,18 @@ class NetProtocolError : public IoError {
   explicit NetProtocolError(const std::string& what) : IoError(what) {}
 };
 
+// Raised when a requested graph or hierarchy dimension exceeds the compiled
+// 32-bit index width (NodeIndex / GroupId): node counts past 2^32-1, or a
+// singleton level whose group ids would collide with the reserved kNoParent
+// sentinel.  Thrown BEFORE any allocation sized from the oversized value —
+// the alternative is silent truncation, which would serve statistics for a
+// different graph than the caller asked for.  Derives from std::length_error
+// (the standard's "size exceeds implementation capacity" category).
+class CapacityError : public std::length_error {
+ public:
+  explicit CapacityError(const std::string& what) : std::length_error(what) {}
+};
+
 // Raised when an operation is invoked on an object in the wrong state
 // (e.g. querying a hierarchy level that was never built).
 class StateError : public std::logic_error {

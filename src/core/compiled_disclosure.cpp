@@ -105,18 +105,22 @@ std::shared_ptr<const CompiledDisclosure> CompiledDisclosure::Compile(
   em.max_cut_candidates = spec.hierarchy.max_cut_candidates;
   em.validate_hierarchy = spec.hierarchy.validate_hierarchy;
 
-  const gdp::hier::Specializer specializer(em);
-  gdp::hier::SpecializationResult built =
-      specializer.BuildHierarchy(graph, rng);
-
-  // ONE node scan for every release this artifact will ever serve, for every
-  // tenant.  The parallel path shards the scan across the pool the releases
-  // will reuse; either way the plan is bit-identical (pinned by
-  // release_plan_test).
+  // The pool is created BEFORE Phase 1 so the whole compile — the EM
+  // specialization scan, then the one node scan and the per-level rollup of
+  // the plan build — shards across the same workers the releases will later
+  // reuse.  Every sharded stage is bit-identical to its sequential
+  // counterpart for every pool size (pinned by parallel_compile_test), so
+  // the pool policy changes wall time only, never the artifact.
   std::unique_ptr<gdp::common::ThreadPool> pool;
   if (spec.exec.num_threads != 1) {
     pool = std::make_unique<gdp::common::ThreadPool>(spec.exec.num_threads);
   }
+
+  const gdp::hier::Specializer specializer(em);
+  gdp::hier::SpecializationResult built =
+      pool != nullptr ? specializer.BuildHierarchy(graph, rng, *pool)
+                      : specializer.BuildHierarchy(graph, rng);
+
   ReleasePlan plan = pool != nullptr
                          ? ReleasePlan::Build(graph, built.hierarchy, *pool)
                          : ReleasePlan::Build(graph, built.hierarchy);

@@ -111,6 +111,48 @@ BipartiteGraph GenerateDblpLike(const DblpLikeParams& params,
   return BipartiteGraph(params.num_left, params.num_right, std::move(edges));
 }
 
+void GenerateDblpLikeStream(
+    const DblpLikeParams& params, gdp::common::Rng& rng,
+    std::size_t chunk_edges,
+    const std::function<void(std::span<const Edge>)>& sink) {
+  if (params.num_left == 0 || params.num_right == 0) {
+    throw std::invalid_argument(
+        "GenerateDblpLikeStream: node counts must be positive");
+  }
+  if (chunk_edges == 0) {
+    throw std::invalid_argument(
+        "GenerateDblpLikeStream: chunk_edges must be > 0");
+  }
+  const ZipfSampler left_sampler(params.num_left, params.left_zipf_exponent);
+  const ZipfSampler right_sampler(params.num_right, params.right_zipf_exponent);
+
+  // Same index-scrambling permutations as GenerateDblpLike: popular ids are
+  // scattered so index order is no proxy for degree.
+  std::vector<NodeIndex> left_perm(params.num_left);
+  std::vector<NodeIndex> right_perm(params.num_right);
+  for (NodeIndex i = 0; i < params.num_left; ++i) left_perm[i] = i;
+  for (NodeIndex i = 0; i < params.num_right; ++i) right_perm[i] = i;
+  rng.Shuffle(left_perm);
+  rng.Shuffle(right_perm);
+
+  std::vector<Edge> chunk;
+  chunk.reserve(std::min<std::size_t>(
+      chunk_edges, static_cast<std::size_t>(params.num_edges)));
+  for (EdgeCount i = 0; i < params.num_edges; ++i) {
+    const auto l = left_perm[static_cast<NodeIndex>(left_sampler.Sample(rng))];
+    const auto r =
+        right_perm[static_cast<NodeIndex>(right_sampler.Sample(rng))];
+    chunk.push_back(Edge{l, r});
+    if (chunk.size() == chunk_edges) {
+      sink(chunk);
+      chunk.clear();
+    }
+  }
+  if (!chunk.empty()) {
+    sink(chunk);
+  }
+}
+
 BipartiteGraph GenerateUniformRandom(NodeIndex num_left, NodeIndex num_right,
                                      EdgeCount num_edges, gdp::common::Rng& rng) {
   if (num_left == 0 || num_right == 0) {

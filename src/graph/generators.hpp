@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 
 #include "common/rng.hpp"
 #include "graph/bipartite_graph.hpp"
@@ -64,6 +66,23 @@ struct DblpLikeParams {
 // count is whatever ends up in the graph.
 [[nodiscard]] BipartiteGraph GenerateDblpLike(const DblpLikeParams& params,
                                               gdp::common::Rng& rng);
+
+// Chunked large-graph variant of GenerateDblpLike: hands edges to `sink` in
+// buffers of at most `chunk_edges` instead of materialising the graph, so
+// peak memory is O(num_left + num_right) sampler/permutation state plus ONE
+// chunk — the 100M-edge path that a std::vector<Edge> (and especially the
+// dedup hash set) would blow up.  Edges are sampled WITH replacement
+// (parallel edges possible; an association dataset legitimately records
+// them, and BipartiteGraph keeps them).
+//
+// Determinism: the edge stream is a pure function of (params, rng state) —
+// `chunk_edges` changes flush boundaries, never contents — so one seed pins
+// one graph at every chunk size (streaming_io_test pins this).  Requires
+// chunk_edges > 0.
+void GenerateDblpLikeStream(
+    const DblpLikeParams& params, gdp::common::Rng& rng,
+    std::size_t chunk_edges,
+    const std::function<void(std::span<const Edge>)>& sink);
 
 // Uniform-random bipartite graph: each edge picks both endpoints uniformly.
 [[nodiscard]] BipartiteGraph GenerateUniformRandom(NodeIndex num_left,

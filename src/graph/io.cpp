@@ -62,7 +62,153 @@ NodeIndex CheckNodeField(std::uint64_t value, const char* what, int line_no) {
   return static_cast<NodeIndex>(value);
 }
 
+// One parsing pass over an edge list stream: on_header(num_left, num_right)
+// once, then on_edge(l, r) per data line (endpoints already range-checked).
+// Both passes of the streaming reader share this with the one-pass reader's
+// grammar, so the two readers accept exactly the same files.
+template <typename HeaderFn, typename EdgeFn>
+void ScanEdgeList(std::istream& in, HeaderFn&& on_header, EdgeFn&& on_edge) {
+  std::string line;
+  int line_no = 0;
+  NodeIndex num_left = 0;
+  NodeIndex num_right = 0;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) {
+      continue;
+    }
+    const char* p = line.data();
+    const char* const end = line.data() + line.size();
+    num_left = CheckNodeField(ParseField(p, end, "num_left", line_no),
+                              "num_left", line_no);
+    num_right = CheckNodeField(ParseField(p, end, "num_right", line_no),
+                               "num_right", line_no);
+    have_header = true;
+    break;
+  }
+  if (!have_header) {
+    throw IoError("edge list: missing header line '<num_left> <num_right>'");
+  }
+  on_header(num_left, num_right);
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) {
+      continue;
+    }
+    const char* p = line.data();
+    const char* const end = line.data() + line.size();
+    const NodeIndex l = CheckNodeField(
+        ParseField(p, end, "left index", line_no), "left index", line_no);
+    const NodeIndex r = CheckNodeField(
+        ParseField(p, end, "right index", line_no), "right index", line_no);
+    if (l >= num_left || r >= num_right) {
+      throw IoError("edge list line " + std::to_string(line_no) +
+                    ": endpoint out of range");
+    }
+    on_edge(l, r);
+  }
+}
+
 }  // namespace
+
+NodeIndex CheckedNodeCount(std::uint64_t value, const char* what) {
+  if (value > kMaxNodeIndex) {
+    throw gdp::common::CapacityError(
+        std::string(what) + " " + std::to_string(value) +
+        " exceeds the 32-bit node index range");
+  }
+  return static_cast<NodeIndex>(value);
+}
+
+BipartiteGraph ReadEdgeListFileStreaming(const std::string& path) {
+  const auto open = [&] {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw IoError("cannot open edge list file: " + path);
+    }
+    return in;
+  };
+
+  // Pass 1: degrees, counted straight into the (future) offset columns.
+  NodeIndex num_left = 0;
+  NodeIndex num_right = 0;
+  EdgeCount num_edges = 0;
+  std::vector<EdgeCount> left_offsets;
+  std::vector<EdgeCount> right_offsets;
+  {
+    std::ifstream in = open();
+    ScanEdgeList(
+        in,
+        [&](NodeIndex nl, NodeIndex nr) {
+          num_left = nl;
+          num_right = nr;
+          left_offsets.assign(static_cast<std::size_t>(nl) + 1, 0);
+          right_offsets.assign(static_cast<std::size_t>(nr) + 1, 0);
+        },
+        [&](NodeIndex l, NodeIndex r) {
+          ++left_offsets[static_cast<std::size_t>(l) + 1];
+          ++right_offsets[static_cast<std::size_t>(r) + 1];
+          ++num_edges;
+        });
+  }
+  for (std::size_t i = 1; i < left_offsets.size(); ++i) {
+    left_offsets[i] += left_offsets[i - 1];
+  }
+  for (std::size_t i = 1; i < right_offsets.size(); ++i) {
+    right_offsets[i] += right_offsets[i - 1];
+  }
+
+  // Pass 2: scatter adjacency through per-node cursors.  The file is not
+  // ours to lock, so every cursor step re-proves it still lands inside the
+  // node's slot range — a file that changed between the passes is rejected
+  // instead of corrupting the CSR.
+  std::vector<NodeIndex> left_adjacency(static_cast<std::size_t>(num_edges));
+  std::vector<NodeIndex> right_adjacency(static_cast<std::size_t>(num_edges));
+  {
+    std::vector<EdgeCount> left_cursor(left_offsets.begin(),
+                                       left_offsets.end() - 1);
+    std::vector<EdgeCount> right_cursor(right_offsets.begin(),
+                                        right_offsets.end() - 1);
+    const auto changed = [&]() -> IoError {
+      return IoError("edge list file '" + path +
+                     "' changed between streaming passes");
+    };
+    std::ifstream in = open();
+    EdgeCount seen = 0;
+    ScanEdgeList(
+        in,
+        [&](NodeIndex nl, NodeIndex nr) {
+          if (nl != num_left || nr != num_right) {
+            throw changed();
+          }
+        },
+        [&](NodeIndex l, NodeIndex r) {
+          EdgeCount& lc = left_cursor[l];
+          EdgeCount& rc = right_cursor[r];
+          if (lc >= left_offsets[static_cast<std::size_t>(l) + 1] ||
+              rc >= right_offsets[static_cast<std::size_t>(r) + 1]) {
+            throw changed();
+          }
+          left_adjacency[static_cast<std::size_t>(lc++)] = r;
+          right_adjacency[static_cast<std::size_t>(rc++)] = l;
+          ++seen;
+        });
+    if (seen != num_edges) {
+      throw changed();
+    }
+  }
+
+  // FromSnapshot re-proves the CSR invariants; for columns we just built
+  // that is a cheap O(V+E) belt-and-braces pass, and it keeps one public
+  // construction path for adopted columns.
+  return BipartiteGraph::FromSnapshot(
+      num_left, num_right, num_edges,
+      gdp::storage::ColumnView<EdgeCount>(std::move(left_offsets)),
+      gdp::storage::ColumnView<NodeIndex>(std::move(left_adjacency)),
+      gdp::storage::ColumnView<EdgeCount>(std::move(right_offsets)),
+      gdp::storage::ColumnView<NodeIndex>(std::move(right_adjacency)));
+}
 
 BipartiteGraph ReadEdgeList(std::istream& in, std::size_t edge_reserve_hint) {
   std::string line;

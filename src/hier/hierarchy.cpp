@@ -1,11 +1,133 @@
 #include "hier/hierarchy.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
 
 namespace gdp::hier {
+
+namespace {
+
+// One level transition of the rollup: sum child-group sums into their parent
+// slots and accumulate rolled child sizes for the conservation check.
+// Returns std::nullopt when any parent link is broken (out-of-range id or
+// side mismatch) or a coarse group's declared size disagrees with the total
+// size of the children that rolled into it — the caller then falls back to a
+// direct scan of the coarse level.
+//
+// Sharded when a pool with more than one worker is given and the fine level
+// is large enough: fine groups split into contiguous ranges, each shard owns
+// a full per-parent accumulator, and a second parallel pass merges shard
+// accumulators per parent slot.  Integer sums over disjoint children are
+// order-independent, so every shard layout yields the sequential rollup
+// bit-for-bit (the same exact-merge contract as Partition::GroupDegreeSums's
+// sharded node scan); small levels and single-worker pools take the
+// sequential loop and pay no merge overhead.
+std::optional<std::vector<EdgeCount>> RollUpLevel(
+    const Partition& fine, const Partition& coarse,
+    const std::vector<EdgeCount>& fine_sums, gdp::common::ThreadPool* pool,
+    std::size_t shard_grain) {
+  const std::size_t num_fine = fine.num_groups();
+  const std::size_t num_coarse = coarse.num_groups();
+
+  if (pool == nullptr || pool->size() <= 1 || shard_grain == 0 ||
+      num_fine <= shard_grain) {
+    bool parents_ok = true;
+    std::vector<EdgeCount> sums(num_coarse, 0);
+    std::vector<NodeIndex> rolled_sizes(num_coarse, 0);
+    for (GroupId g = 0; g < num_fine; ++g) {
+      const GroupInfo& child = fine.group(g);
+      if (child.parent >= num_coarse ||
+          child.side != coarse.group(child.parent).side) {
+        parents_ok = false;
+        break;
+      }
+      sums[child.parent] += fine_sums[g];
+      rolled_sizes[child.parent] += child.size;
+    }
+    if (parents_ok) {
+      for (GroupId p = 0; p < num_coarse; ++p) {
+        if (rolled_sizes[p] != coarse.group(p).size) {
+          parents_ok = false;
+          break;
+        }
+      }
+    }
+    if (!parents_ok) {
+      return std::nullopt;
+    }
+    return sums;
+  }
+
+  // Cap at 2 shards per worker: each shard owns a full per-parent
+  // accumulator, so extra shards add O(shards · parents) merge work and
+  // memory without adding concurrency (see the matching cap in
+  // Partition::GroupDegreeSums).
+  const std::size_t max_shards = 2 * static_cast<std::size_t>(pool->size());
+  const std::size_t grain =
+      std::max(shard_grain, (num_fine + max_shards - 1) / max_shards);
+  const std::size_t num_shards = (num_fine + grain - 1) / grain;
+  struct Shard {
+    std::vector<EdgeCount> sums;
+    std::vector<NodeIndex> sizes;
+    bool parents_ok{true};
+  };
+  std::vector<Shard> shards(num_shards);
+  pool->ParallelForChunked(
+      num_fine, grain,
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        Shard& s = shards[shard];
+        s.sums.assign(num_coarse, 0);
+        s.sizes.assign(num_coarse, 0);
+        for (std::size_t g = begin; g < end; ++g) {
+          const GroupInfo& child = fine.group(static_cast<GroupId>(g));
+          if (child.parent >= num_coarse ||
+              child.side != coarse.group(child.parent).side) {
+            s.parents_ok = false;
+            break;
+          }
+          s.sums[child.parent] += fine_sums[g];
+          s.sizes[child.parent] += child.size;
+        }
+      });
+  for (const Shard& s : shards) {
+    if (!s.parents_ok) {
+      return std::nullopt;
+    }
+  }
+
+  // Merge, parallel over parent ranges: each output slot is owned by exactly
+  // one chunk.  The conservation check rides the same pass — rolled sizes
+  // are complete for a slot once every shard merged into it.
+  std::vector<EdgeCount> out(num_coarse, 0);
+  std::atomic<bool> conserved{true};
+  constexpr std::size_t kMergeGrain = 8192;
+  pool->ParallelForChunked(
+      num_coarse, kMergeGrain,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<NodeIndex> rolled(end - begin, 0);
+        for (const Shard& s : shards) {
+          for (std::size_t p = begin; p < end; ++p) {
+            out[p] += s.sums[p];
+            rolled[p - begin] += s.sizes[p];
+          }
+        }
+        for (std::size_t p = begin; p < end; ++p) {
+          if (rolled[p - begin] != coarse.group(static_cast<GroupId>(p)).size) {
+            conserved.store(false, std::memory_order_relaxed);
+          }
+        }
+      });
+  if (!conserved.load(std::memory_order_relaxed)) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace
 
 GroupHierarchy::GroupHierarchy(std::vector<Partition> levels, bool validate)
     : levels_(std::move(levels)) {
@@ -75,34 +197,12 @@ std::vector<std::vector<EdgeCount>> GroupHierarchy::AllGroupDegreeSumsImpl(
     // parent slot reproduces a direct scan exactly.  validate=false
     // hierarchies may carry broken parent links; mis-rolled sums would
     // UNDERSTATE a level's sensitivity and silently under-noise the release,
-    // so guard with an O(groups) conservation check — every coarse group's
-    // declared size must equal the total size of the children that rolled
-    // into it — and fall back to a direct scan when it fails.
-    bool parents_ok = true;
-    std::vector<EdgeCount> sums(coarse.num_groups(), 0);
-    std::vector<NodeIndex> rolled_sizes(coarse.num_groups(), 0);
-    for (GroupId g = 0; g < fine.num_groups(); ++g) {
-      const GroupId parent = fine.group(g).parent;
-      if (parent >= coarse.num_groups() ||
-          fine.group(g).side != coarse.group(parent).side) {
-        parents_ok = false;
-        break;
-      }
-      sums[parent] += fine_sums[g];
-      rolled_sizes[parent] += fine.group(g).size;
-    }
-    if (parents_ok) {
-      for (GroupId p = 0; p < coarse.num_groups(); ++p) {
-        if (rolled_sizes[p] != coarse.group(p).size) {
-          parents_ok = false;
-          break;
-        }
-      }
-    }
-    if (!parents_ok) {
-      sums = scan(coarse);
-    }
-    all.push_back(std::move(sums));
+    // so RollUpLevel guards with an O(groups) conservation check — every
+    // coarse group's declared size must equal the total size of the children
+    // that rolled into it — and we fall back to a direct scan when it fails.
+    std::optional<std::vector<EdgeCount>> rolled =
+        RollUpLevel(fine, coarse, fine_sums, pool, shard_grain);
+    all.push_back(rolled.has_value() ? std::move(*rolled) : scan(coarse));
   }
   return all;
 }

@@ -51,9 +51,14 @@ class GroupHierarchy {
   [[nodiscard]] std::vector<std::vector<EdgeCount>> AllGroupDegreeSums(
       const BipartiteGraph& graph) const;
 
-  // Same rollup, but the one node scan (and a validation-failure rescan, if
-  // any) runs sharded on `pool` (Partition::GroupDegreeSums pool overload).
-  // Exactly equal to the sequential result for every pool size.
+  // Same rollup, but sharded on `pool`: the one node scan (and a
+  // validation-failure rescan, if any) uses Partition::GroupDegreeSums's
+  // pool overload, and each level's parent-pointer rollup runs as a
+  // parallel-for over child-group ranges with per-shard accumulators merged
+  // exactly — integer sums over disjoint children are order-independent, so
+  // the result equals the sequential rollup bit-for-bit for every pool
+  // size.  Small levels and single-worker pools fall back to the sequential
+  // loop (no merge overhead on one-core hosts).
   [[nodiscard]] std::vector<std::vector<EdgeCount>> AllGroupDegreeSums(
       const BipartiteGraph& graph, gdp::common::ThreadPool& pool,
       std::size_t shard_grain = Partition::kDefaultShardGrain) const;

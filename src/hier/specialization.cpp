@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "dp/exponential.hpp"
 
 namespace gdp::hier {
@@ -112,14 +115,34 @@ struct WorkGroup {
 
 SpecializationResult Specializer::BuildHierarchy(const BipartiteGraph& graph,
                                                  gdp::common::Rng& rng) const {
+  return BuildHierarchyImpl(graph, rng, nullptr);
+}
+
+SpecializationResult Specializer::BuildHierarchy(
+    const BipartiteGraph& graph, gdp::common::Rng& rng,
+    gdp::common::ThreadPool& pool) const {
+  // A single worker cannot overlap anything; the sequential path skips the
+  // staging buffers entirely.  Safe because the staged build is bit-identical
+  // to the sequential one for every pool size.
+  return BuildHierarchyImpl(graph, rng, pool.size() > 1 ? &pool : nullptr);
+}
+
+SpecializationResult Specializer::BuildHierarchyImpl(
+    const BipartiteGraph& graph, gdp::common::Rng& rng,
+    gdp::common::ThreadPool* pool) const {
   if (graph.num_left() == 0 || graph.num_right() == 0) {
     throw std::invalid_argument("Specializer: graph must have nodes on both sides");
   }
+  // Level 0 assigns one group id per node with kNoParent reserved as the
+  // sentinel; reject before any allocation sized from the oversized count.
+  if (graph.total_nodes() >= static_cast<std::uint64_t>(kNoParent)) {
+    throw gdp::common::CapacityError(
+        "Specializer: graph has " + std::to_string(graph.total_nodes()) +
+        " nodes; singleton group ids must fit the 32-bit GroupId range "
+        "(kNoParent reserved)");
+  }
   const std::vector<EdgeCount> left_degrees = graph.Degrees(Side::kLeft);
   const std::vector<EdgeCount> right_degrees = graph.Degrees(Side::kRight);
-  const auto degree_of = [&](Side side, NodeIndex v) {
-    return side == Side::kLeft ? left_degrees[v] : right_degrees[v];
-  };
 
   const int binary_rounds_per_level =
       static_cast<int>(std::lround(std::log2(config_.arity)));
@@ -129,31 +152,119 @@ SpecializationResult Specializer::BuildHierarchy(const BipartiteGraph& graph,
       gdp::dp::Epsilon(eps_per_binary_round),
       gdp::dp::L1Sensitivity(config_.utility_sensitivity));
 
+  // Shard grain for per-node stages (degree gathers, label writes) when a
+  // round has fewer groups than workers: within-group index ranges are
+  // disjoint element reads/writes, so sharding cannot perturb any output.
+  constexpr std::size_t kNodeGrain = 1 << 16;
+  const std::size_t pool_workers =
+      pool != nullptr ? static_cast<std::size_t>(pool->size()) : 1;
+
   std::size_t em_draws = 0;
-  // Split one group into two by an EM-selected cut.  Returns false (and
-  // leaves `second` empty) when the group is too small to split.
-  const auto binary_split = [&](WorkGroup& first, WorkGroup& second) -> bool {
-    const std::vector<std::size_t> cuts =
-        CutCandidates(first.nodes.size(), config_.max_cut_candidates);
-    if (cuts.empty()) {
-      return false;
+
+  // Cut candidates and utilities of one group — a pure function of the
+  // group's (public) node order and degrees, safe to evaluate in parallel
+  // across groups.  utilities stays empty when the group is too small.
+  struct SplitPrep {
+    std::vector<std::size_t> cuts;
+    std::vector<double> utilities;
+  };
+  const auto prepare_group = [&](const WorkGroup& g, SplitPrep& prep,
+                                 std::vector<EdgeCount>& degrees_scratch) {
+    prep.cuts = CutCandidates(g.nodes.size(), config_.max_cut_candidates);
+    if (prep.cuts.empty()) {
+      return;
     }
-    std::vector<EdgeCount> degrees;
-    degrees.reserve(first.nodes.size());
-    for (const NodeIndex v : first.nodes) {
-      degrees.push_back(degree_of(first.side, v));
+    const std::vector<EdgeCount>& degs =
+        g.side == Side::kLeft ? left_degrees : right_degrees;
+    degrees_scratch.resize(g.nodes.size());
+    const auto gather = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        degrees_scratch[i] = degs[g.nodes[i]];
+      }
+    };
+    // A giant group being prepared on the calling thread (the few-groups
+    // case below) shards its gather; the FP prefix sums inside CutUtilities
+    // stay sequential — their summation order is part of the bit-parity
+    // contract with the sequential build.
+    if (pool != nullptr && g.nodes.size() > 2 * kNodeGrain) {
+      pool->ParallelForChunked(
+          g.nodes.size(), kNodeGrain,
+          [&](std::size_t, std::size_t b, std::size_t e) { gather(b, e); });
+    } else {
+      gather(0, g.nodes.size());
     }
-    const std::vector<double> utilities =
-        CutUtilities(degrees, cuts, config_.quality);
-    const std::size_t pick = em.Select(utilities, rng);
-    ++em_draws;
-    const std::size_t cut = cuts[pick];
-    second.side = first.side;
-    second.parent = first.parent;
-    second.nodes.assign(first.nodes.begin() + static_cast<std::ptrdiff_t>(cut),
-                        first.nodes.end());
-    first.nodes.resize(cut);
-    return true;
+    prep.utilities = CutUtilities(degrees_scratch, prep.cuts, config_.quality);
+  };
+
+  // One binary round over `current`, staged so the O(nodes) work shards:
+  //   A (parallel, pure)  — per-group cut candidates + degree gathers +
+  //                         cut utilities;
+  //   B (sequential)      — one EM draw per splittable group, in group
+  //                         order: the rng consumption order IS the
+  //                         determinism contract, so stage B never leaves
+  //                         the calling thread;
+  //   C (parallel)        — materialize next-round groups at precomputed
+  //                         slots (1 slot unsplit, 2 split).
+  // Stage boundaries and slot layout depend only on the groups themselves,
+  // never on the pool, so every pool size produces the same hierarchy as
+  // the fully sequential loop, bit for bit.
+  const auto binary_round = [&](std::vector<WorkGroup>& current) {
+    std::vector<SplitPrep> prep(current.size());
+    if (pool != nullptr && current.size() >= 2 * pool_workers) {
+      const std::size_t group_grain =
+          std::max<std::size_t>(1, current.size() / (8 * pool_workers));
+      pool->ParallelForChunked(
+          current.size(), group_grain,
+          [&](std::size_t, std::size_t begin, std::size_t end) {
+            std::vector<EdgeCount> scratch;
+            for (std::size_t i = begin; i < end; ++i) {
+              prepare_group(current[i], prep[i], scratch);
+            }
+          });
+    } else {
+      std::vector<EdgeCount> scratch;
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        prepare_group(current[i], prep[i], scratch);
+      }
+    }
+
+    std::vector<std::size_t> pick(current.size(), 0);
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (!prep[i].cuts.empty()) {
+        pick[i] = em.Select(prep[i].utilities, rng);
+        ++em_draws;
+      }
+    }
+
+    std::vector<std::size_t> slot(current.size() + 1, 0);
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      slot[i + 1] = slot[i] + (prep[i].cuts.empty() ? 1 : 2);
+    }
+    std::vector<WorkGroup> next(slot.back());
+    const auto emit = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        WorkGroup& g = current[i];
+        if (prep[i].cuts.empty()) {
+          next[slot[i]] = std::move(g);
+          continue;
+        }
+        const std::size_t cut = prep[i].cuts[pick[i]];
+        WorkGroup second{g.side, g.parent, {}};
+        second.nodes.assign(
+            g.nodes.begin() + static_cast<std::ptrdiff_t>(cut), g.nodes.end());
+        g.nodes.resize(cut);
+        next[slot[i]] = std::move(g);
+        next[slot[i] + 1] = std::move(second);
+      }
+    };
+    if (pool != nullptr && current.size() >= 2 * pool_workers) {
+      pool->ParallelForChunked(
+          current.size(), 1,
+          [&](std::size_t, std::size_t b, std::size_t e) { emit(b, e); });
+    } else {
+      emit(0, current.size());
+    }
+    current = std::move(next);
   };
 
   // Top level: one group per side.
@@ -182,9 +293,35 @@ SpecializationResult Specializer::BuildHierarchy(const BipartiteGraph& graph,
       const WorkGroup& g = groups[id];
       infos.push_back(
           GroupInfo{g.side, static_cast<NodeIndex>(g.nodes.size()), g.parent});
-      auto& labels = g.side == Side::kLeft ? left_labels : right_labels;
-      for (const NodeIndex v : g.nodes) {
-        labels[v] = id;
+    }
+    // Label writes are disjoint per group (and per node range within one),
+    // so both sharding shapes reproduce the sequential fill exactly.
+    const auto write_groups = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t id = begin; id < end; ++id) {
+        const WorkGroup& g = groups[id];
+        auto& labels = g.side == Side::kLeft ? left_labels : right_labels;
+        for (const NodeIndex v : g.nodes) {
+          labels[v] = static_cast<GroupId>(id);
+        }
+      }
+    };
+    if (pool == nullptr) {
+      write_groups(0, groups.size());
+    } else if (groups.size() >= 2 * pool_workers) {
+      pool->ParallelForChunked(
+          groups.size(), 1,
+          [&](std::size_t, std::size_t b, std::size_t e) { write_groups(b, e); });
+    } else {
+      for (std::size_t id = 0; id < groups.size(); ++id) {
+        const WorkGroup& g = groups[id];
+        auto& labels = g.side == Side::kLeft ? left_labels : right_labels;
+        pool->ParallelForChunked(
+            g.nodes.size(), kNodeGrain,
+            [&](std::size_t, std::size_t b, std::size_t e) {
+              for (std::size_t i = b; i < e; ++i) {
+                labels[g.nodes[i]] = static_cast<GroupId>(id);
+              }
+            });
       }
     }
     return Partition(std::move(left_labels), std::move(right_labels),
@@ -203,37 +340,41 @@ SpecializationResult Specializer::BuildHierarchy(const BipartiteGraph& graph,
       current[id].parent = id;
     }
     for (int round = 0; round < binary_rounds_per_level; ++round) {
-      std::vector<WorkGroup> next;
-      next.reserve(current.size() * 2);
-      for (WorkGroup& g : current) {
-        WorkGroup second{g.side, g.parent, {}};
-        if (binary_split(g, second)) {
-          next.push_back(std::move(g));
-          next.push_back(std::move(second));
-        } else {
-          next.push_back(std::move(g));
-        }
-      }
-      current = std::move(next);
+      binary_round(current);
     }
     levels_desc.push_back(to_partition(current));
   }
 
-  // Level 0: singletons, parented to the finest grouped level.
+  // Level 0: singletons, parented to the finest grouped level.  Left nodes
+  // take ids [0, num_left), right nodes follow — the same assignment as the
+  // sequential single loop, filled per disjoint node range.
   const Partition& finest = levels_desc.back();
   {
+    const std::size_t nl = graph.num_left();
+    const std::size_t total = static_cast<std::size_t>(graph.total_nodes());
     std::vector<GroupId> left_labels(graph.num_left());
     std::vector<GroupId> right_labels(graph.num_right());
-    std::vector<GroupInfo> infos;
-    infos.reserve(graph.total_nodes());
-    GroupId next_id = 0;
-    for (NodeIndex v = 0; v < graph.num_left(); ++v) {
-      left_labels[v] = next_id++;
-      infos.push_back(GroupInfo{Side::kLeft, 1, finest.GroupOf(Side::kLeft, v)});
-    }
-    for (NodeIndex v = 0; v < graph.num_right(); ++v) {
-      right_labels[v] = next_id++;
-      infos.push_back(GroupInfo{Side::kRight, 1, finest.GroupOf(Side::kRight, v)});
+    std::vector<GroupInfo> infos(total);
+    const auto fill = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t x = begin; x < end; ++x) {
+        if (x < nl) {
+          const auto v = static_cast<NodeIndex>(x);
+          left_labels[v] = static_cast<GroupId>(x);
+          infos[x] = GroupInfo{Side::kLeft, 1, finest.GroupOf(Side::kLeft, v)};
+        } else {
+          const auto v = static_cast<NodeIndex>(x - nl);
+          right_labels[v] = static_cast<GroupId>(x);
+          infos[x] =
+              GroupInfo{Side::kRight, 1, finest.GroupOf(Side::kRight, v)};
+        }
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelForChunked(
+          total, kNodeGrain,
+          [&](std::size_t, std::size_t b, std::size_t e) { fill(b, e); });
+    } else {
+      fill(0, total);
     }
     levels_desc.push_back(Partition(std::move(left_labels),
                                     std::move(right_labels), std::move(infos)));

@@ -22,6 +22,10 @@
 #include "common/rng.hpp"
 #include "hier/hierarchy.hpp"
 
+namespace gdp::common {
+class ThreadPool;
+}  // namespace gdp::common
+
 namespace gdp::hier {
 
 enum class SplitQuality {
@@ -80,14 +84,35 @@ class Specializer {
   explicit Specializer(SpecializationConfig config);
 
   // Build the full hierarchy for `graph`.  Deterministic given `rng` state.
+  // Throws gdp::common::CapacityError before any allocation when the graph's
+  // node count cannot be indexed by 32-bit group ids (kNoParent reserved).
   [[nodiscard]] SpecializationResult BuildHierarchy(const BipartiteGraph& graph,
                                                     gdp::common::Rng& rng) const;
+
+  // Same build, sharded on `pool`.  The per-group cut candidates, degree
+  // gathers and cut utilities are pure functions of one group, so they run
+  // as a parallel-for over disjoint groups (sharded within a group by node
+  // range when a round has fewer groups than workers); the Exponential-
+  // Mechanism draws stay on the calling thread, one per splittable group in
+  // group order — the rng consumption order is the determinism contract —
+  // so the result is bit-identical to the sequential overload for every
+  // pool size.  Single-worker pools take the sequential path and pay no
+  // staging overhead.
+  [[nodiscard]] SpecializationResult BuildHierarchy(
+      const BipartiteGraph& graph, gdp::common::Rng& rng,
+      gdp::common::ThreadPool& pool) const;
 
   [[nodiscard]] const SpecializationConfig& config() const noexcept {
     return config_;
   }
 
  private:
+  // Shared body of the two overloads; pool == nullptr selects the
+  // sequential path.
+  [[nodiscard]] SpecializationResult BuildHierarchyImpl(
+      const BipartiteGraph& graph, gdp::common::Rng& rng,
+      gdp::common::ThreadPool* pool) const;
+
   SpecializationConfig config_;
 };
 

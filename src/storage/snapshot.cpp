@@ -1,6 +1,7 @@
 #include "storage/snapshot.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -226,54 +227,70 @@ void ValidateContents(const SnapshotContents& contents) {
   }
 }
 
-}  // namespace
+// Everything the two writers need: the section list (chunks point into the
+// caller's columns and into the backing stores below — vectors, so moving
+// the image keeps the spans valid), the laid-out offsets, and the finished
+// header + table bytes.
+struct SnapshotImage {
+  // Backing stores for the small metadata payloads referenced as chunks.
+  std::vector<std::byte> graph_meta;
+  std::vector<std::byte> hier_meta;
+  std::vector<std::byte> plan_meta;
+  std::vector<std::vector<std::uint8_t>> level_sides;
+  std::vector<std::vector<std::uint32_t>> level_sizes;
+  std::vector<std::vector<std::uint32_t>> level_parents;
 
-std::vector<std::byte> SerializeSnapshot(const SnapshotContents& contents) {
+  std::vector<PendingSection> sections;
+  std::vector<std::uint64_t> offsets;  // payload offset per section
+  std::size_t file_size{0};
+  std::vector<std::byte> header;
+  std::vector<std::byte> table;
+};
+
+// Validate + lay out a snapshot without materialising the payload bytes.
+// Both writers share this; only the final "move the bytes" step differs
+// (memcpy into one buffer vs streaming write(2) calls).
+SnapshotImage BuildSnapshotImage(const SnapshotContents& contents) {
   ValidateContents(contents);
   const auto& graph = *contents.graph;
   using gdp::graph::Side;
 
-  // Small metadata payloads are built up front and referenced as chunks,
-  // like the big columns; this storage must outlive the final memcpy pass.
-  std::vector<std::byte> graph_meta;
-  PutU32(graph_meta, graph.num_left());
-  PutU32(graph_meta, graph.num_right());
-  PutU64(graph_meta, graph.num_edges());
+  SnapshotImage image;
+  PutU32(image.graph_meta, graph.num_left());
+  PutU32(image.graph_meta, graph.num_right());
+  PutU64(image.graph_meta, graph.num_edges());
 
-  std::vector<PendingSection> sections;
-  sections.push_back({kGraphMeta, {std::span<const std::byte>(graph_meta)}});
+  std::vector<PendingSection>& sections = image.sections;
+  sections.push_back(
+      {kGraphMeta, {std::span<const std::byte>(image.graph_meta)}});
   sections.push_back({kLeftOffsets, {AsBytes(graph.offsets(Side::kLeft))}});
   sections.push_back({kLeftAdjacency, {AsBytes(graph.adjacency(Side::kLeft))}});
   sections.push_back({kRightOffsets, {AsBytes(graph.offsets(Side::kRight))}});
   sections.push_back(
       {kRightAdjacency, {AsBytes(graph.adjacency(Side::kRight))}});
 
-  std::vector<std::byte> hier_meta;
-  std::vector<std::vector<std::uint8_t>> level_sides;
-  std::vector<std::vector<std::uint32_t>> level_sizes;
-  std::vector<std::vector<std::uint32_t>> level_parents;
   if (contents.hierarchy != nullptr) {
     const auto& h = *contents.hierarchy;
     const int num_levels = h.num_levels();
-    PutU32(hier_meta, static_cast<std::uint32_t>(num_levels));
+    PutU32(image.hier_meta, static_cast<std::uint32_t>(num_levels));
     for (int l = 0; l < num_levels; ++l) {
-      PutU32(hier_meta, h.level(l).num_groups());
+      PutU32(image.hier_meta, h.level(l).num_groups());
     }
     PendingSection labels{kHierLabels, {}};
     PendingSection sides{kGroupSides, {}};
     PendingSection sizes{kGroupSizes, {}};
     PendingSection parents{kGroupParents, {}};
-    level_sides.resize(static_cast<std::size_t>(num_levels));
-    level_sizes.resize(static_cast<std::size_t>(num_levels));
-    level_parents.resize(static_cast<std::size_t>(num_levels));
+    image.level_sides.resize(static_cast<std::size_t>(num_levels));
+    image.level_sizes.resize(static_cast<std::size_t>(num_levels));
+    image.level_parents.resize(static_cast<std::size_t>(num_levels));
     for (int l = 0; l < num_levels; ++l) {
       const gdp::hier::Partition& p = h.level(l);
       labels.chunks.push_back(AsBytes(p.labels(Side::kLeft)));
       labels.chunks.push_back(AsBytes(p.labels(Side::kRight)));
       // GroupInfo is AoS in memory; the format stores it as three columns.
-      auto& sd = level_sides[static_cast<std::size_t>(l)];
-      auto& sz = level_sizes[static_cast<std::size_t>(l)];
-      auto& pr = level_parents[static_cast<std::size_t>(l)];
+      auto& sd = image.level_sides[static_cast<std::size_t>(l)];
+      auto& sz = image.level_sizes[static_cast<std::size_t>(l)];
+      auto& pr = image.level_parents[static_cast<std::size_t>(l)];
       sd.reserve(p.num_groups());
       sz.reserve(p.num_groups());
       pr.reserve(p.num_groups());
@@ -286,21 +303,22 @@ std::vector<std::byte> SerializeSnapshot(const SnapshotContents& contents) {
       sizes.chunks.push_back(AsBytes(std::span<const std::uint32_t>(sz)));
       parents.chunks.push_back(AsBytes(std::span<const std::uint32_t>(pr)));
     }
-    sections.push_back({kHierMeta, {std::span<const std::byte>(hier_meta)}});
+    sections.push_back(
+        {kHierMeta, {std::span<const std::byte>(image.hier_meta)}});
     sections.push_back(std::move(labels));
     sections.push_back(std::move(sides));
     sections.push_back(std::move(sizes));
     sections.push_back(std::move(parents));
   }
 
-  std::vector<std::byte> plan_meta;
   if (contents.plan != nullptr) {
     const auto& plan = *contents.plan;
-    PutU32(plan_meta, static_cast<std::uint32_t>(plan.num_levels()));
-    PutU32(plan_meta, 0);  // reserved
-    PutU64(plan_meta, plan.num_edges());
-    PutF64(plan_meta, contents.phase1_epsilon_spent);
-    sections.push_back({kPlanMeta, {std::span<const std::byte>(plan_meta)}});
+    PutU32(image.plan_meta, static_cast<std::uint32_t>(plan.num_levels()));
+    PutU32(image.plan_meta, 0);  // reserved
+    PutU64(image.plan_meta, plan.num_edges());
+    PutF64(image.plan_meta, contents.phase1_epsilon_spent);
+    sections.push_back(
+        {kPlanMeta, {std::span<const std::byte>(image.plan_meta)}});
     sections.push_back({kPlanLevelOffsets, {AsBytes(plan.LevelOffsets())}});
     sections.push_back({kPlanSums, {AsBytes(plan.FlatSums())}});
     sections.push_back({kPlanMaxSums, {AsBytes(plan.LevelSensitivities())}});
@@ -312,29 +330,29 @@ std::vector<std::byte> SerializeSnapshot(const SnapshotContents& contents) {
 
   // Layout: header, table, then 64-byte-aligned payloads in table order.
   const std::size_t table_size = sections.size() * kSectionEntrySize;
-  std::vector<std::uint64_t> offsets(sections.size());
+  image.offsets.resize(sections.size());
   std::size_t cursor = kHeaderSize + table_size;
   for (std::size_t i = 0; i < sections.size(); ++i) {
     cursor = AlignUp(cursor, kPayloadAlignment);
-    offsets[i] = cursor;
+    image.offsets[i] = cursor;
     cursor += static_cast<std::size_t>(sections[i].length());
   }
-  const std::size_t file_size = cursor;
+  image.file_size = cursor;
 
   // Section table.
-  std::vector<std::byte> table;
+  std::vector<std::byte>& table = image.table;
   table.reserve(table_size);
   for (std::size_t i = 0; i < sections.size(); ++i) {
     PutU32(table, sections[i].id);
     PutU32(table, 0);  // reserved
-    PutU64(table, offsets[i]);
+    PutU64(table, image.offsets[i]);
     PutU64(table, sections[i].length());
     PutU32(table, sections[i].crc());
     PutU32(table, 0);  // reserved
   }
 
   // Header.
-  std::vector<std::byte> header;
+  std::vector<std::byte>& header = image.header;
   header.reserve(kHeaderSize);
   for (const char c : kMagic) {
     header.push_back(static_cast<std::byte>(c));
@@ -343,17 +361,25 @@ std::vector<std::byte> SerializeSnapshot(const SnapshotContents& contents) {
   PutU32(header, kByteOrderSentinel);
   PutU32(header, static_cast<std::uint32_t>(sections.size()));
   PutU32(header, 0);  // reserved
-  PutU64(header, file_size);
+  PutU64(header, image.file_size);
   PutU32(header, Crc32(AsStringView(std::span<const std::byte>(table))));
   PutU32(header, Crc32(AsStringView(std::span<const std::byte>(header))));
   header.resize(kHeaderSize, std::byte{0});
 
-  std::vector<std::byte> out(file_size, std::byte{0});
-  std::memcpy(out.data(), header.data(), header.size());
-  std::memcpy(out.data() + kHeaderSize, table.data(), table.size());
-  for (std::size_t i = 0; i < sections.size(); ++i) {
-    std::size_t pos = static_cast<std::size_t>(offsets[i]);
-    for (const auto& chunk : sections[i].chunks) {
+  return image;
+}
+
+}  // namespace
+
+std::vector<std::byte> SerializeSnapshot(const SnapshotContents& contents) {
+  const SnapshotImage image = BuildSnapshotImage(contents);
+  std::vector<std::byte> out(image.file_size, std::byte{0});
+  std::memcpy(out.data(), image.header.data(), image.header.size());
+  std::memcpy(out.data() + kHeaderSize, image.table.data(),
+              image.table.size());
+  for (std::size_t i = 0; i < image.sections.size(); ++i) {
+    std::size_t pos = static_cast<std::size_t>(image.offsets[i]);
+    for (const auto& chunk : image.sections[i].chunks) {
       if (!chunk.empty()) {
         std::memcpy(out.data() + pos, chunk.data(), chunk.size());
       }
@@ -365,10 +391,14 @@ std::vector<std::byte> SerializeSnapshot(const SnapshotContents& contents) {
 
 void WriteSnapshotFile(const std::string& path,
                        const SnapshotContents& contents) {
-  const std::vector<std::byte> bytes = SerializeSnapshot(contents);
+  const SnapshotImage image = BuildSnapshotImage(contents);
   // Write-to-temp + fsync + rename: a crashed pack leaves either the old
   // snapshot or none, never a torn one (the CRCs would catch a torn file,
   // but an operator script should not have to handle that case at all).
+  //
+  // Sections stream straight from the source columns to write(2) — the
+  // whole-file staging buffer SerializeSnapshot builds (which doubles peak
+  // RSS at 100M-edge scale) never exists on this path.
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                         0644);
@@ -376,32 +406,45 @@ void WriteSnapshotFile(const std::string& path,
     throw IoError("WriteSnapshotFile: cannot create '" + tmp +
                   "': " + std::strerror(errno));
   }
-  std::size_t written = 0;
-  while (written < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + written,
-                              bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
+  const auto fail = [&](const std::string& stage,
+                        const std::string& err) -> IoError {
+    ::unlink(tmp.c_str());
+    return IoError("WriteSnapshotFile: " + stage + " '" + tmp +
+                   "' failed: " + err);
+  };
+  const auto write_all = [&](const std::byte* data, std::size_t size) {
+    std::size_t written = 0;
+    while (written < size) {
+      const ssize_t n = ::write(fd, data + written, size - written);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        throw fail("write to", err);
       }
-      const std::string err = std::strerror(errno);
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      throw IoError("WriteSnapshotFile: write to '" + tmp + "' failed: " + err);
+      written += static_cast<std::size_t>(n);
     }
-    written += static_cast<std::size_t>(n);
+  };
+  static constexpr std::byte kPadding[kPayloadAlignment] = {};
+  write_all(image.header.data(), image.header.size());
+  write_all(image.table.data(), image.table.size());
+  std::size_t cursor = kHeaderSize + image.table.size();
+  for (std::size_t i = 0; i < image.sections.size(); ++i) {
+    const auto offset = static_cast<std::size_t>(image.offsets[i]);
+    write_all(kPadding, offset - cursor);
+    cursor = offset;
+    for (const auto& chunk : image.sections[i].chunks) {
+      write_all(chunk.data(), chunk.size());
+      cursor += chunk.size();
+    }
   }
   if (::fsync(fd) != 0 || ::close(fd) != 0) {
-    const std::string err = std::strerror(errno);
-    ::unlink(tmp.c_str());
-    throw IoError("WriteSnapshotFile: fsync/close of '" + tmp +
-                  "' failed: " + err);
+    throw fail("fsync/close of", std::strerror(errno));
   }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    const std::string err = std::strerror(errno);
-    ::unlink(tmp.c_str());
-    throw IoError("WriteSnapshotFile: rename to '" + path +
-                  "' failed: " + err);
+    throw fail("rename to", std::strerror(errno));
   }
 }
 
@@ -418,6 +461,39 @@ struct SectionRef {
 
 [[noreturn]] void Bad(const std::string& origin, const std::string& what) {
   throw SnapshotFormatError("Snapshot '" + origin + "': " + what);
+}
+
+// Payload verification is the load path's only full read of the big
+// sections, and on a cold mmap every 4 KiB of it is a page fault.  Checksum
+// in bounded chunks and, when the bytes are file-backed, hint the kernel to
+// fault the NEXT chunk in while the CRC of the current one is computing —
+// the sequential read overlaps the checksum instead of serialising behind
+// it.  Chunking changes nothing about the result: Crc32 chains through its
+// seed, so the chunked CRC equals the one-shot CRC for every chunk size
+// (pinned by streaming_io_test).
+constexpr std::size_t kVerifyChunkBytes = std::size_t{4} << 20;  // 4 MiB
+
+[[nodiscard]] std::uint32_t SectionCrcStreaming(std::span<const std::byte> data,
+                                                bool file_backed) {
+  std::uint32_t crc = 0;
+  for (std::size_t pos = 0; pos < data.size(); pos += kVerifyChunkBytes) {
+    const std::size_t len = std::min(kVerifyChunkBytes, data.size() - pos);
+    const std::size_t next_end =
+        std::min(pos + len + kVerifyChunkBytes, data.size());
+    if (file_backed && next_end > pos + len) {
+      // Page-align the hint range downwards; madvise is advisory, so a
+      // failure (e.g. an unaligned tail page) is deliberately ignored.
+      const auto addr = reinterpret_cast<std::uintptr_t>(data.data() + pos +
+                                                         len);  // NOLINT
+      const long page = ::sysconf(_SC_PAGESIZE);
+      const std::uintptr_t aligned =
+          page > 0 ? addr & ~(static_cast<std::uintptr_t>(page) - 1) : addr;
+      ::madvise(reinterpret_cast<void*>(aligned),  // NOLINT
+                (next_end - (pos + len)) + (addr - aligned), MADV_WILLNEED);
+    }
+    crc = Crc32(AsStringView(data.subspan(pos, len)), crc);
+  }
+  return crc;
 }
 
 }  // namespace
@@ -507,9 +583,9 @@ std::shared_ptr<const Snapshot> Snapshot::Parse(
                       std::to_string(offset) + ", length " +
                       std::to_string(length) + ")");
     }
-    if (Crc32(AsStringView(bytes.subspan(static_cast<std::size_t>(offset),
-                                         static_cast<std::size_t>(length)))) !=
-        crc) {
+    if (SectionCrcStreaming(bytes.subspan(static_cast<std::size_t>(offset),
+                                          static_cast<std::size_t>(length)),
+                            buffer->mapped()) != crc) {
       Bad(origin, "section " + std::to_string(id) + " payload CRC mismatch");
     }
     refs[id] = SectionRef{offset, length};

@@ -63,7 +63,10 @@ class Snapshot {
   // invariants).  Pages are faulted lazily by the kernel, but validation
   // reads every section once — the win over the text path is skipping
   // parse + CSR construction (+ Phase-1 with an embedded plan), not
-  // skipping the sequential read.
+  // skipping the sequential read.  Section CRCs are verified in bounded
+  // chunks with the next chunk madvise(WILLNEED)-prefetched, so the page
+  // faults of the sequential read overlap the checksum work instead of
+  // serialising behind it.
   [[nodiscard]] static std::shared_ptr<const Snapshot> Load(
       const std::string& path);
 
@@ -133,13 +136,17 @@ class Snapshot {
 };
 
 // Serialize `contents` to `path` (atomically: written to a temp sibling,
-// fsync'd, renamed).  Throws std::invalid_argument on inconsistent contents
-// (no graph, plan without hierarchy/fingerprint, dimension mismatches) and
-// gdp::common::IoError on write failure.
+// fsync'd, renamed).  Streams sections straight from the source columns to
+// the file descriptor — peak extra memory is the header, table, and O(group)
+// metadata columns, never a whole-file staging buffer (at 100M-edge scale
+// that buffer would double the packer's RSS).  Throws std::invalid_argument
+// on inconsistent contents (no graph, plan without hierarchy/fingerprint,
+// dimension mismatches) and gdp::common::IoError on write failure.
 void WriteSnapshotFile(const std::string& path,
                        const SnapshotContents& contents);
 
-// In-memory serialization (tests).
+// In-memory serialization (tests).  Byte-identical to what
+// WriteSnapshotFile streams to disk — both render the same SnapshotImage.
 [[nodiscard]] std::vector<std::byte> SerializeSnapshot(
     const SnapshotContents& contents);
 

@@ -1,0 +1,106 @@
+// The 100M-edge acceptance flow: generate --stream -> pack --compile ->
+// serve one release, in ONE process, with the peak RSS asserted against the
+// documented budget (docs/PERF.md, SCALE).  The full-scale variant runs only
+// under GDP_LARGE=1 (the nightly large mode — it takes tens of minutes on
+// one core); a scaled-down twin of the identical flow always runs so the
+// pipeline itself cannot rot between nightlies.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli/commands.hpp"
+#include "common/rng.hpp"
+#include "core/compiled_disclosure.hpp"
+#include "serve/service.hpp"
+#include "serve/session_registry.hpp"
+#include "storage/snapshot.hpp"
+
+namespace {
+
+// VmHWM (peak resident set) in bytes from /proc/self/status; 0 if absent.
+std::uint64_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream ss(line.substr(6));
+      std::uint64_t kb = 0;
+      ss >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+// generate --stream -> pack --compile -> serve one release, returning the
+// noisy total so the caller can assert a release actually happened.
+double RunEndToEnd(std::int64_t left, std::int64_t right, std::int64_t edges,
+                   const std::string& stem) {
+  const std::string tsv = ::testing::TempDir() + "/" + stem + ".tsv";
+  const std::string snap = ::testing::TempDir() + "/" + stem + ".gdps";
+  std::ostringstream out;
+  EXPECT_EQ(gdp::cli::Dispatch(
+                {"generate", "--out", tsv, "--left", std::to_string(left),
+                 "--right", std::to_string(right), "--edges",
+                 std::to_string(edges), "--seed", "1", "--stream"},
+                out),
+            0);
+  EXPECT_EQ(gdp::cli::Dispatch({"pack", "--graph", tsv, "--out", snap,
+                                "--compile", "--seed", "42"},
+                               out),
+            0);
+  std::remove(tsv.c_str());
+
+  // Serve exactly like a packed cold start: snapshot registered lazily, the
+  // embedded plan adopted by fingerprint (pack and serve use the same
+  // default spec flags + seed), one release drawn.
+  gdp::core::SessionSpec spec;  // defaults match pack's defaults
+  gdp::serve::DisclosureService svc(1);
+  svc.catalog().RegisterSnapshot("ds", snap, spec, 42);
+  gdp::serve::TenantProfile profile;
+  profile.epsilon_cap = 1e6;
+  profile.delta_cap = 0.5;
+  profile.privilege = 1;
+  svc.broker().Register("tenant", profile);
+  gdp::common::Rng rng(7);
+  const auto result = svc.Serve("tenant", "ds", spec.budget, rng);
+  EXPECT_TRUE(result.granted);
+  std::remove(snap.c_str());
+  return result.view.noisy_total;
+}
+
+TEST(ScaleSmokeTest, EndToEndFlowAtSmallScale) {
+  const double noisy = RunEndToEnd(20'000, 33'000, 100'000, "gdp_scale_smoke");
+  // A release over 100k associations lands near the true total; 0.0 exactly
+  // would mean the release never happened.
+  EXPECT_NE(noisy, 0.0);
+}
+
+TEST(ScaleLargeTest, HundredMillionEdgesUnderMemoryBudget) {
+  const char* large = std::getenv("GDP_LARGE");
+  if (large == nullptr || std::string(large) != "1") {
+    GTEST_SKIP() << "set GDP_LARGE=1 to run the 100M-edge acceptance flow";
+  }
+  // The documented budget (docs/PERF.md, SCALE): the whole flow — 53M nodes
+  // of CSR, ten hierarchy levels of labels, the plan, and one served
+  // release — stays under 16 GiB peak RSS.  The pre-streaming pipeline blew
+  // past this on the text read (file_size/4 edge reserve) and the
+  // whole-file snapshot staging buffer alone.
+  constexpr std::uint64_t kBudgetBytes = std::uint64_t{16} << 30;
+  const double noisy =
+      RunEndToEnd(20'000'000, 33'000'000, 100'000'000, "gdp_scale_large");
+  EXPECT_NE(noisy, 0.0);
+  const std::uint64_t peak = PeakRssBytes();
+  ASSERT_GT(peak, 0u) << "VmHWM unavailable";
+  EXPECT_LT(peak, kBudgetBytes)
+      << "peak RSS " << (peak >> 20) << " MiB exceeds the documented "
+      << (kBudgetBytes >> 20) << " MiB budget";
+  std::cout << "# 100M-edge flow peak RSS: " << (peak >> 20) << " MiB\n";
+}
+
+}  // namespace
